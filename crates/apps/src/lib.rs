@@ -1,0 +1,20 @@
+//! # peerwindow-apps
+//!
+//! The application layer §3 sketches on top of PeerWindow's attached
+//! info: a compact typed [`info::InfoMap`] schema (GUESS file counts,
+//! backup-system OS tags, bidding status), [`bloom`] filter attachments
+//! (the LOCKSS document-advertisement pattern), and [`select`] — local
+//! peer-selection queries over a collected peer list (partner search,
+//! k-lightest load shedding, probable document holders, the
+//! powerful-nodes level heuristic).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bloom;
+pub mod info;
+pub mod select;
+
+pub use bloom::Bloom;
+pub use info::{InfoError, InfoMap, Value};
+pub use select::{find_partners, info_of, k_smallest_by, probable_holders, strongest_nodes};

@@ -1,0 +1,139 @@
+//! Gossip multicast alternative (§2 sketches it; §4.2 replaces it).
+//!
+//! The paper notes the audience set could also be covered by a
+//! level-by-level gossip ("the top node first initiates a gossip around
+//! all the top nodes, then sends the event to a level-1 node …"), at the
+//! price of redundancy `r > 1` — each node receives the event `r` times,
+//! shrinking the collectible peer list by the same factor
+//! (`p = W·L / (m·r·i)`). This module simulates push gossip over one
+//! group to quantify the redundancy/coverage/latency trade-off that
+//! motivates the tree design.
+
+use peerwindow_des::DetRng;
+
+/// Push-gossip parameters for disseminating within one group.
+#[derive(Clone, Copy, Debug)]
+pub struct GossipConfig {
+    /// Group size.
+    pub n: usize,
+    /// Fanout: targets each informed node pushes to per round.
+    pub fanout: usize,
+    /// Rounds of gossip (∞ coverage needs ≈ log n + c).
+    pub rounds: usize,
+}
+
+/// Outcome of one gossip dissemination.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GossipResult {
+    /// Nodes that received the event at least once.
+    pub covered: usize,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Redundancy: messages per covered node (the paper's `r`).
+    pub redundancy: f64,
+    /// Rounds until the last new node was reached.
+    pub rounds_to_cover: usize,
+}
+
+/// Simulates one push-gossip dissemination over `cfg.n` nodes starting
+/// from node 0.
+pub fn simulate_gossip(cfg: GossipConfig, seed: u64) -> GossipResult {
+    let mut rng = DetRng::for_stream(seed, 0x6055);
+    let mut informed = vec![false; cfg.n];
+    informed[0] = true;
+    let mut frontier: Vec<usize> = vec![0];
+    let mut messages = 0u64;
+    let mut covered = 1usize;
+    let mut rounds_to_cover = 0usize;
+    for round in 1..=cfg.rounds {
+        let mut fresh = Vec::new();
+        for &src in &frontier {
+            let _ = src;
+            for _ in 0..cfg.fanout {
+                let dst = rng.below(cfg.n as u64) as usize;
+                messages += 1;
+                if !informed[dst] {
+                    informed[dst] = true;
+                    covered += 1;
+                    fresh.push(dst);
+                    rounds_to_cover = round;
+                }
+            }
+        }
+        // Classic push gossip: everyone informed keeps pushing.
+        frontier.extend(fresh);
+    }
+    GossipResult {
+        covered,
+        messages,
+        redundancy: messages as f64 / covered.max(1) as f64,
+        rounds_to_cover,
+    }
+}
+
+/// The analytic comparison the ablation bench prints: pointers collectible
+/// under a budget with redundancy `r` (tree multicast: `r = 1`).
+pub fn pointers_with_redundancy(budget_bps: f64, lifetime_s: f64, msg_bits: f64, r: f64) -> f64 {
+    budget_bps * lifetime_s / (3.0 * r * msg_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_covers_with_log_rounds_but_redundantly() {
+        let cfg = GossipConfig {
+            n: 2_000,
+            fanout: 2,
+            rounds: 30,
+        };
+        let r = simulate_gossip(cfg, 1);
+        assert!(
+            r.covered as f64 > 0.99 * cfg.n as f64,
+            "covered {}",
+            r.covered
+        );
+        // Push gossip with persistent senders is redundant: every covered
+        // node costs several messages.
+        assert!(r.redundancy > 2.0, "redundancy {}", r.redundancy);
+        // log2(2000) ≈ 11 rounds.
+        assert!(
+            r.rounds_to_cover >= 8 && r.rounds_to_cover <= 25,
+            "rounds {}",
+            r.rounds_to_cover
+        );
+    }
+
+    #[test]
+    fn low_fanout_few_rounds_undercover() {
+        let cfg = GossipConfig {
+            n: 2_000,
+            fanout: 1,
+            rounds: 5,
+        };
+        let r = simulate_gossip(cfg, 2);
+        assert!(r.covered < cfg.n / 10, "covered {}", r.covered);
+    }
+
+    #[test]
+    fn redundancy_shrinks_collectible_pointers_linearly() {
+        let p1 = pointers_with_redundancy(5_000.0, 3_600.0, 1_000.0, 1.0);
+        let p3 = pointers_with_redundancy(5_000.0, 3_600.0, 1_000.0, 3.0);
+        assert!((p1 - 6_000.0).abs() < 1e-9);
+        assert!((p3 - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GossipConfig {
+            n: 500,
+            fanout: 2,
+            rounds: 20,
+        };
+        let a = simulate_gossip(cfg, 9);
+        let b = simulate_gossip(cfg, 9);
+        assert_eq!(a.covered, b.covered);
+        assert_eq!(a.messages, b.messages);
+    }
+}

@@ -1,0 +1,21 @@
+//! # peerwindow-baselines
+//!
+//! The comparison points the paper argues against:
+//!
+//! * [`probing`] — §1's explicit-heartbeat strawman (10 kbps → 600
+//!   pointers);
+//! * [`gossip`] — the §2 gossip-multicast alternative with redundancy
+//!   `r > 1` (ablation for the tree multicast);
+//! * [`one_hop`] — the §6 one-hop-DHT comparison (homogeneous full
+//!   membership that prices weak nodes out of large systems).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gossip;
+pub mod one_hop;
+pub mod probing;
+
+pub use gossip::{pointers_with_redundancy, simulate_gossip, GossipConfig, GossipResult};
+pub use one_hop::OneHopConfig;
+pub use probing::{simulate_probing, ProbingConfig, ProbingSimResult};

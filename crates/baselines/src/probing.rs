@@ -1,0 +1,177 @@
+//! Explicit-probing baseline (§1's strawman).
+//!
+//! Maintain pointers by heartbeating every neighbor every `T` seconds.
+//! The paper's point: with a 2-hour average lifetime, ≈ 99.6 % of probes
+//! return "still alive" and teach nothing, so 10 kbps of budget maintains
+//! only ≈ 600 pointers — versus ≈ 24,000 for PeerWindow under the same
+//! budget. This module provides both the closed-form model and a small
+//! event-driven simulation that measures achieved staleness empirically.
+
+use peerwindow_des::DetRng;
+
+/// Parameters of the explicit-probing protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbingConfig {
+    /// Heartbeat period, seconds (§1 example: 30).
+    pub heartbeat_interval_s: f64,
+    /// Heartbeat message size, bits (§1 example: 500).
+    pub heartbeat_bits: f64,
+    /// Mean node lifetime, seconds.
+    pub lifetime_s: f64,
+}
+
+impl Default for ProbingConfig {
+    fn default() -> Self {
+        ProbingConfig {
+            heartbeat_interval_s: 30.0,
+            heartbeat_bits: 500.0,
+            lifetime_s: 2.0 * 3600.0,
+        }
+    }
+}
+
+impl ProbingConfig {
+    /// Outgoing probe bandwidth needed per maintained pointer, bps.
+    pub fn cost_per_pointer_bps(&self) -> f64 {
+        self.heartbeat_bits / self.heartbeat_interval_s
+    }
+
+    /// Pointers maintainable within `budget_bps` (§1: 10 kbps → 600).
+    pub fn pointers_for_budget(&self, budget_bps: f64) -> f64 {
+        budget_bps / self.cost_per_pointer_bps()
+    }
+
+    /// Fraction of probes that return positively (teach nothing): a
+    /// neighbor departs within a probe period with probability
+    /// `T / lifetime`, so `1 − T/L` of probes are wasted (§1:
+    /// 239/240 ≈ 99.58 %).
+    pub fn wasted_probe_fraction(&self) -> f64 {
+        1.0 - self.heartbeat_interval_s / self.lifetime_s
+    }
+
+    /// Expected staleness of a detected departure: half the heartbeat
+    /// period on average.
+    pub fn mean_detection_delay_s(&self) -> f64 {
+        self.heartbeat_interval_s / 2.0
+    }
+
+    /// Expected peer-list error rate: each entry is stale for
+    /// `T/2` per departure, departures happen once per lifetime.
+    pub fn error_rate(&self) -> f64 {
+        self.mean_detection_delay_s() / self.lifetime_s
+    }
+}
+
+/// Result of the probing simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProbingSimResult {
+    /// Probes sent.
+    pub probes: u64,
+    /// Probes answered positively (wasted).
+    pub wasted: u64,
+    /// Departures detected.
+    pub detections: u64,
+    /// Mean staleness of detected departures, seconds.
+    pub mean_staleness_s: f64,
+    /// Achieved outgoing bandwidth, bps.
+    pub out_bps: f64,
+}
+
+/// Monte-Carlo simulation of one prober maintaining `k` pointers over
+/// exponential-lifetime neighbors for `duration_s`.
+pub fn simulate_probing(
+    cfg: ProbingConfig,
+    k: usize,
+    duration_s: f64,
+    seed: u64,
+) -> ProbingSimResult {
+    let mut rng = DetRng::for_stream(seed, 0xBEEF);
+    // Each neighbor has a current death time; on detection it is replaced
+    // (the prober refills its list), mirroring steady state.
+    let mut death: Vec<f64> = (0..k)
+        .map(|_| rng.exponential(cfg.lifetime_s))
+        .collect();
+    let mut probes = 0u64;
+    let mut wasted = 0u64;
+    let mut detections = 0u64;
+    let mut staleness_sum = 0.0;
+    let mut t = 0.0;
+    while t < duration_s {
+        t += cfg.heartbeat_interval_s;
+        for d in death.iter_mut() {
+            probes += 1;
+            if *d <= t {
+                detections += 1;
+                staleness_sum += t - *d;
+                *d = t + rng.exponential(cfg.lifetime_s);
+            } else {
+                wasted += 1;
+            }
+        }
+    }
+    ProbingSimResult {
+        probes,
+        wasted,
+        detections,
+        mean_staleness_s: if detections > 0 {
+            staleness_sum / detections as f64
+        } else {
+            0.0
+        },
+        out_bps: probes as f64 * cfg.heartbeat_bits / duration_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_strawman_numbers() {
+        let cfg = ProbingConfig::default();
+        // 10 kbps maintains 600 pointers (§1).
+        assert!((cfg.pointers_for_budget(10_000.0) - 600.0).abs() < 1e-9);
+        // 99.58 % of probes are wasted (§1: 239/240).
+        assert!((cfg.wasted_probe_fraction() - 239.0 / 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_matches_model() {
+        let cfg = ProbingConfig::default();
+        let r = simulate_probing(cfg, 500, 100_000.0, 1);
+        // Wasted fraction ≈ model.
+        let wf = r.wasted as f64 / r.probes as f64;
+        assert!(
+            (wf - cfg.wasted_probe_fraction()).abs() < 0.005,
+            "wasted {wf}"
+        );
+        // Mean staleness ≈ T/2.
+        assert!(
+            (r.mean_staleness_s - cfg.mean_detection_delay_s()).abs() < 2.0,
+            "staleness {}",
+            r.mean_staleness_s
+        );
+        // Bandwidth = k · bits / interval.
+        let expect = 500.0 * cfg.heartbeat_bits / cfg.heartbeat_interval_s;
+        assert!((r.out_bps - expect).abs() < 0.02 * expect);
+    }
+
+    #[test]
+    fn probing_is_an_order_of_magnitude_worse_than_peerwindow() {
+        // Same environment as §2's efficiency example: L = 3600 s.
+        let cfg = ProbingConfig {
+            lifetime_s: 3600.0,
+            ..ProbingConfig::default()
+        };
+        let probing_pointers = cfg.pointers_for_budget(5_000.0);
+        let pw = peerwindow_core::model::ModelParams {
+            lifetime_s: 3600.0,
+            ..Default::default()
+        };
+        let pw_pointers = pw.pointers_for_budget(5_000.0);
+        assert!(
+            pw_pointers > 10.0 * probing_pointers,
+            "PeerWindow {pw_pointers} vs probing {probing_pointers}"
+        );
+    }
+}

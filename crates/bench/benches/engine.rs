@@ -1,0 +1,93 @@
+//! Simulation-engine benchmarks: sequential event throughput, parallel
+//! shard scaling (the ONSP-substitute claim), and topology queries.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use peerwindow_des::{Engine, Outbox, ParallelEngine, Scheduler, ShardLogic, SimTime, Simulation};
+use peerwindow_topology::{NetworkModel, Topology, TransitStubNetwork, TransitStubParams};
+
+struct Ping {
+    left: u64,
+}
+impl Simulation for Ping {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<'_, u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.schedule(100, ev.wrapping_add(1));
+        }
+    }
+}
+
+fn bench_sequential_engine(c: &mut Criterion) {
+    c.bench_function("des/sequential_1M_events", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(Ping { left: 1_000_000 });
+            e.schedule(0, 1);
+            e.run_to_completion();
+            black_box(e.stats().processed)
+        })
+    });
+}
+
+struct Fanout {
+    actors: u32,
+    count: u64,
+}
+impl ShardLogic for Fanout {
+    type Msg = u32;
+    fn handle(&mut self, _now: SimTime, _actor: u32, hops: u32, out: &mut Outbox<u32>) {
+        self.count += 1;
+        if hops > 0 {
+            let a = (self.count as u32).wrapping_mul(2654435761) % self.actors;
+            let b = (self.count as u32).wrapping_mul(40503) % self.actors;
+            out.send(1_000, a, hops - 1);
+            out.send(1_500, b, hops - 1);
+        }
+    }
+    fn fingerprint(&self) -> u64 {
+        self.count
+    }
+}
+
+fn bench_parallel_engine(c: &mut Criterion) {
+    for shards in [1usize, 2, 4, 8] {
+        c.bench_with_input(
+            BenchmarkId::new("des/parallel_fanout", shards),
+            &shards,
+            |b, &s| {
+                b.iter(|| {
+                    let logics: Vec<Fanout> = (0..s)
+                        .map(|_| Fanout {
+                            actors: 256,
+                            count: 0,
+                        })
+                        .collect();
+                    let mut e = ParallelEngine::new(logics, 1_000);
+                    for i in 0..8 {
+                        e.schedule(SimTime(0), i, 15);
+                    }
+                    e.run_until(SimTime::from_secs(600));
+                    black_box(e.processed())
+                })
+            },
+        );
+    }
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let topo = Topology::generate(TransitStubParams::small(), 1);
+    c.bench_function("topology/dijkstra_small", |b| {
+        b.iter(|| black_box(topo.dijkstra(0)))
+    });
+    let net = TransitStubNetwork::build(&topo);
+    let mut i = 0u32;
+    c.bench_function("topology/latency_query", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            black_box(net.latency_us(i % 1000, (i >> 10) % 1000))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sequential_engine, bench_parallel_engine, bench_topology);
+criterion_main!(benches);

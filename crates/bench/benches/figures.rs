@@ -1,0 +1,63 @@
+//! One criterion bench per paper figure (scaled-down populations; the
+//! full-scale regeneration lives in the `experiments` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use peerwindow_bench::extras::{baselines_table, gossip_ablation};
+use peerwindow_bench::figures::*;
+use peerwindow_sim::oracle::run_oracle;
+
+fn quick(c: &mut Criterion, name: &str, f: impl Fn(u64) -> usize) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let mut seed = 0u64;
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(f(seed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5_to_8(c: &mut Criterion) {
+    // Figures 5–8 share the common run; benchmark it once and each
+    // figure's table extraction separately (extraction is ~free).
+    quick(c, "fig5_to_fig8_common_run", |seed| {
+        let rep = common_run(Scale::Quick, seed);
+        fig5(&rep).len() + fig6(&rep).len() + fig7(&rep).len() + fig8(&rep).len()
+    });
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    quick(c, "fig9_fig10_scale_sweep", |seed| {
+        let sweep = scale_sweep(Scale::Quick, seed);
+        fig9(&sweep).len() + fig10(&sweep).len()
+    });
+}
+
+fn bench_fig11_fig12(c: &mut Criterion) {
+    quick(c, "fig11_fig12_lifetime_sweep", |seed| {
+        let sweep = lifetime_sweep(Scale::Quick, seed);
+        fig11(&sweep).len() + fig12(&sweep).len()
+    });
+}
+
+fn bench_model_and_baselines(c: &mut Criterion) {
+    quick(c, "model_vs_sim", |seed| {
+        let rep = run_oracle(Scale::Quick.config(2_000, seed));
+        peerwindow_bench::extras::model_vs_sim(&rep, 8_100.0).len()
+    });
+    quick(c, "baselines_table", |_seed| {
+        baselines_table(100_000.0, 8_100.0).len()
+    });
+    quick(c, "ablation_gossip", |seed| gossip_ablation(seed).len());
+}
+
+criterion_group!(
+    benches,
+    bench_fig5_to_8,
+    bench_fig9_fig10,
+    bench_fig11_fig12,
+    bench_model_and_baselines
+);
+criterion_main!(benches);

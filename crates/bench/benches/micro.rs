@@ -1,0 +1,255 @@
+//! Microbenchmarks of the protocol's hot operations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use peerwindow_core::prelude::*;
+use peerwindow_des::DetRng;
+use peerwindow_sim::directory::Directory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_list(n: usize, seed: u64) -> PeerList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = PeerList::new(Prefix::EMPTY);
+    for _ in 0..n {
+        list.insert(Pointer::new(
+            NodeId(rng.gen()),
+            Addr(rng.gen()),
+            Level::new(rng.gen_range(0..8)),
+        ));
+    }
+    list
+}
+
+fn bench_prefix_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ids: Vec<NodeId> = (0..1024).map(|_| NodeId(rng.gen())).collect();
+    c.bench_function("id/common_prefix_len", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 1023;
+            black_box(ids[i].common_prefix_len(ids[i + 1]))
+        })
+    });
+    c.bench_function("id/audience_covers", |b| {
+        let ident = NodeIdentity::new(ids[0], Level::new(4));
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(ident.covers(ids[i]))
+        })
+    });
+}
+
+fn bench_peer_list(c: &mut Criterion) {
+    for n in [1_000usize, 10_000, 100_000] {
+        let list = build_list(n, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        c.bench_with_input(BenchmarkId::new("peer_list/target_selection", n), &n, |b, _| {
+            b.iter(|| {
+                let changing = NodeId(rng.gen());
+                let range = changing.prefix(1).sibling();
+                black_box(PeerList::strongest_audience_in_range(
+                    &list,
+                    range,
+                    changing,
+                    NodeId(0),
+                ))
+            })
+        });
+        c.bench_with_input(BenchmarkId::new("peer_list/insert_remove", n), &n, |b, _| {
+            let mut list = list.clone();
+            b.iter(|| {
+                let id = NodeId(rng.gen());
+                list.insert(Pointer::new(id, Addr(0), Level::new(2)));
+                list.remove(id);
+            })
+        });
+    }
+}
+
+fn bench_plan_tree(c: &mut Criterion) {
+    for n in [1_000usize, 10_000] {
+        let list = build_list(n, 4);
+        let root = list.iter().find(|p| p.level.is_top()).map(|p| p.id).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        c.bench_with_input(BenchmarkId::new("multicast/plan_tree_reference", n), &n, |b, _| {
+            b.iter(|| {
+                let subject = NodeId(rng.gen());
+                black_box(plan_tree(&list, root, 0, subject).len())
+            })
+        });
+    }
+}
+
+fn bench_oracle_planner(c: &mut Criterion) {
+    use peerwindow_sim::plan::{plan_event, Rmq};
+    for n in [10_000usize, 100_000] {
+        let mut dir = Directory::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 0..n {
+            dir.join(
+                NodeId(rng.gen()),
+                i as u32,
+                Level::new(rng.gen_range(0..6)),
+                500.0,
+                1e6,
+            );
+        }
+        let mut audience = Vec::new();
+        let mut rmq = Rmq::new();
+        c.bench_with_input(BenchmarkId::new("oracle/plan_event", n), &n, |b, _| {
+            b.iter(|| {
+                let subject = NodeId(rng.gen());
+                dir.collect_audience(subject, &mut audience);
+                if audience.is_empty() {
+                    return;
+                }
+                let root_idx = audience.iter().position(|e| e.level == 0).unwrap_or(0);
+                let mut count = 0u64;
+                plan_event(&audience, &mut rmq, root_idx, audience[root_idx].level, 0, 1_000_000, |_, _| 80_000, |d| {
+                    count += d.at_us & 1;
+                });
+                black_box(count);
+            })
+        });
+    }
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut dir = Directory::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..100_000u32 {
+        dir.join(NodeId(rng.gen()), i, Level::new(rng.gen_range(0..6)), 500.0, 1e6);
+    }
+    c.bench_function("directory/join_leave_100k", |b| {
+        b.iter(|| {
+            let id = NodeId(rng.gen());
+            dir.join(id, 0, Level::new(3), 500.0, 1e6);
+            dir.leave(id);
+        })
+    });
+    c.bench_function("directory/count_prefix_100k", |b| {
+        b.iter(|| {
+            let p = NodeId(rng.gen()).prefix(3);
+            black_box(dir.count_prefix(p))
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut r = DetRng::new(1);
+    c.bench_function("rng/splitmix_u64", |b| b.iter(|| black_box(r.next_u64())));
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use peerwindow_core::prelude::*;
+    use peerwindow_transport::{decode, encode};
+    use bytes::Bytes;
+    let event = StateEvent {
+        subject: NodeId(0xABCDEF),
+        addr: Addr(0x7F00_0001_1F90),
+        level: Level::new(3),
+        kind: EventKind::Join,
+        seq: 42,
+        origin_us: 1_000_000,
+        info: Bytes::from_static(b"os:linux;load:0.3"),
+    };
+    let msg = Message::Multicast { event, step: 17 };
+    c.bench_function("codec/encode_multicast", |b| {
+        b.iter(|| black_box(encode(NodeId(1), Addr(2), &msg)))
+    });
+    let frame = encode(NodeId(1), Addr(2), &msg);
+    c.bench_function("codec/decode_multicast", |b| {
+        b.iter(|| black_box(decode(&frame).unwrap()))
+    });
+    // Bulk download frames (the big ones).
+    let pointers: Vec<Pointer> = (0..1_000)
+        .map(|i| Pointer::new(NodeId(i as u128), Addr(i as u64), Level::new(2)))
+        .collect();
+    let big = Message::DownloadReply {
+        scope: Prefix::EMPTY,
+        pointers,
+        tops: vec![],
+    };
+    c.bench_function("codec/encode_download_1k", |b| {
+        b.iter(|| black_box(encode(NodeId(1), Addr(2), &big)).len())
+    });
+    let frame = encode(NodeId(1), Addr(2), &big);
+    c.bench_function("codec/decode_download_1k", |b| {
+        b.iter(|| black_box(decode(&frame).unwrap()))
+    });
+}
+
+fn bench_node_machine(c: &mut Criterion) {
+    use peerwindow_core::prelude::*;
+    use bytes::Bytes;
+    // Measure the hot path: a multicast delivery applied + forwarded by a
+    // node holding a 10k-entry peer list.
+    let mut rng = StdRng::seed_from_u64(9);
+    let (mut machine, _) = NodeMachine::new_seed(
+        ProtocolConfig::default(),
+        NodeId(rng.gen()),
+        Addr(0),
+        Bytes::new(),
+        1e9,
+        7,
+    );
+    // Install entries via multicast joins (realistic path).
+    let mut t = 0u64;
+    for i in 0..10_000u64 {
+        t += 1_000;
+        let ev = StateEvent {
+            subject: NodeId(rng.gen()),
+            addr: Addr(i),
+            level: Level::new((i % 4) as u8),
+            kind: EventKind::Join,
+            seq: 1,
+            origin_us: t,
+            info: Bytes::new(),
+        };
+        machine.handle(
+            t,
+            Input::Message {
+                from: NodeId(1),
+                from_addr: Addr(1),
+                msg: Message::Multicast { event: ev, step: 64 },
+            },
+        );
+    }
+    c.bench_function("node/multicast_delivery_10k_list", |b| {
+        b.iter(|| {
+            t += 1_000;
+            let ev = StateEvent {
+                subject: NodeId(rng.gen()),
+                addr: Addr(t),
+                level: Level::new(2),
+                kind: EventKind::Join,
+                seq: 1,
+                origin_us: t,
+                info: Bytes::new(),
+            };
+            let outs = machine.handle(
+                t,
+                Input::Message {
+                    from: NodeId(1),
+                    from_addr: Addr(1),
+                    msg: Message::Multicast { event: ev, step: 2 },
+                },
+            );
+            black_box(outs.len());
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prefix_ops,
+    bench_peer_list,
+    bench_plan_tree,
+    bench_oracle_planner,
+    bench_directory,
+    bench_rng,
+    bench_codec,
+    bench_node_machine
+);
+criterion_main!(benches);

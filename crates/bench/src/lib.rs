@@ -1,0 +1,14 @@
+//! # peerwindow-bench
+//!
+//! The experiment harness behind EXPERIMENTS.md: one function per paper
+//! figure (§5), shared by the `experiments` binary (full scale) and the
+//! criterion benches (scaled down). Each function returns the rows the
+//! paper plots; the binary writes them to `results/*.csv`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod extras;
+pub mod figures;
+
+pub use figures::*;

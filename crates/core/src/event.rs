@@ -1,0 +1,118 @@
+//! State-changing events.
+//!
+//! "A state-changing event, e.g., a node's joining, leaving or information
+//! changing, will be multicast to all the nodes who are interested in the
+//! changing node" (§2). Level shifts (§4.3) and the periodic §4.6 refresh
+//! also travel as events.
+
+use crate::id::NodeId;
+use crate::level::{Level, NodeIdentity};
+use crate::pointer::{Addr, Pointer};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// What happened to the subject node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The subject joined the system (§4.3).
+    Join,
+    /// The subject left (gracefully announced or detected by probing, §4.1).
+    Leave,
+    /// The subject shifted its level; `from` is the previous level.
+    LevelShift {
+        /// Level before the shift.
+        from: Level,
+    },
+    /// The subject changed its attached info (§3).
+    InfoChange,
+    /// Periodic anti-entropy refresh of the subject's state (§4.6).
+    Refresh,
+}
+
+impl EventKind {
+    /// Whether receiving this event removes the subject from peer lists.
+    #[inline]
+    pub fn is_removal(self) -> bool {
+        matches!(self, EventKind::Leave)
+    }
+}
+
+/// A state-changing event about one node.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StateEvent {
+    /// The changing node.
+    pub subject: NodeId,
+    /// Its transport address.
+    pub addr: Addr,
+    /// Its level *after* the change.
+    pub level: Level,
+    /// What changed.
+    pub kind: EventKind,
+    /// Per-subject sequence number; (subject, seq) deduplicates redundant
+    /// deliveries and orders conflicting updates.
+    pub seq: u64,
+    /// Simulation/protocol time (µs) at which the change occurred. Peer
+    /// list entries are in error from this instant until delivery.
+    pub origin_us: u64,
+    /// Attached info carried by the event (empty for joins/leaves unless
+    /// the application set one).
+    pub info: Bytes,
+}
+
+impl StateEvent {
+    /// The subject's identity after the event.
+    #[inline]
+    pub fn identity(&self) -> NodeIdentity {
+        NodeIdentity::new(self.subject, self.level)
+    }
+
+    /// The pointer a receiver should install/update for the subject.
+    pub fn to_pointer(&self, now_us: u64) -> Pointer {
+        Pointer {
+            id: self.subject,
+            addr: self.addr,
+            level: self.level,
+            info: self.info.clone(),
+            last_refresh_us: now_us,
+            first_seen_us: self.origin_us,
+        }
+    }
+
+    /// Deduplication key.
+    #[inline]
+    pub fn key(&self) -> (NodeId, u64) {
+        (self.subject, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removal_flag() {
+        assert!(EventKind::Leave.is_removal());
+        assert!(!EventKind::Join.is_removal());
+        assert!(!EventKind::Refresh.is_removal());
+        assert!(!EventKind::LevelShift { from: Level::TOP }.is_removal());
+    }
+
+    #[test]
+    fn to_pointer_carries_event_fields() {
+        let ev = StateEvent {
+            subject: NodeId(9),
+            addr: Addr(3),
+            level: Level::new(2),
+            kind: EventKind::Join,
+            seq: 1,
+            origin_us: 5,
+            info: Bytes::from_static(b"os:linux"),
+        };
+        let p = ev.to_pointer(77);
+        assert_eq!(p.id, NodeId(9));
+        assert_eq!(p.level, Level::new(2));
+        assert_eq!(p.last_refresh_us, 77);
+        assert_eq!(&p.info[..], b"os:linux");
+        assert_eq!(ev.key(), (NodeId(9), 1));
+    }
+}

@@ -1,0 +1,200 @@
+//! Node levels and eigenstrings.
+//!
+//! Every PeerWindow node carries a self-determined attribute *level*
+//! (§2): an `l`-level node keeps pointers to all nodes whose nodeId shares
+//! its first `l` bits — about `N / 2^l` pointers in an `N`-node system.
+//! Level 0 is the *highest* level (the paper: "higher level means smaller
+//! level value"); level-0 nodes are *top nodes* and see the entire system
+//! (or their entire part, in a split system, §4.4).
+
+use crate::id::{NodeId, Prefix, ID_BITS};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A node's level. Smaller value = higher level = larger peer list.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
+)]
+pub struct Level(pub u8);
+
+impl Level {
+    /// The top level (level 0): peer list covers the whole part.
+    pub const TOP: Level = Level(0);
+
+    /// Maximum representable level. Beyond ~40 the peer list of any
+    /// realistic system is empty, but we allow the full id width.
+    pub const MAX: Level = Level(ID_BITS);
+
+    /// Creates a level, clamping to [`Level::MAX`].
+    #[inline]
+    pub fn new(l: u8) -> Self {
+        Level(l.min(ID_BITS))
+    }
+
+    /// Raw numeric value.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the top level.
+    #[inline]
+    pub const fn is_top(self) -> bool {
+        self.0 == 0
+    }
+
+    /// One level *higher* (towards 0, i.e. a larger peer list). Saturates
+    /// at the top.
+    #[inline]
+    pub fn raised(self) -> Level {
+        Level(self.0.saturating_sub(1))
+    }
+
+    /// One level *lower* (away from 0, i.e. a smaller peer list).
+    /// Saturates at [`Level::MAX`].
+    #[inline]
+    pub fn lowered(self) -> Level {
+        Level::new(self.0.saturating_add(1))
+    }
+
+    /// Whether `self` is stronger than (or equal to) `other`: a stronger
+    /// node's peer list covers a weaker node's (§2 property 2), which for
+    /// nodes on the same id requires a smaller level value.
+    #[inline]
+    pub fn at_least_as_strong_as(self, other: Level) -> bool {
+        self.0 <= other.0
+    }
+
+    /// The eigenstring of a node with identifier `id` at this level: its
+    /// first `level` bits (underlined in the paper's figure 1).
+    #[inline]
+    pub fn eigenstring(self, id: NodeId) -> Prefix {
+        id.prefix(self.0)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u8> for Level {
+    fn from(l: u8) -> Self {
+        Level::new(l)
+    }
+}
+
+/// A node's identity as far as list membership is concerned: its id plus
+/// its level, from which the eigenstring is derived.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeIdentity {
+    /// The node's 128-bit identifier.
+    pub id: NodeId,
+    /// The node's self-determined level.
+    pub level: Level,
+}
+
+impl NodeIdentity {
+    /// Creates an identity.
+    #[inline]
+    pub fn new(id: NodeId, level: Level) -> Self {
+        NodeIdentity { id, level }
+    }
+
+    /// The node's eigenstring: the first `level` bits of its id.
+    #[inline]
+    pub fn eigenstring(self) -> Prefix {
+        self.level.eigenstring(self.id)
+    }
+
+    /// Whether this node must keep a pointer to a node with id `other`
+    /// (§2: an `l`-level node's peer list contains all nodes sharing its
+    /// first `l` bits). Equivalently, whether this node is in `other`'s
+    /// audience set.
+    #[inline]
+    pub fn covers(self, other: NodeId) -> bool {
+        self.eigenstring().contains(other)
+    }
+
+    /// Whether `self` is *stronger* than `other`: `self`'s eigenstring is a
+    /// proper prefix of `other`'s, so `self`'s peer list strictly covers
+    /// `other`'s (§2 property 2).
+    #[inline]
+    pub fn stronger_than(self, other: NodeIdentity) -> bool {
+        let a = self.eigenstring();
+        let b = other.eigenstring();
+        a.len() < b.len() && a.is_prefix_of(b)
+    }
+
+    /// Whether the two nodes have identical eigenstrings — and therefore,
+    /// by §2 property 1, identical (correct) peer lists.
+    #[inline]
+    pub fn same_group(self, other: NodeIdentity) -> bool {
+        self.eigenstring() == other.eigenstring()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(bits: &str, level: u8) -> NodeIdentity {
+        let id = Prefix::from_bits_str(bits).unwrap().range_start();
+        NodeIdentity::new(id, Level::new(level))
+    }
+
+    #[test]
+    fn raise_lower_saturate() {
+        assert_eq!(Level::TOP.raised(), Level::TOP);
+        assert_eq!(Level::new(3).raised(), Level::new(2));
+        assert_eq!(Level::new(3).lowered(), Level::new(4));
+        assert_eq!(Level::MAX.lowered(), Level::MAX);
+    }
+
+    #[test]
+    fn eigenstring_is_level_prefix() {
+        let n = ident("1011", 2);
+        assert_eq!(n.eigenstring(), Prefix::from_bits_str("10").unwrap());
+        assert_eq!(ident("1011", 0).eigenstring(), Prefix::EMPTY);
+    }
+
+    #[test]
+    fn paper_figure1_relations() {
+        // Figure 1: node E = 1011 at level 1, node H = 1010 at level 2,
+        // node A at level 0, node C = 0100 at level 2.
+        let a = ident("0010", 0);
+        let c = ident("0100", 2);
+        let e = ident("1011", 1);
+        let h = ident("1010", 2);
+        // E's eigenstring "1" is a prefix of H's "10": E stronger than H.
+        assert!(e.stronger_than(h));
+        assert!(!h.stronger_than(e));
+        // A (level 0) is stronger than everyone else.
+        assert!(a.stronger_than(c));
+        assert!(a.stronger_than(e));
+        assert!(a.stronger_than(h));
+        // C ("01") and E ("1"): neither is prefix of the other.
+        assert!(!c.stronger_than(e));
+        assert!(!e.stronger_than(c));
+    }
+
+    #[test]
+    fn covers_matches_eigenstring_containment() {
+        let e = ident("1011", 1); // eigenstring "1"
+        assert!(e.covers(Prefix::from_bits_str("11").unwrap().range_start()));
+        assert!(!e.covers(Prefix::from_bits_str("01").unwrap().range_start()));
+        // A top node covers everything.
+        assert!(ident("0000", 0).covers(NodeId::MAX));
+    }
+
+    #[test]
+    fn same_group_requires_same_level_and_prefix() {
+        // Figure 1: D (1101, level 1) and E (1011, level 1) share "1".
+        let d = ident("1101", 1);
+        let e = ident("1011", 1);
+        assert!(d.same_group(e));
+        let h = ident("1010", 2);
+        assert!(!d.same_group(h));
+    }
+}

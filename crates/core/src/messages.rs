@@ -1,0 +1,194 @@
+//! Wire messages exchanged by PeerWindow nodes.
+//!
+//! The protocol is transport-agnostic; these are logical messages whose
+//! sizes (for bandwidth accounting) follow the paper's constants: 1,000-bit
+//! event messages, 500-bit probes, small acks, and bulk peer-list
+//! downloads whose size is the sum of the carried pointers.
+
+use crate::config::ProtocolConfig;
+use crate::event::StateEvent;
+use crate::id::{NodeId, Prefix};
+use crate::level::Level;
+use crate::multicast::Target;
+use crate::pointer::Pointer;
+use serde::{Deserialize, Serialize};
+
+/// A logical protocol message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Heartbeat to the ring successor (§4.1).
+    Probe,
+    /// Heartbeat response.
+    ProbeAck,
+    /// A state-changing event reported to a top node (§2, §4.1).
+    Report {
+        /// The event being reported.
+        event: StateEvent,
+    },
+    /// Report response; piggybacks `t − 1` top-node pointers (§4.5).
+    ReportAck {
+        /// Deduplication key of the acknowledged event.
+        key: (NodeId, u64),
+        /// Fresh top-node pointers for the reporter's top list.
+        tops: Vec<Target>,
+    },
+    /// Tree-multicast hop (§4.2).
+    Multicast {
+        /// The disseminated event.
+        event: StateEvent,
+        /// Range length the receiver becomes responsible for.
+        step: u8,
+    },
+    /// Multicast acknowledgement ("acknowledgement is required for all the
+    /// multicast messages", §4.2).
+    MulticastAck {
+        /// Deduplication key of the acknowledged event.
+        key: (NodeId, u64),
+    },
+    /// Join step 1: ask a bootstrap node for top nodes of our part (§4.3,
+    /// §4.4 for the cross-part case).
+    FindTop {
+        /// The joining node's id (used to locate its part).
+        joiner: NodeId,
+    },
+    /// Reply with top nodes of the joiner's part.
+    FindTopReply {
+        /// Top-node pointers (possibly of another part's top list when
+        /// forwarded cross-part).
+        tops: Vec<Target>,
+    },
+    /// Join step 2: ask a top node for its level and measured cost.
+    LevelQuery,
+    /// Level-estimation data: "the top node tells the new node its own
+    /// level l_T as well as its current bandwidth cost W_T" (§4.3).
+    LevelQueryReply {
+        /// Responder's level.
+        level: Level,
+        /// Responder's dynamically measured maintenance cost, bps.
+        cost_bps: f64,
+    },
+    /// Join step 3 / level raise: download all pointers within `scope`
+    /// from a stronger node.
+    Download {
+        /// Requested eigenstring scope.
+        scope: Prefix,
+    },
+    /// Bulk reply carrying the requested pointers and a fresh top list.
+    DownloadReply {
+        /// Scope that was requested (echoed for matching).
+        scope: Prefix,
+        /// All pointers within the scope.
+        pointers: Vec<Pointer>,
+        /// Responder's top list (join step 3 also downloads it).
+        tops: Vec<Target>,
+    },
+    /// Ask any peer for its top-node list (last-resort fallback, §4.5).
+    TopListRequest,
+    /// Top-list reply.
+    TopListReply {
+        /// Responder's top-node entries.
+        tops: Vec<Target>,
+    },
+}
+
+impl Message {
+    /// Approximate wire size in bits under `cfg`, for bandwidth accounting.
+    pub fn wire_bits(&self, cfg: &ProtocolConfig) -> u64 {
+        const TARGET_BITS: u64 = 128 + 48 + 8;
+        match self {
+            Message::Probe | Message::ProbeAck => cfg.probe_msg_bits,
+            Message::Report { event } | Message::Multicast { event, .. } => {
+                cfg.event_msg_bits + event.info.len() as u64 * 8
+            }
+            Message::ReportAck { tops, .. } => {
+                cfg.ack_msg_bits + tops.len() as u64 * TARGET_BITS
+            }
+            Message::MulticastAck { .. } => cfg.ack_msg_bits,
+            Message::FindTop { .. } | Message::LevelQuery | Message::TopListRequest => {
+                cfg.ack_msg_bits
+            }
+            Message::FindTopReply { tops } | Message::TopListReply { tops } => {
+                cfg.ack_msg_bits + tops.len() as u64 * TARGET_BITS
+            }
+            Message::LevelQueryReply { .. } => cfg.ack_msg_bits + 64,
+            Message::Download { .. } => cfg.ack_msg_bits + 128,
+            Message::DownloadReply { pointers, tops, .. } => {
+                cfg.ack_msg_bits
+                    + pointers.iter().map(Pointer::wire_bits).sum::<u64>()
+                    + tops.len() as u64 * TARGET_BITS
+            }
+        }
+    }
+
+    /// Whether this message expects an acknowledgement / reply.
+    pub fn expects_reply(&self) -> bool {
+        matches!(
+            self,
+            Message::Probe
+                | Message::Report { .. }
+                | Message::Multicast { .. }
+                | Message::FindTop { .. }
+                | Message::LevelQuery
+                | Message::Download { .. }
+                | Message::TopListRequest
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::pointer::Addr;
+    use bytes::Bytes;
+
+    fn event(info: &'static [u8]) -> StateEvent {
+        StateEvent {
+            subject: NodeId(1),
+            addr: Addr(1),
+            level: Level::new(1),
+            kind: EventKind::Join,
+            seq: 0,
+            origin_us: 0,
+            info: Bytes::from_static(info),
+        }
+    }
+
+    #[test]
+    fn event_messages_use_paper_size() {
+        let cfg = ProtocolConfig::default();
+        let m = Message::Multicast {
+            event: event(b""),
+            step: 3,
+        };
+        assert_eq!(m.wire_bits(&cfg), 1_000);
+        let m = Message::Multicast {
+            event: event(b"xy"),
+            step: 3,
+        };
+        assert_eq!(m.wire_bits(&cfg), 1_016);
+    }
+
+    #[test]
+    fn download_reply_scales_with_pointers() {
+        let cfg = ProtocolConfig::default();
+        let pointers = vec![Pointer::new(NodeId(1), Addr(0), Level::TOP); 10];
+        let m = Message::DownloadReply {
+            scope: Prefix::EMPTY,
+            pointers,
+            tops: vec![],
+        };
+        assert_eq!(m.wire_bits(&cfg), cfg.ack_msg_bits + 10 * 184);
+    }
+
+    #[test]
+    fn reply_expectations() {
+        let cfg = ProtocolConfig::default();
+        assert!(Message::Probe.expects_reply());
+        assert!(!Message::ProbeAck.expects_reply());
+        assert!(Message::Multicast { event: event(b""), step: 0 }.expects_reply());
+        assert!(!Message::MulticastAck { key: (NodeId(1), 0) }.expects_reply());
+        // probes are cheaper than events
+        assert!(Message::Probe.wire_bits(&cfg) < Message::Report { event: event(b"") }.wire_bits(&cfg));
+    }
+}

@@ -1,0 +1,193 @@
+//! The paper's analytic performance model (§2 and §5.1).
+//!
+//! These closed forms are used by the joining process (level estimation),
+//! by the autonomic level controller, and by the experiment harness to
+//! cross-check simulation results against the paper's claims:
+//!
+//! * a node receives `m · r / L` messages per second per maintained
+//!   pointer, so with budget `W` bps and message size `i` bits it can
+//!   collect `p = W · L / (m · r · i)` pointers;
+//! * the peer-list error rate is approximately
+//!   `multicast_delay / lifetime`.
+
+use crate::level::Level;
+
+/// Parameters of the analytic model.
+///
+/// ```
+/// use peerwindow_core::model::ModelParams;
+/// // §2's example: 5 kbps of budget buys about 6,000 pointers.
+/// let m = ModelParams::default();
+/// assert_eq!(m.pointers_for_budget(5_000.0).round() as u64, 6_000);
+/// // …and 1,000 pointers cost well under 1 kbps to maintain.
+/// assert!(m.cost_bps(1_000.0) < 1_000.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelParams {
+    /// Average node lifetime `L`, seconds (§2 example: 3600).
+    pub lifetime_s: f64,
+    /// State changes per lifetime `m`, including join and leave (§2: 3).
+    pub changes_per_lifetime: f64,
+    /// Multicast redundancy `r` (tree multicast: 1).
+    pub redundancy: f64,
+    /// Average event message size `i`, bits (§2: 1000).
+    pub msg_bits: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            lifetime_s: 3600.0,
+            changes_per_lifetime: 3.0,
+            redundancy: 1.0,
+            msg_bits: 1000.0,
+        }
+    }
+}
+
+impl ModelParams {
+    /// Maintenance cost in bps for a peer list of `pointers` entries:
+    /// `pointers · m · r · i / L`.
+    pub fn cost_bps(&self, pointers: f64) -> f64 {
+        pointers * self.changes_per_lifetime * self.redundancy * self.msg_bits / self.lifetime_s
+    }
+
+    /// Collectable pointers under a bandwidth budget `w_bps`:
+    /// `p = W · L / (m · r · i)` (§2).
+    pub fn pointers_for_budget(&self, w_bps: f64) -> f64 {
+        w_bps * self.lifetime_s / (self.changes_per_lifetime * self.redundancy * self.msg_bits)
+    }
+
+    /// Input bandwidth (bps) of a level-`l` node in an `n`-node system:
+    /// its list holds ≈ `n / 2^l` pointers.
+    pub fn level_cost_bps(&self, n: f64, level: Level) -> f64 {
+        self.cost_bps(n / 2f64.powi(level.value() as i32))
+    }
+
+    /// The stable level for a node with budget `w_bps` in an `n`-node
+    /// system: the *highest* level (smallest value) whose cost fits the
+    /// budget. Returns [`Level::TOP`] when even the full system fits.
+    pub fn stable_level(&self, n: f64, w_bps: f64) -> Level {
+        let full_cost = self.cost_bps(n);
+        if full_cost <= w_bps || w_bps <= 0.0 && full_cost == 0.0 {
+            return Level::TOP;
+        }
+        if w_bps <= 0.0 {
+            return Level::MAX;
+        }
+        // cost(l) = full_cost / 2^l  ≤ w  ⇔  l ≥ log2(full_cost / w)
+        let l = (full_cost / w_bps).log2().ceil();
+        Level::new(l.clamp(0.0, 128.0) as u8)
+    }
+
+    /// §4.3 join-time estimate: `l_X = ceil(l_T + log2(W_T / W_X))` where
+    /// the bootstrap top node reports its own level `l_T` and measured
+    /// cost `w_t_bps`, and the joiner's budget is `w_x_bps`.
+    pub fn estimate_join_level(l_t: Level, w_t_bps: f64, w_x_bps: f64) -> Level {
+        if w_x_bps <= 0.0 {
+            return Level::MAX;
+        }
+        if w_t_bps <= 0.0 {
+            return l_t;
+        }
+        let l = l_t.value() as f64 + (w_t_bps / w_x_bps).log2();
+        Level::new(l.ceil().clamp(0.0, 128.0) as u8)
+    }
+
+    /// Expected peer-list error rate given an average end-to-end multicast
+    /// delay (§5.1: `error_rate ≈ multicast_delay / lifetime`).
+    pub fn error_rate(&self, multicast_delay_s: f64) -> f64 {
+        multicast_delay_s / self.lifetime_s
+    }
+
+    /// Expected end-to-end multicast delay for an `n`-node audience:
+    /// ≈ `log2 n` steps of (`hop_latency + processing`) each (§5.1 uses
+    /// 0.5 s average latency + 1 s processing over 16.6 steps → 24.9 s).
+    pub fn multicast_delay_s(&self, n: f64, hop_latency_s: f64, processing_s: f64) -> f64 {
+        n.max(2.0).log2() * (hop_latency_s + processing_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_efficiency_example() {
+        // §2: L = 3600 s, m = 3, i = 1000, r = 1; a 5 kbps budget collects
+        // about 6000 pointers.
+        let m = ModelParams::default();
+        let p = m.pointers_for_budget(5_000.0);
+        assert!((p - 6_000.0).abs() < 1e-9, "p = {p}");
+        // Inverse: maintaining 1000 pointers costs well under 1 kbps.
+        assert!(m.cost_bps(1_000.0) < 1_000.0);
+        assert!((m.cost_bps(1_000.0) - 833.3).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_autonomy_example() {
+        // §2: when lifetime doubles, the same 5 kbps budget supports a
+        // doubled peer list (~12000 pointers).
+        let mut m = ModelParams::default();
+        m.lifetime_s *= 2.0;
+        assert!((m.pointers_for_budget(5_000.0) - 12_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stable_level_monotone_in_budget() {
+        let m = ModelParams::default();
+        let n = 100_000.0;
+        let mut last = Level::MAX;
+        for w in [100.0, 500.0, 1_000.0, 5_000.0, 50_000.0, 1_000_000.0] {
+            let l = m.stable_level(n, w);
+            assert!(
+                l.at_least_as_strong_as(last) || l == last,
+                "level must rise with budget"
+            );
+            // Cost at the chosen level fits the budget…
+            assert!(m.level_cost_bps(n, l) <= w + 1e-9);
+            // …and the next higher level would not (unless already top).
+            if !l.is_top() {
+                assert!(m.level_cost_bps(n, l.raised()) > w);
+            }
+            last = l;
+        }
+        // Huge budget ⇒ top level.
+        assert_eq!(m.stable_level(n, 1e9), Level::TOP);
+    }
+
+    #[test]
+    fn join_estimate_matches_formula() {
+        // Top node at level 0 spending 40 kbps; joiner with 10 kbps budget:
+        // ceil(0 + log2(4)) = 2.
+        assert_eq!(
+            ModelParams::estimate_join_level(Level::TOP, 40_000.0, 10_000.0),
+            Level::new(2)
+        );
+        // Joiner richer than the top node stays at the top node's level
+        // (log2 < 0 rounds up to 0 relative to l_T).
+        assert_eq!(
+            ModelParams::estimate_join_level(Level::TOP, 40_000.0, 80_000.0),
+            Level::TOP
+        );
+        // Non-power-of-two ratio rounds up (safer, smaller list).
+        assert_eq!(
+            ModelParams::estimate_join_level(Level::new(1), 30_000.0, 10_000.0),
+            Level::new(3) // 1 + log2(3) = 2.58 → 3
+        );
+    }
+
+    #[test]
+    fn error_rate_matches_paper_back_of_envelope() {
+        // §5.1: 16.6 steps × 1.5 s ≈ 24.9 s staleness; lifetime 135 min
+        // ⇒ error ≈ 0.0031.
+        let m = ModelParams {
+            lifetime_s: 135.0 * 60.0,
+            ..ModelParams::default()
+        };
+        let delay = m.multicast_delay_s(100_000.0, 0.5, 1.0);
+        assert!((delay - 24.9).abs() < 0.05, "delay = {delay}");
+        let err = m.error_rate(delay);
+        assert!(err < 0.0035 && err > 0.0025, "err = {err}");
+    }
+}

@@ -1,0 +1,1869 @@
+//! The PeerWindow node — a sans-IO protocol state machine.
+//!
+//! [`NodeMachine`] implements the complete protocol of §4: the four-step
+//! joining process, ring-probing failure detection, tree multicast with
+//! acknowledgements / retries / redirection, lazy top-node-list
+//! maintenance, autonomic level adaptation, and the §4.6 refresh/expiry
+//! mechanism. It performs no I/O and reads no clock: the embedder (a real
+//! UDP transport, or the discrete-event simulator in `peerwindow-sim`)
+//! feeds it `(now, Input)` pairs and executes the returned [`Output`]s.
+//! This makes every protocol decision deterministic and unit-testable.
+
+use crate::config::{ProbeScope, ProtocolConfig};
+use crate::event::{EventKind, StateEvent};
+use crate::id::{NodeId, Prefix};
+use crate::level::Level;
+use crate::messages::Message;
+use crate::model::ModelParams;
+use crate::multicast::{forward_steps, Target};
+use crate::peer_list::PeerList;
+use crate::pointer::{Addr, Pointer};
+use crate::top_list::TopList;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Sequence number used for leave events (reported by detectors who do not
+/// know the subject's own counter; terminal, so "largest wins" is safe).
+pub const LEAVE_SEQ: u64 = u64::MAX;
+
+/// External stimulus for the machine.
+#[derive(Clone, Debug)]
+pub enum Input {
+    /// A message arrived from the network.
+    Message {
+        /// Sender id.
+        from: NodeId,
+        /// Sender address (for replies to nodes not in the peer list).
+        from_addr: Addr,
+        /// The message.
+        msg: Message,
+    },
+    /// A timer set via [`Output::SetTimer`] fired.
+    Timer(Timer),
+    /// An application command.
+    Command(Command),
+}
+
+/// Application-level commands.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Change the attached info (§3) and announce it.
+    ChangeInfo(Bytes),
+    /// Change the bandwidth threshold (autonomy: the user retunes the
+    /// budget at runtime).
+    SetThreshold(f64),
+    /// Pin the node to an explicit level (§4.3 runtime shifting, driven
+    /// directly rather than through the bandwidth controller). Lowering
+    /// drops out-of-scope pointers immediately; raising downloads the
+    /// wider list from a top node first.
+    SetLevel(Level),
+    /// Leave gracefully: announce departure before stopping.
+    Shutdown,
+}
+
+/// Timers the machine asks its embedder to schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Timer {
+    /// Periodic ring probe (§4.1).
+    Probe,
+    /// Timeout of the pending RPC with this token.
+    RpcTimeout(u64),
+    /// Periodic bandwidth measurement / level adaptation.
+    Adapt,
+    /// §4.6 self-refresh multicast.
+    Refresh,
+    /// §4.6 stale-pointer expiry sweep.
+    Expire,
+    /// One-shot post-join reconciliation: re-download our scope once the
+    /// join multicast has settled, closing the blind window between the
+    /// §4.3 step-3 snapshot and our appearance in other nodes' lists.
+    /// (Implementation addition in the spirit of the §4.3 warm-up's
+    /// background download; without it, events originating during the
+    /// joining round-trips would leave permanent absent pointers until
+    /// the §4.6 refresh.)
+    Reconcile,
+}
+
+/// Effects the embedder must execute.
+#[derive(Clone, Debug)]
+pub enum Output {
+    /// Transmit `msg` to `to` after `delay_us` of local processing
+    /// (§5.1 charges 1 s per multicast hop for receive/compute/send).
+    Send {
+        /// Destination.
+        to: Target,
+        /// Payload.
+        msg: Message,
+        /// Local processing delay before the message leaves the node.
+        delay_us: u64,
+    },
+    /// Schedule `timer` to fire after `delay_us`.
+    SetTimer {
+        /// Delay from now.
+        delay_us: u64,
+        /// Which timer.
+        timer: Timer,
+    },
+    /// The joining process completed; the node is active.
+    Joined,
+    /// The node detected the silent failure of `dead` (informational).
+    FailureDetected {
+        /// The departed neighbor.
+        dead: NodeId,
+    },
+    /// The node shifted level (informational).
+    LevelShifted {
+        /// Previous level.
+        from: Level,
+        /// New level.
+        to: Level,
+    },
+    /// The machine cannot make progress (e.g. its bootstrap node died
+    /// before answering). The embedder should discard the node.
+    Fatal(&'static str),
+}
+
+/// Lifecycle of the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// §4.3 step 1: locating a top node of our part.
+    FindingTop,
+    /// §4.3 step 2: estimating our level.
+    EstimatingLevel,
+    /// §4.3 step 3: downloading the peer list and top-node list.
+    Downloading,
+    /// Steady state.
+    Active,
+    /// Departed (gracefully or by command); ignores further input.
+    Left,
+}
+
+/// Why an RPC was issued — determines the give-up behaviour.
+#[derive(Clone, Debug)]
+enum RpcKind {
+    /// Ring probe; give-up = failure detection (§4.1).
+    Probe,
+    /// Multicast forward; give-up = drop pointer and redirect (§4.2).
+    McastForward {
+        event: StateEvent,
+        /// The flipped range the target was chosen from.
+        range: Prefix,
+    },
+    /// Event report to a top node; give-up = redirect to another top
+    /// (§4.5).
+    Report { event: StateEvent },
+    /// §4.3 step 1.
+    JoinFindTop,
+    /// §4.3 step 2.
+    JoinLevelQuery,
+    /// §4.3 step 3.
+    JoinDownload,
+    /// Level raise download; give-up = abort the raise.
+    RaiseDownload { new_level: Level },
+    /// Post-join reconciliation download (see `Timer::Reconcile`);
+    /// give-up = skip (the §4.6 refresh eventually heals the list).
+    Reconcile,
+    /// Fallback top-list fetch (§4.5); `resume` is re-reported on success.
+    TopListFetch { resume: Option<StateEvent> },
+}
+
+/// A pending request awaiting its reply.
+#[derive(Clone, Debug)]
+struct PendingRpc {
+    target: Target,
+    msg: Message,
+    attempts: u32,
+    kind: RpcKind,
+}
+
+/// Aggregate traffic and protocol counters, readable by the embedder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Bits received (all messages).
+    pub rx_bits: u64,
+    /// Bits sent (all messages).
+    pub tx_bits: u64,
+    /// Messages received.
+    pub rx_msgs: u64,
+    /// Messages sent.
+    pub tx_msgs: u64,
+    /// Fresh events applied to the peer list.
+    pub events_applied: u64,
+    /// Duplicate events discarded.
+    pub events_duped: u64,
+    /// Multicast forwards initiated.
+    pub forwards: u64,
+    /// Ring probes sent (§4.1).
+    pub probes_sent: u64,
+    /// Silent failures detected by probing.
+    pub failures_detected: u64,
+    /// Pointers dropped after unanswered multicast sends.
+    pub stale_dropped: u64,
+    /// Pointers dropped by §4.6 expiry.
+    pub expired: u64,
+}
+
+/// Per-level observed lifetime accumulators (for `LT_l`, §4.6).
+#[derive(Clone, Debug, Default)]
+struct LifetimeStats {
+    count: Vec<u64>,
+    sum_us: Vec<u64>,
+}
+
+impl LifetimeStats {
+    fn record(&mut self, level: Level, lifetime_us: u64) {
+        let l = level.value() as usize;
+        if self.count.len() <= l {
+            self.count.resize(l + 1, 0);
+            self.sum_us.resize(l + 1, 0);
+        }
+        self.count[l] += 1;
+        self.sum_us[l] += lifetime_us;
+    }
+
+    /// Mean observed lifetime at `level`; falls back to the overall mean
+    /// across levels when this level has no samples yet (a fresh node has
+    /// observed few departures, but any timescale beats none for the
+    /// §4.6 machinery).
+    fn mean_us(&self, level: Level) -> Option<u64> {
+        let l = level.value() as usize;
+        match self.count.get(l) {
+            Some(&c) if c > 0 => Some(self.sum_us[l] / c),
+            _ => self.overall_mean_us(),
+        }
+    }
+
+    /// Mean observed lifetime over all levels.
+    fn overall_mean_us(&self) -> Option<u64> {
+        let c: u64 = self.count.iter().sum();
+        if c == 0 {
+            None
+        } else {
+            Some(self.sum_us.iter().sum::<u64>() / c)
+        }
+    }
+}
+
+/// Sliding-window receive-bandwidth meter (six rotating buckets).
+#[derive(Clone, Debug)]
+struct BandwidthMeter {
+    bucket_us: u64,
+    buckets: [u64; 6],
+    current: usize,
+    current_start_us: u64,
+}
+
+impl BandwidthMeter {
+    fn new(window_us: u64) -> Self {
+        BandwidthMeter {
+            bucket_us: (window_us / 6).max(1),
+            buckets: [0; 6],
+            current: 0,
+            current_start_us: 0,
+        }
+    }
+
+    fn rotate_to(&mut self, now_us: u64) {
+        while now_us >= self.current_start_us + self.bucket_us {
+            self.current = (self.current + 1) % 6;
+            self.buckets[self.current] = 0;
+            self.current_start_us += self.bucket_us;
+        }
+    }
+
+    fn note(&mut self, now_us: u64, bits: u64) {
+        self.rotate_to(now_us);
+        self.buckets[self.current] += bits;
+    }
+
+    /// Average bps over the window ending at `now_us`.
+    fn bps(&mut self, now_us: u64) -> f64 {
+        self.rotate_to(now_us);
+        let total: u64 = self.buckets.iter().sum();
+        total as f64 / (6.0 * self.bucket_us as f64 / 1e6)
+    }
+}
+
+/// The PeerWindow protocol state machine for one node.
+#[derive(Clone, Debug)]
+pub struct NodeMachine {
+    cfg: ProtocolConfig,
+    me: NodeId,
+    addr: Addr,
+    info: Bytes,
+    level: Level,
+    peers: PeerList,
+    tops: TopList,
+    threshold_bps: f64,
+    phase: Phase,
+    seq: u64,
+    /// Per-subject dedup horizon: highest `(seq, origin_us)` applied. An
+    /// event is fresh when its seq OR its origin time exceeds the
+    /// horizon; the origin clause lets a live node's later refresh
+    /// override a false leave (whose seq is `LEAVE_SEQ` = max).
+    seen: HashMap<NodeId, (u64, u64)>,
+    pending: HashMap<u64, PendingRpc>,
+    next_token: u64,
+    meter: BandwidthMeter,
+    lifetimes: LifetimeStats,
+    stats: NodeStats,
+    rng: u64,
+    /// Tops already tried (and failed) for the current report.
+    report_dead: Vec<NodeId>,
+    /// When we last announced our own state (join, refresh, shift). The
+    /// §4.6 refresh fires when `now − last` exceeds `2 · LT_level`.
+    last_self_refresh_us: u64,
+    /// When we last shifted level. Adaptation pauses for one full
+    /// measurement window afterwards: the sliding window still contains
+    /// traffic from the old level, and acting on it overshoots.
+    last_shift_us: u64,
+    /// Event keys whose reports we already forwarded (cycle guard).
+    forwarded_reports: std::collections::HashSet<(NodeId, u64)>,
+    /// Adaptation debounce (see `adapt_level`): consecutive over-budget
+    /// (+) or raise-eligible (−) windows.
+    adapt_pressure: i8,
+}
+
+impl NodeMachine {
+    /// Creates a *seed* node: already active, alone, at level 0 — the
+    /// genesis of a new system. Returns the machine and its start-up
+    /// outputs (the periodic timers).
+    pub fn new_seed(
+        cfg: ProtocolConfig,
+        me: NodeId,
+        addr: Addr,
+        info: Bytes,
+        threshold_bps: f64,
+        seed: u64,
+    ) -> (Self, Vec<Output>) {
+        let mut n = Self::bare(cfg, me, addr, info, threshold_bps, seed);
+        n.phase = Phase::Active;
+        n.level = Level::TOP;
+        n.peers = PeerList::new(Prefix::EMPTY);
+        let outs = n.startup_timers();
+        (n, outs)
+    }
+
+    /// Creates a joining node and emits §4.3 step 1 (contact the
+    /// bootstrap node).
+    pub fn new_joining(
+        cfg: ProtocolConfig,
+        me: NodeId,
+        addr: Addr,
+        info: Bytes,
+        threshold_bps: f64,
+        bootstrap: Target,
+        seed: u64,
+    ) -> (Self, Vec<Output>) {
+        let mut n = Self::bare(cfg, me, addr, info, threshold_bps, seed);
+        n.phase = Phase::FindingTop;
+        let mut outs = Vec::new();
+        let msg = Message::FindTop { joiner: me };
+        n.send_rpc(&mut outs, bootstrap, msg, RpcKind::JoinFindTop, 0);
+        (n, outs)
+    }
+
+    fn bare(
+        cfg: ProtocolConfig,
+        me: NodeId,
+        addr: Addr,
+        info: Bytes,
+        threshold_bps: f64,
+        seed: u64,
+    ) -> Self {
+        let window = cfg.bandwidth_window_us;
+        let t = cfg.top_list_size;
+        NodeMachine {
+            cfg,
+            me,
+            addr,
+            info,
+            level: Level::MAX,
+            peers: PeerList::new(Prefix::EMPTY),
+            tops: TopList::new(t),
+            threshold_bps,
+            phase: Phase::FindingTop,
+            seq: 0,
+            seen: HashMap::new(),
+            pending: HashMap::new(),
+            next_token: 1,
+            meter: BandwidthMeter::new(window),
+            lifetimes: LifetimeStats::default(),
+            stats: NodeStats::default(),
+            rng: seed | 1,
+            report_dead: Vec::new(),
+            last_self_refresh_us: 0,
+            last_shift_us: 0,
+            forwarded_reports: std::collections::HashSet::new(),
+            adapt_pressure: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Current level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Current eigenstring.
+    pub fn eigenstring(&self) -> Prefix {
+        self.level.eigenstring(self.me)
+    }
+
+    /// The peer list (read-only).
+    pub fn peers(&self) -> &PeerList {
+        &self.peers
+    }
+
+    /// The top-node list (read-only).
+    pub fn tops(&self) -> &TopList {
+        &self.tops
+    }
+
+    /// Whether the node has completed joining and not left.
+    pub fn is_active(&self) -> bool {
+        self.phase == Phase::Active
+    }
+
+    /// Whether the node believes it is a top node of its part: no
+    /// *covering* entry of its top list (one whose eigenstring prefixes
+    /// our id) is stronger than us. Non-covering entries belong to other
+    /// parts and say nothing about our own part's hierarchy.
+    pub fn believes_top(&self) -> bool {
+        self.tops
+            .entries()
+            .iter()
+            .filter(|t| t.id != self.me && t.id.prefix(t.level.value()).contains(self.me))
+            .all(|t| self.level.at_least_as_strong_as(t.level))
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Attached application info.
+    pub fn info(&self) -> &Bytes {
+        &self.info
+    }
+
+    /// Current bandwidth threshold (bps).
+    pub fn threshold_bps(&self) -> f64 {
+        self.threshold_bps
+    }
+
+    /// The target of the outstanding ring probe, if any (diagnostics).
+    pub fn pending_probe_target(&self) -> Option<NodeId> {
+        self.pending
+            .values()
+            .find(|p| matches!(p.kind, RpcKind::Probe))
+            .map(|p| p.target.id)
+    }
+
+    /// This node as a multicast [`Target`].
+    pub fn as_target(&self) -> Target {
+        Target {
+            id: self.me,
+            addr: self.addr,
+            level: self.level,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main entry point
+    // ------------------------------------------------------------------
+
+    /// Feeds one input at protocol time `now_us`, returning the effects.
+    pub fn handle(&mut self, now_us: u64, input: Input) -> Vec<Output> {
+        if self.phase == Phase::Left {
+            return Vec::new();
+        }
+        let mut outs = Vec::new();
+        match input {
+            Input::Message { from, from_addr, msg } => {
+                self.stats.rx_msgs += 1;
+                let bits = msg.wire_bits(&self.cfg);
+                self.stats.rx_bits += bits;
+                // The adaptation meter tracks the *steady* maintenance
+                // flow the level controls (§2's W). One-off bulk
+                // transfers (peer-list downloads) would spike the window
+                // and make every raise immediately un-raise itself.
+                if !matches!(msg, Message::DownloadReply { .. }) {
+                    self.meter.note(now_us, bits);
+                }
+                self.on_message(now_us, from, from_addr, msg, &mut outs);
+            }
+            Input::Timer(t) => self.on_timer(now_us, t, &mut outs),
+            Input::Command(c) => self.on_command(now_us, c, &mut outs),
+        }
+        outs
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    fn on_message(
+        &mut self,
+        now_us: u64,
+        from: NodeId,
+        from_addr: Addr,
+        msg: Message,
+        outs: &mut Vec<Output>,
+    ) {
+        let reply_to = Target {
+            id: from,
+            addr: from_addr,
+            level: Level::MAX, // unknown; replies do not need it
+        };
+        match msg {
+            Message::Probe => self.send(outs, reply_to, Message::ProbeAck, 0),
+            Message::ProbeAck => {
+                self.resolve_rpc(|p| {
+                    matches!(p.kind, RpcKind::Probe) && p.target.id == from
+                });
+            }
+            Message::Report { event } => {
+                // §4.4: the multicast must be rooted at a top node of the
+                // *subject's* part. Acknowledge only if we can root it or
+                // forward it toward someone who can — a silent drop makes
+                // the reporter time out, purge us from its top list, and
+                // converge onto its real part top (stale cross-part
+                // entries are unverifiable any other way).
+                let key = event.key();
+                let covers = self.eigenstring().contains(event.subject);
+                if covers && self.believes_top() {
+                    let tops = self.piggyback_tops();
+                    self.send(outs, reply_to, Message::ReportAck { key, tops }, 0);
+                    self.start_multicast(now_us, event, outs);
+                } else {
+                    let stronger_top = self
+                        .tops
+                        .entries()
+                        .iter()
+                        .filter(|t| {
+                            t.level.value() < self.level.value()
+                                && t.id != self.me
+                                && t.id.prefix(t.level.value()).contains(event.subject)
+                        })
+                        .min_by_key(|t| (t.level.value(), t.id))
+                        .copied();
+                    // Cycle guard: forward each event key at most once
+                    // (stale recorded levels could otherwise bounce a
+                    // report between two nodes forever).
+                    let first_time = self.forwarded_reports.insert(key);
+                    match stronger_top {
+                        Some(top) if first_time => {
+                            let tops = self.piggyback_tops();
+                            self.send(outs, reply_to, Message::ReportAck { key, tops }, 0);
+                            let kind = RpcKind::Report {
+                                event: event.clone(),
+                            };
+                            self.send_rpc(outs, top, Message::Report { event }, kind, 0);
+                        }
+                        _ if covers => {
+                            let tops = self.piggyback_tops();
+                            self.send(outs, reply_to, Message::ReportAck { key, tops }, 0);
+                            self.start_multicast(now_us, event, outs);
+                        }
+                        _ => { /* silent: reporter retries elsewhere */ }
+                    }
+                }
+            }
+            Message::ReportAck { key, tops } => {
+                self.tops.refresh(tops);
+                self.report_dead.clear();
+                self.resolve_rpc(|p| {
+                    matches!(&p.kind, RpcKind::Report { event } if event.key() == key)
+                });
+            }
+            Message::Multicast { event, step } => {
+                let key = event.key();
+                self.send(outs, reply_to, Message::MulticastAck { key }, 0);
+                if self.apply_event(now_us, &event) {
+                    self.forward_event(now_us, &event, step, outs);
+                }
+            }
+            Message::MulticastAck { key } => {
+                self.resolve_rpc(|p| {
+                    matches!(&p.kind, RpcKind::McastForward { event, .. } if event.key() == key)
+                        && p.target.id == from
+                });
+            }
+            Message::FindTop { joiner } => {
+                // Return tops covering the joiner when we know any;
+                // otherwise our whole top list (the joiner will hop on).
+                let mut tops = self.piggyback_tops();
+                tops.retain(|t| t.id != joiner);
+                let covering: Vec<Target> = tops
+                    .iter()
+                    .copied()
+                    .filter(|t| t.id.prefix(t.level.value()).contains(joiner))
+                    .collect();
+                let reply = if covering.is_empty() { tops } else { covering };
+                self.send(outs, reply_to, Message::FindTopReply { tops: reply }, 0);
+            }
+            Message::FindTopReply { tops } => self.on_find_top_reply(now_us, tops, outs),
+            Message::LevelQuery => {
+                let cost = self.meter.bps(now_us);
+                self.send(
+                    outs,
+                    reply_to,
+                    Message::LevelQueryReply {
+                        level: self.level,
+                        cost_bps: cost,
+                    },
+                    0,
+                );
+            }
+            Message::LevelQueryReply { level, cost_bps } => {
+                self.on_level_query_reply(now_us, level, cost_bps, outs)
+            }
+            Message::Download { scope } => {
+                let mut pointers = self.peers.subset_for(scope);
+                // Our own list never stores a self-pointer; the downloader
+                // still must learn about us when we fall in its scope.
+                if scope.contains(self.me) {
+                    let mut me = Pointer::with_info(
+                        self.me,
+                        self.addr,
+                        self.level,
+                        self.info.clone(),
+                    );
+                    me.last_refresh_us = now_us;
+                    pointers.push(me);
+                }
+                let tops = self.piggyback_tops();
+                self.send(
+                    outs,
+                    reply_to,
+                    Message::DownloadReply {
+                        scope,
+                        pointers,
+                        tops,
+                    },
+                    0,
+                );
+            }
+            Message::DownloadReply {
+                scope,
+                pointers,
+                tops,
+            } => self.on_download_reply(now_us, scope, pointers, tops, outs),
+            Message::TopListRequest => {
+                let tops = self.piggyback_tops();
+                self.send(outs, reply_to, Message::TopListReply { tops }, 0);
+            }
+            Message::TopListReply { tops } => {
+                self.tops.refresh(tops);
+                let resumed = self.take_rpc(|p| matches!(p.kind, RpcKind::TopListFetch { .. }));
+                if let Some(p) = resumed {
+                    if let RpcKind::TopListFetch {
+                        resume: Some(event),
+                    } = p.kind
+                    {
+                        self.report_event(now_us, event, outs);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Joining (§4.3)
+    // ------------------------------------------------------------------
+
+    fn on_find_top_reply(&mut self, _now_us: u64, tops: Vec<Target>, outs: &mut Vec<Output>) {
+        if self.phase != Phase::FindingTop {
+            // Late duplicate; top list refresh is still useful.
+            self.tops.refresh(tops);
+            return;
+        }
+        self.take_rpc(|p| matches!(p.kind, RpcKind::JoinFindTop));
+        let covering: Vec<Target> = tops
+            .iter()
+            .copied()
+            .filter(|t| t.id.prefix(t.level.value()).contains(self.me))
+            .collect();
+        if let Some(&top) = covering.first() {
+            self.tops.refresh(covering.iter().copied());
+            self.phase = Phase::EstimatingLevel;
+            self.send_rpc(outs, top, Message::LevelQuery, RpcKind::JoinLevelQuery, 0);
+        } else if let Some(&hop) = tops.first() {
+            // Cross-part bootstrap (§4.4): ask a top of the bootstrap's
+            // part; its top list holds tops of other parts, ours included.
+            self.send_rpc(
+                outs,
+                hop,
+                Message::FindTop { joiner: self.me },
+                RpcKind::JoinFindTop,
+                0,
+            );
+        } else {
+            // The bootstrap knew no top at all: it must be a seed node
+            // itself (it would have answered with covering tops
+            // otherwise). Treat the sender as our top-of-part.
+            outs.push(Output::Fatal("bootstrap returned no top nodes"));
+            self.phase = Phase::Left;
+        }
+    }
+
+    fn on_level_query_reply(
+        &mut self,
+        now_us: u64,
+        l_t: Level,
+        w_t_bps: f64,
+        outs: &mut Vec<Output>,
+    ) {
+        if self.phase != Phase::EstimatingLevel {
+            return;
+        }
+        let queried = self.take_rpc(|p| matches!(p.kind, RpcKind::JoinLevelQuery));
+        let mut level = ModelParams::estimate_join_level(l_t, w_t_bps, self.threshold_bps);
+        // A joiner can never be stronger than its part's tops.
+        if level.value() < l_t.value() {
+            level = l_t;
+        }
+        if self.cfg.warm_up {
+            // §4.3 warm-up: start two levels weaker to come online fast;
+            // the adaptation loop raises us once the background download
+            // would have completed.
+            level = Level::new(level.value().saturating_add(2));
+        }
+        self.level = level;
+        self.phase = Phase::Downloading;
+        let scope = self.eigenstring();
+        let target = queried
+            .map(|p| p.target)
+            .or_else(|| self.tops.choose(&[], |n| self.rand_below(n)))
+            .expect("level reply implies a known top");
+        self.send_rpc(
+            outs,
+            target,
+            Message::Download { scope },
+            RpcKind::JoinDownload,
+            0,
+        );
+        let _ = now_us;
+    }
+
+    fn on_download_reply(
+        &mut self,
+        now_us: u64,
+        scope: Prefix,
+        pointers: Vec<Pointer>,
+        tops: Vec<Target>,
+        outs: &mut Vec<Output>,
+    ) {
+        self.tops.refresh(tops);
+        match self.phase {
+            Phase::Downloading => {
+                if scope != self.eigenstring() {
+                    return; // stale reply for a different scope
+                }
+                self.take_rpc(|p| matches!(p.kind, RpcKind::JoinDownload));
+                self.peers = PeerList::new(scope);
+                for p in pointers {
+                    self.install_downloaded(p, now_us);
+                }
+                self.last_self_refresh_us = now_us;
+                self.phase = Phase::Active;
+                outs.push(Output::Joined);
+                outs.extend(self.startup_timers());
+                // Reconcile after the join multicast has had time to make
+                // us visible to forwarders (a few RPC rounds).
+                outs.push(Output::SetTimer {
+                    delay_us: 4 * self.cfg.rpc_timeout_us,
+                    timer: Timer::Reconcile,
+                });
+                // §4.3 step 4: multicast our joining around our audience set.
+                self.seq += 1;
+                let event = self.self_event(now_us, EventKind::Join);
+                self.report_event(now_us, event, outs);
+            }
+            Phase::Active => {
+                // Post-join reconciliation: merge-only, never re-scope.
+                if scope == self.eigenstring()
+                    && self
+                        .take_rpc(|p| matches!(p.kind, RpcKind::Reconcile))
+                        .is_some()
+                {
+                    for ptr in pointers {
+                        if !self.peers.contains(ptr.id) {
+                            self.install_downloaded(ptr, now_us);
+                        }
+                    }
+                    return;
+                }
+                // Level-raise download completing.
+                let me = self.me;
+                let pending = self.take_rpc(
+                    |p| matches!(&p.kind, RpcKind::RaiseDownload { new_level } if new_level.eigenstring(me) == scope),
+                );
+                let Some(p) = pending else { return };
+                let RpcKind::RaiseDownload { new_level } = p.kind else {
+                    return;
+                };
+                self.last_shift_us = now_us;
+                let old = self.level;
+                self.level = new_level;
+                self.peers.set_scope(scope);
+                for ptr in pointers {
+                    if !self.peers.contains(ptr.id) {
+                        self.install_downloaded(ptr, now_us);
+                    }
+                }
+                outs.push(Output::LevelShifted {
+                    from: old,
+                    to: new_level,
+                });
+                self.seq += 1;
+                let event = self.self_event_with(now_us, EventKind::LevelShift { from: old });
+                self.report_event(now_us, event, outs);
+            }
+            _ => {}
+        }
+    }
+
+    fn startup_timers(&self) -> Vec<Output> {
+        vec![
+            Output::SetTimer {
+                delay_us: self.cfg.probe_interval_us,
+                timer: Timer::Probe,
+            },
+            Output::SetTimer {
+                delay_us: self.cfg.bandwidth_window_us,
+                timer: Timer::Adapt,
+            },
+            Output::SetTimer {
+                delay_us: self.cfg.bandwidth_window_us,
+                timer: Timer::Refresh,
+            },
+            Output::SetTimer {
+                delay_us: self.cfg.bandwidth_window_us,
+                timer: Timer::Expire,
+            },
+        ]
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn on_timer(&mut self, now_us: u64, timer: Timer, outs: &mut Vec<Output>) {
+        match timer {
+            Timer::Probe => {
+                if self.phase == Phase::Active {
+                    self.probe_successor(outs);
+                }
+                outs.push(Output::SetTimer {
+                    delay_us: self.cfg.probe_interval_us,
+                    timer: Timer::Probe,
+                });
+            }
+            Timer::RpcTimeout(token) => self.on_rpc_timeout(now_us, token, outs),
+            Timer::Adapt => {
+                if self.phase == Phase::Active {
+                    self.adapt_level(now_us, outs);
+                }
+                outs.push(Output::SetTimer {
+                    delay_us: self.cfg.bandwidth_window_us,
+                    timer: Timer::Adapt,
+                });
+            }
+            Timer::Refresh => {
+                // The timer ticks at the adaptation cadence and sends the
+                // §4.6 refresh only when 2·LT_level has elapsed since our
+                // last announcement, so the period tracks the measured
+                // lifetimes as they evolve.
+                if self.phase == Phase::Active
+                    && now_us.saturating_sub(self.last_self_refresh_us)
+                        >= self.refresh_period_us()
+                {
+                    self.last_self_refresh_us = now_us;
+                    self.seq += 1;
+                    let event = self.self_event(now_us, EventKind::Refresh);
+                    self.report_event(now_us, event, outs);
+                }
+                outs.push(Output::SetTimer {
+                    delay_us: self.cfg.bandwidth_window_us,
+                    timer: Timer::Refresh,
+                });
+            }
+            Timer::Expire => {
+                if self.phase == Phase::Active {
+                    self.expire_stale(now_us);
+                }
+                outs.push(Output::SetTimer {
+                    delay_us: self.cfg.bandwidth_window_us,
+                    timer: Timer::Expire,
+                });
+            }
+            Timer::Reconcile => {
+                if self.cfg.reconcile_interval_us > 0 {
+                    outs.push(Output::SetTimer {
+                        delay_us: self.cfg.reconcile_interval_us,
+                        timer: Timer::Reconcile,
+                    });
+                }
+                if self.phase == Phase::Active {
+                    if let Some(top) = self.tops.choose(&[], |n| self.rand_below(n)) {
+                        if top.id != self.me {
+                            let scope = self.eigenstring();
+                            self.send_rpc(
+                                outs,
+                                top,
+                                Message::Download { scope },
+                                RpcKind::Reconcile,
+                                0,
+                            );
+                        }
+                    }
+                    // Re-announce ourselves once (a one-shot §4.6 refresh):
+                    // nodes that were themselves mid-join when our join
+                    // event multicast ran could not have been reached.
+                    self.last_self_refresh_us = now_us;
+                    self.seq += 1;
+                    let event = self.self_event(now_us, EventKind::Refresh);
+                    self.report_event(now_us, event, outs);
+                }
+            }
+        }
+    }
+
+    /// §4.6: refresh every `refresh_multiplier · LT_l` for our level; a
+    /// generous default before any lifetime has been observed.
+    fn refresh_period_us(&self) -> u64 {
+        match self.lifetimes.mean_us(self.level) {
+            Some(lt) => (self.cfg.refresh_multiplier * lt as f64) as u64,
+            None => self.cfg.default_refresh_us,
+        }
+        .max(self.cfg.bandwidth_window_us)
+    }
+
+    fn expire_stale(&mut self, now_us: u64) {
+        let mult = self.cfg.expire_multiplier;
+        // Floor the horizon well above the tick/refresh quantisation so a
+        // slightly late refresh can never evict a live neighbor.
+        let floor_us = 3 * self.cfg.bandwidth_window_us;
+        let lifetimes = &self.lifetimes;
+        let removed = self.peers.expire(|lvl| {
+            match lifetimes.mean_us(lvl) {
+                // deadline: entries older than expire_multiplier · LT_l die
+                Some(lt) => now_us.saturating_sub(((mult * lt as f64) as u64).max(floor_us)),
+                None => 0, // no estimate yet: never expire
+            }
+        });
+        self.stats.expired += removed.len() as u64;
+    }
+
+    // ------------------------------------------------------------------
+    // Failure detection (§4.1)
+    // ------------------------------------------------------------------
+
+    fn probe_successor(&mut self, outs: &mut Vec<Output>) {
+        let succ = match self.cfg.probe_scope {
+            ProbeScope::Group => self
+                .peers
+                .ring_successor_in_group(self.me, self.eigenstring(), self.level),
+            ProbeScope::PeerList => self.peers.ring_successor(self.me),
+        };
+        let Some(succ) = succ else { return };
+        // Only one outstanding probe at a time.
+        if self
+            .pending
+            .values()
+            .any(|p| matches!(p.kind, RpcKind::Probe))
+        {
+            return;
+        }
+        let target = Target {
+            id: succ.id,
+            addr: succ.addr,
+            level: succ.level,
+        };
+        self.stats.probes_sent += 1;
+        self.send_rpc(outs, target, Message::Probe, RpcKind::Probe, 0);
+    }
+
+    fn on_probe_failure(&mut self, now_us: u64, dead: Target, outs: &mut Vec<Output>) {
+        self.stats.failures_detected += 1;
+        self.peers.remove(dead.id);
+        outs.push(Output::FailureDetected { dead: dead.id });
+        let event = StateEvent {
+            subject: dead.id,
+            addr: dead.addr,
+            level: dead.level,
+            kind: EventKind::Leave,
+            seq: LEAVE_SEQ,
+            origin_us: now_us,
+            info: Bytes::new(),
+        };
+        self.report_event(now_us, event, outs);
+        // §4.1: "redirects its probing to the next neighbor, and then
+        // immediately detects C's failure" — probe the new successor now.
+        self.probe_successor(outs);
+    }
+
+    // ------------------------------------------------------------------
+    // Events: application, reporting, multicast (§2, §4.2)
+    // ------------------------------------------------------------------
+
+    fn self_event(&self, now_us: u64, kind: EventKind) -> StateEvent {
+        self.self_event_with(now_us, kind)
+    }
+
+    fn self_event_with(&self, now_us: u64, kind: EventKind) -> StateEvent {
+        StateEvent {
+            subject: self.me,
+            addr: self.addr,
+            level: self.level,
+            kind,
+            seq: self.seq,
+            origin_us: now_us,
+            info: self.info.clone(),
+        }
+    }
+
+    /// Routes an event towards a top node (or multicasts directly when we
+    /// are a top node ourselves).
+    fn report_event(&mut self, now_us: u64, event: StateEvent, outs: &mut Vec<Output>) {
+        if self.believes_top() && self.phase == Phase::Active {
+            self.start_multicast(now_us, event, outs);
+            return;
+        }
+        let dead = self.report_dead.clone();
+        // Prefer top-list entries that actually cover the subject (their
+        // eigenstring prefixes its id); in a split system the others
+        // belong to foreign parts and cannot root this multicast.
+        let covering: Vec<Target> = self
+            .tops
+            .entries()
+            .iter()
+            .filter(|t| {
+                !dead.contains(&t.id) && t.id.prefix(t.level.value()).contains(event.subject)
+            })
+            .copied()
+            .collect();
+        let top = if covering.is_empty() {
+            self.tops.choose(&dead, |n| self.rand_below(n))
+        } else {
+            Some(covering[self.rand_below(covering.len())])
+        };
+        let Some(top) = top else {
+            // All tops stale: fall back to asking any peer (§4.5).
+            self.fetch_top_list(outs, Some(event));
+            return;
+        };
+        self.send_rpc(outs, top, Message::Report { event }, RpcKind::Report { event: placeholder() }, 0);
+    }
+
+    /// Applies an event locally and forwards it from `step = our level`
+    /// (the root role in §4.2).
+    fn start_multicast(&mut self, now_us: u64, event: StateEvent, outs: &mut Vec<Output>) {
+        if self.apply_event(now_us, &event) {
+            let step = self.level.value();
+            self.forward_event(now_us, &event, step, outs);
+        }
+    }
+
+    /// Computes and issues the §4.2 forwards for an event we are
+    /// responsible for at `step`.
+    fn forward_event(
+        &mut self,
+        _now_us: u64,
+        event: &StateEvent,
+        step: u8,
+        outs: &mut Vec<Output>,
+    ) {
+        let forwards = forward_steps(&self.peers, self.me, step, event.subject);
+        for f in forwards {
+            self.stats.forwards += 1;
+            let range = self
+                .me
+                .prefix(f.next_step - 1)
+                .child(!self.me.bit(f.next_step - 1));
+            self.send_rpc(
+                outs,
+                f.target,
+                Message::Multicast {
+                    event: event.clone(),
+                    step: f.next_step,
+                },
+                RpcKind::McastForward {
+                    event: event.clone(),
+                    range,
+                },
+                self.cfg.processing_delay_us,
+            );
+        }
+    }
+
+    /// Installs a pointer obtained from a bulk download. Downloads carry
+    /// no age information (`first_seen_us` may be 0 = unknown); unknown
+    /// ages are preserved so they never contaminate the §4.6 lifetime
+    /// estimator with short observation spans.
+    fn install_downloaded(&mut self, mut ptr: Pointer, now_us: u64) {
+        if ptr.id == self.me {
+            return;
+        }
+        ptr.last_refresh_us = now_us;
+        self.peers.insert(ptr);
+    }
+
+    /// Whether `event` is fresh w.r.t. the dedup horizon, updating it.
+    fn dedup_admit(&mut self, event: &StateEvent) -> bool {
+        let e = self.seen.entry(event.subject).or_insert((0, 0));
+        if event.seq <= e.0 && event.origin_us <= e.1 {
+            self.stats.events_duped += 1;
+            return false;
+        }
+        e.0 = e.0.max(event.seq);
+        e.1 = e.1.max(event.origin_us);
+        true
+    }
+
+    /// Applies an event to the local peer list; returns `true` when fresh.
+    fn apply_event(&mut self, now_us: u64, event: &StateEvent) -> bool {
+        let subject = event.subject;
+        if subject == self.me {
+            // Our own event coming back (we initiated it): fresh only when
+            // we have not seen it, so the initiating call forwards once.
+            return self.dedup_admit(&event.clone());
+        }
+        if !self.dedup_admit(event) {
+            return false;
+        }
+        self.stats.events_applied += 1;
+        // Keep the top-node list's recorded levels in sync (stale levels
+        // there misroute reports and break the believes_top judgement).
+        if event.kind.is_removal() {
+            self.tops.remove(subject);
+        } else {
+            self.tops.note_level(subject, event.level);
+        }
+        if !self.eigenstring().contains(subject) {
+            // Outside our scope: we still forward (we may be a top node of
+            // a part that covers it — then it IS in scope; otherwise this
+            // is a routing artefact) but do not store.
+            return true;
+        }
+        match event.kind {
+            EventKind::Leave => {
+                if let Some(old) = self.peers.remove(subject) {
+                    if old.first_seen_us > 0 && event.origin_us > old.first_seen_us {
+                        self.lifetimes
+                            .record(old.level, event.origin_us - old.first_seen_us);
+                    }
+                }
+                // Purge the top-node list too: a departed top would
+                // otherwise absorb (and lose) reports until every node
+                // individually timed out against it (§4.5's lazy
+                // maintenance heals much faster with this).
+                self.tops.remove(subject);
+                // A later-originating event (a rejoin, or a refresh from a
+                // falsely-declared node) re-admits via the origin clause.
+            }
+            EventKind::Join => {
+                let ptr = event.to_pointer(now_us);
+                self.peers.insert(ptr);
+            }
+            EventKind::LevelShift { .. } | EventKind::InfoChange | EventKind::Refresh => {
+                if self.peers.contains(subject) {
+                    self.peers.update_level(subject, event.level);
+                    self.peers.update_info(subject, event.info.clone(), now_us);
+                } else {
+                    // Absent pointer: §4.6 — the refresh revives it. The
+                    // node's true join time is unknown; a zero first-seen
+                    // keeps it out of the lifetime estimator.
+                    let mut ptr = event.to_pointer(now_us);
+                    ptr.first_seen_us = 0;
+                    self.peers.insert(ptr);
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Level adaptation (autonomy, §2/§4.3)
+    // ------------------------------------------------------------------
+
+    fn adapt_level(&mut self, now_us: u64, outs: &mut Vec<Output>) {
+        // Cooldown: measure a full fresh window at the new level before
+        // deciding again, or every shift begets another.
+        if now_us.saturating_sub(self.last_shift_us) < self.cfg.bandwidth_window_us {
+            return;
+        }
+        let cost = self.meter.bps(now_us);
+        // Debounce: one noisy window must not trigger a (system-wide
+        // multicast) shift; require two consecutive windows agreeing.
+        if cost > self.threshold_bps && self.level != Level::MAX {
+            self.adapt_pressure = self.adapt_pressure.max(0) + 1;
+        } else if cost < self.threshold_bps * self.cfg.grow_fraction && !self.level.is_top() {
+            self.adapt_pressure = self.adapt_pressure.min(0) - 1;
+        } else {
+            self.adapt_pressure = 0;
+        }
+        if self.adapt_pressure >= 2 && self.level != Level::MAX {
+            self.adapt_pressure = 0;
+            // Over budget: shrink the peer list.
+            self.last_shift_us = now_us;
+            let old = self.level;
+            self.level = self.level.lowered();
+            self.peers.set_scope(self.eigenstring());
+            outs.push(Output::LevelShifted {
+                from: old,
+                to: self.level,
+            });
+            self.seq += 1;
+            let event = self.self_event_with(now_us, EventKind::LevelShift { from: old });
+            self.report_event(now_us, event, outs);
+        } else if self.adapt_pressure <= -4 && !self.level.is_top() {
+            self.adapt_pressure = 0;
+            // Under budget: try to grow, if our part allows it.
+            let part_top_level = self
+                .tops
+                .entries()
+                .iter()
+                .map(|t| t.level)
+                .min()
+                .unwrap_or(Level::TOP);
+            if self.level.value() <= part_top_level.value() {
+                return; // already as strong as our part's tops
+            }
+            if self
+                .pending
+                .values()
+                .any(|p| matches!(p.kind, RpcKind::RaiseDownload { .. }))
+            {
+                return; // raise already in flight
+            }
+            let new_level = self.level.raised();
+            let scope = new_level.eigenstring(self.me);
+            let Some(top) = self.tops.choose(&[], |n| self.rand_below(n)) else {
+                return;
+            };
+            self.send_rpc(
+                outs,
+                top,
+                Message::Download { scope },
+                RpcKind::RaiseDownload { new_level },
+                0,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commands
+    // ------------------------------------------------------------------
+
+    fn on_command(&mut self, now_us: u64, cmd: Command, outs: &mut Vec<Output>) {
+        match cmd {
+            Command::ChangeInfo(info) => {
+                self.info = info;
+                if self.phase == Phase::Active {
+                    self.seq += 1;
+                    let event = self.self_event(now_us, EventKind::InfoChange);
+                    self.report_event(now_us, event, outs);
+                }
+            }
+            Command::SetThreshold(bps) => self.threshold_bps = bps,
+            Command::SetLevel(target) => {
+                if self.phase != Phase::Active || target == self.level {
+                    return;
+                }
+                self.last_shift_us = now_us;
+                if target.value() > self.level.value() {
+                    // Weaker: shrink in place and announce.
+                    let old = self.level;
+                    self.level = target;
+                    self.peers.set_scope(self.eigenstring());
+                    outs.push(Output::LevelShifted {
+                        from: old,
+                        to: target,
+                    });
+                    self.seq += 1;
+                    let event = self.self_event_with(now_us, EventKind::LevelShift { from: old });
+                    self.report_event(now_us, event, outs);
+                } else {
+                    // Stronger: download the wider list first (§4.3).
+                    let scope = target.eigenstring(self.me);
+                    if let Some(top) = self.tops.choose(&[], |n| self.rand_below(n)) {
+                        self.send_rpc(
+                            outs,
+                            top,
+                            Message::Download { scope },
+                            RpcKind::RaiseDownload { new_level: target },
+                            0,
+                        );
+                    }
+                }
+            }
+            Command::Shutdown => {
+                if self.phase == Phase::Active {
+                    let event = StateEvent {
+                        subject: self.me,
+                        addr: self.addr,
+                        level: self.level,
+                        kind: EventKind::Leave,
+                        seq: LEAVE_SEQ,
+                        origin_us: now_us,
+                        info: Bytes::new(),
+                    };
+                    self.report_event(now_us, event, outs);
+                }
+                self.phase = Phase::Left;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RPC plumbing
+    // ------------------------------------------------------------------
+
+    fn send(&mut self, outs: &mut Vec<Output>, to: Target, msg: Message, delay_us: u64) {
+        self.stats.tx_msgs += 1;
+        self.stats.tx_bits += msg.wire_bits(&self.cfg);
+        outs.push(Output::Send { to, msg, delay_us });
+    }
+
+    fn send_rpc(
+        &mut self,
+        outs: &mut Vec<Output>,
+        to: Target,
+        msg: Message,
+        kind: RpcKind,
+        delay_us: u64,
+    ) {
+        let token = self.next_token;
+        self.next_token += 1;
+        // Fix up the placeholder hack for Report (see report_event).
+        let kind = match (&kind, &msg) {
+            (RpcKind::Report { .. }, Message::Report { event }) => RpcKind::Report {
+                event: event.clone(),
+            },
+            _ => kind,
+        };
+        self.pending.insert(
+            token,
+            PendingRpc {
+                target: to,
+                msg: msg.clone(),
+                attempts: 1,
+                kind,
+            },
+        );
+        self.send(outs, to, msg, delay_us);
+        outs.push(Output::SetTimer {
+            delay_us: delay_us + self.cfg.rpc_timeout_us,
+            timer: Timer::RpcTimeout(token),
+        });
+    }
+
+    /// Removes the first pending RPC matching `pred` (reply arrived).
+    fn resolve_rpc(&mut self, pred: impl Fn(&PendingRpc) -> bool) {
+        if let Some((&token, _)) = self.pending.iter().find(|(_, p)| pred(p)) {
+            self.pending.remove(&token);
+        }
+    }
+
+    /// Removes and returns the first pending RPC matching `pred`.
+    fn take_rpc(&mut self, pred: impl Fn(&PendingRpc) -> bool) -> Option<PendingRpc> {
+        let token = self
+            .pending
+            .iter()
+            .find(|(_, p)| pred(p))
+            .map(|(&t, _)| t)?;
+        self.pending.remove(&token)
+    }
+
+    fn on_rpc_timeout(&mut self, now_us: u64, token: u64, outs: &mut Vec<Output>) {
+        let Some(mut p) = self.pending.remove(&token) else {
+            return; // already resolved
+        };
+        if p.attempts < self.cfg.max_attempts {
+            p.attempts += 1;
+            let new_token = self.next_token;
+            self.next_token += 1;
+            self.send(outs, p.target, p.msg.clone(), 0);
+            outs.push(Output::SetTimer {
+                delay_us: self.cfg.rpc_timeout_us,
+                timer: Timer::RpcTimeout(new_token),
+            });
+            self.pending.insert(new_token, p);
+            return;
+        }
+        // Give up after max_attempts.
+        match p.kind {
+            RpcKind::Probe => self.on_probe_failure(now_us, p.target, outs),
+            RpcKind::McastForward { event, range } => {
+                // §4.2: remove the stale pointer and redirect. The paper
+                // removes it *quietly*, but a quiet removal races §4.1:
+                // the forwarder that drops the dead node is — by the
+                // prefix-routing structure — usually its ring prober, so
+                // the failure would never be reported and every other
+                // audience member would keep the stale entry until the
+                // §4.6 expiry. On the other hand, reporting a leave
+                // straight away turns every triple packet loss into a
+                // false obituary multicast. So: remove locally and
+                // redirect now (delivery continuity), and *verify* the
+                // suspect with a probe — the probe's own give-up path
+                // reports the leave only if the node is really gone
+                // (DESIGN.md clarification).
+                self.stats.stale_dropped += 1;
+                if let Some(old) = self.peers.remove(p.target.id) {
+                    let suspect = Target {
+                        id: old.id,
+                        addr: old.addr,
+                        level: old.level,
+                    };
+                    self.send_rpc(outs, suspect, Message::Probe, RpcKind::Probe, 0);
+                }
+                if let Some(next) =
+                    crate::multicast::redirect_target(&self.peers, range, event.subject, self.me, &[])
+                {
+                    let step = range.len();
+                    self.send_rpc(
+                        outs,
+                        next,
+                        Message::Multicast {
+                            event: event.clone(),
+                            step,
+                        },
+                        RpcKind::McastForward { event, range },
+                        0,
+                    );
+                }
+            }
+            RpcKind::Report { event } => {
+                self.tops.remove(p.target.id);
+                self.report_dead.push(p.target.id);
+                self.report_event(now_us, event, outs);
+            }
+            RpcKind::JoinFindTop | RpcKind::JoinLevelQuery | RpcKind::JoinDownload => {
+                // Try another known top; if none, the join fails.
+                let dead = vec![p.target.id];
+                self.tops.remove(p.target.id);
+                if let Some(top) = self.tops.choose(&dead, |n| self.rand_below(n)) {
+                    let kind = p.kind;
+                    self.send_rpc(outs, top, p.msg, kind, 0);
+                } else {
+                    outs.push(Output::Fatal("joining failed: no reachable top node"));
+                    self.phase = Phase::Left;
+                }
+            }
+            RpcKind::RaiseDownload { .. } => {
+                // Abort the raise and forget the unresponsive top so the
+                // next attempt picks a live one.
+                self.tops.remove(p.target.id);
+            }
+            RpcKind::Reconcile => { /* §4.6 refresh will heal eventually */ }
+            RpcKind::TopListFetch { resume } => {
+                // Try one more random peer, then drop the event (it will
+                // self-heal via §4.6).
+                self.fetch_top_list(outs, resume);
+            }
+        }
+    }
+
+    fn fetch_top_list(&mut self, outs: &mut Vec<Output>, resume: Option<StateEvent>) {
+        if self
+            .pending
+            .values()
+            .any(|p| matches!(p.kind, RpcKind::TopListFetch { .. }))
+        {
+            return;
+        }
+        let n = self.peers.len();
+        if n == 0 {
+            return;
+        }
+        let idx = self.rand_below(n);
+        let Some(ptr) = self.peers.iter().nth(idx) else {
+            return;
+        };
+        let target = Target {
+            id: ptr.id,
+            addr: ptr.addr,
+            level: ptr.level,
+        };
+        self.send_rpc(
+            outs,
+            target,
+            Message::TopListRequest,
+            RpcKind::TopListFetch { resume },
+            0,
+        );
+    }
+
+    fn piggyback_tops(&self) -> Vec<Target> {
+        if self.believes_top() {
+            // §4.5: a top node hands out tops of its own part — itself and
+            // its same-group peers from the (fully connected) peer list.
+            let mut tops: Vec<Target> = self
+                .peers
+                .iter_prefix(self.eigenstring())
+                .filter(|ptr| ptr.level == self.level)
+                .take(self.tops.capacity().saturating_sub(1))
+                .map(|ptr| Target {
+                    id: ptr.id,
+                    addr: ptr.addr,
+                    level: ptr.level,
+                })
+                .collect();
+            tops.insert(0, self.as_target());
+            tops.truncate(self.tops.capacity());
+            tops
+        } else {
+            self.tops.piggyback(NodeId(0))
+        }
+    }
+
+    /// Deterministic xorshift, used where the paper says "randomly".
+    fn rand_below(&self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let mut x = self.rng ^ self.next_token.wrapping_mul(0x9E3779B97F4A7C15);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % n as u64) as usize
+    }
+}
+
+/// Placeholder event used only to tag the RPC kind before `send_rpc`
+/// clones the real event out of the message (avoids a double clone).
+fn placeholder() -> StateEvent {
+    StateEvent {
+        subject: NodeId(0),
+        addr: Addr(0),
+        level: Level::TOP,
+        kind: EventKind::Refresh,
+        seq: 0,
+        origin_us: 0,
+        info: Bytes::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    /// A deliberately tiny event loop: enough to drive a handful of
+    /// machines end-to-end without the full simulator.
+    struct MiniNet {
+        machines: Vec<NodeMachine>,
+        queue: BinaryHeap<std::cmp::Reverse<(u64, u64, usize, MiniInput)>>,
+        seq: u64,
+        now: u64,
+        latency_us: u64,
+        /// Addresses that silently drop all traffic (crashed nodes).
+        dead: Vec<bool>,
+        outputs: Vec<(usize, Output)>,
+        /// Message payloads, parked outside the ordered queue key.
+        parked: Vec<(NodeId, Addr, Message)>,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+    enum MiniInput {
+        Msg { from: usize, msg_idx: usize },
+        Timer(u8, u64), // discriminant, token
+    }
+
+    impl MiniNet {
+        fn new() -> Self {
+            MiniNet {
+                machines: Vec::new(),
+                queue: BinaryHeap::new(),
+                seq: 0,
+                now: 0,
+                latency_us: 10_000, // 10 ms
+                dead: Vec::new(),
+                outputs: Vec::new(),
+                parked: Vec::new(),
+            }
+        }
+
+        fn cfg() -> ProtocolConfig {
+            ProtocolConfig {
+                probe_interval_us: 1_000_000,
+                rpc_timeout_us: 300_000,
+                processing_delay_us: 1_000,
+                bandwidth_window_us: 5_000_000,
+                ..ProtocolConfig::default()
+            }
+        }
+
+        fn add_seed(&mut self, raw_id: u128) -> usize {
+            let idx = self.machines.len();
+            let (m, outs) = NodeMachine::new_seed(
+                Self::cfg(),
+                NodeId(raw_id),
+                Addr(idx as u64),
+                Bytes::new(),
+                1e9,
+                idx as u64 + 1,
+            );
+            self.machines.push(m);
+            self.dead.push(false);
+            self.process(idx, outs);
+            idx
+        }
+
+        fn add_joiner(&mut self, raw_id: u128, bootstrap: usize, threshold: f64) -> usize {
+            let idx = self.machines.len();
+            let boot = self.machines[bootstrap].as_target();
+            let (m, outs) = NodeMachine::new_joining(
+                Self::cfg(),
+                NodeId(raw_id),
+                Addr(idx as u64),
+                Bytes::new(),
+                threshold,
+                boot,
+                idx as u64 + 1,
+            );
+            self.machines.push(m);
+            self.dead.push(false);
+            self.process(idx, outs);
+            idx
+        }
+
+        fn process(&mut self, from: usize, outs: Vec<Output>) {
+            for o in outs {
+                match o {
+                    Output::Send { to, msg, delay_us } => {
+                        // Resolve destination machine by address.
+                        let dest = to.addr.0 as usize;
+                        self.seq += 1;
+                        let at = self.now + delay_us + self.latency_us;
+                        let msg_idx = self.parked.len();
+                        self.parked.push((
+                            self.machines[from].id(),
+                            self.machines[from].addr(),
+                            msg,
+                        ));
+                        self.queue.push(std::cmp::Reverse((
+                            at,
+                            self.seq,
+                            dest,
+                            MiniInput::Msg { from, msg_idx },
+                        )));
+                    }
+                    Output::SetTimer { delay_us, timer } => {
+                        self.seq += 1;
+                        let (d, tok) = encode_timer(timer);
+                        self.queue.push(std::cmp::Reverse((
+                            self.now + delay_us,
+                            self.seq,
+                            from,
+                            MiniInput::Timer(d, tok),
+                        )));
+                    }
+                    other => self.outputs.push((from, other)),
+                }
+            }
+        }
+
+        fn run_until(&mut self, t_us: u64) {
+            while let Some(std::cmp::Reverse((at, _, dest, input))) = self.queue.peek().cloned() {
+                if at > t_us {
+                    break;
+                }
+                self.queue.pop();
+                self.now = at;
+                if self.dead[dest] {
+                    continue;
+                }
+                let inp = match input {
+                    MiniInput::Msg { msg_idx, .. } => {
+                        let (from, from_addr, msg) = self.parked[msg_idx].clone();
+                        Input::Message {
+                            from,
+                            from_addr,
+                            msg,
+                        }
+                    }
+                    MiniInput::Timer(d, tok) => Input::Timer(decode_timer(d, tok)),
+                };
+                let outs = self.machines[dest].handle(self.now, inp);
+                self.process(dest, outs);
+            }
+            self.now = t_us;
+        }
+
+        fn send_command(&mut self, idx: usize, cmd: Command) {
+            let outs = self.machines[idx].handle(self.now, Input::Command(cmd));
+            self.process(idx, outs);
+        }
+    }
+
+    fn encode_timer(t: Timer) -> (u8, u64) {
+        match t {
+            Timer::Probe => (0, 0),
+            Timer::RpcTimeout(tok) => (1, tok),
+            Timer::Adapt => (2, 0),
+            Timer::Refresh => (3, 0),
+            Timer::Expire => (4, 0),
+            Timer::Reconcile => (5, 0),
+        }
+    }
+
+    fn decode_timer(d: u8, tok: u64) -> Timer {
+        match d {
+            0 => Timer::Probe,
+            1 => Timer::RpcTimeout(tok),
+            2 => Timer::Adapt,
+            3 => Timer::Refresh,
+            5 => Timer::Reconcile,
+            _ => Timer::Expire,
+        }
+    }
+
+    #[test]
+    fn seed_plus_joiners_reach_full_mutual_knowledge() {
+        let mut net = MiniNet::new();
+        let a = net.add_seed(0x2000_0000_0000_0000_0000_0000_0000_0000); // "001…"
+        let ids = [
+            0x7000_0000_0000_0000_0000_0000_0000_0000u128, // 0111…
+            0xB000_0000_0000_0000_0000_0000_0000_0000u128, // 1011…
+            0xD000_0000_0000_0000_0000_0000_0000_0000u128, // 1101…
+        ];
+        let mut idxs = vec![a];
+        for (k, &raw) in ids.iter().enumerate() {
+            net.run_until((k as u64 + 1) * 2_000_000);
+            idxs.push(net.add_joiner(raw, a, 1e9)); // huge budget → level 0
+        }
+        net.run_until(20_000_000);
+        // Everyone active, level 0, and knows all 3 others.
+        for &i in &idxs {
+            let m = &net.machines[i];
+            assert!(m.is_active(), "machine {i} not active");
+            assert_eq!(m.level(), Level::TOP);
+            assert_eq!(m.peers().len(), 3, "machine {i} has {}", m.peers().len());
+        }
+        // Joined outputs emitted.
+        let joins = net
+            .outputs
+            .iter()
+            .filter(|(_, o)| matches!(o, Output::Joined))
+            .count();
+        assert_eq!(joins, 3);
+    }
+
+    #[test]
+    fn weak_joiner_settles_at_estimated_level_and_downloads_subset() {
+        let mut net = MiniNet::new();
+        let a = net.add_seed(0x2000_0000_0000_0000_0000_0000_0000_0000);
+        // Give the seed measurable cost: a couple of strong joiners first.
+        let b = net.add_joiner(0xB000_0000_0000_0000_0000_0000_0000_0000, a, 1e9);
+        net.run_until(5_000_000);
+        // Weak node with a tiny budget: its estimate should be > 0 … but
+        // with a fresh system the measured W_T may be ~0, so the estimate
+        // degenerates to the top's level. We force a ratio by lowering the
+        // threshold *after* joining and letting adaptation act — here we
+        // simply verify the join completes and scope matches level.
+        let c = net.add_joiner(0xE000_0000_0000_0000_0000_0000_0000_0000, b, 1e9);
+        net.run_until(15_000_000);
+        let m = &net.machines[c];
+        assert!(m.is_active());
+        assert_eq!(m.peers().scope(), m.eigenstring());
+        // All peers in the list share the eigenstring.
+        for p in m.peers().iter() {
+            assert!(m.eigenstring().contains(p.id));
+        }
+    }
+
+    #[test]
+    fn silent_failure_is_detected_and_multicast() {
+        let mut net = MiniNet::new();
+        let a = net.add_seed(0x2000_0000_0000_0000_0000_0000_0000_0000);
+        let b = net.add_joiner(0x7000_0000_0000_0000_0000_0000_0000_0000, a, 1e9);
+        let c = net.add_joiner(0xB000_0000_0000_0000_0000_0000_0000_0000, a, 1e9);
+        net.run_until(10_000_000);
+        assert_eq!(net.machines[a].peers().len(), 2);
+        // Crash b silently.
+        net.dead[b] = true;
+        net.run_until(40_000_000);
+        let dead_id = net.machines[b].id();
+        assert!(
+            !net.machines[a].peers().contains(dead_id),
+            "a still lists the dead node"
+        );
+        assert!(
+            !net.machines[c].peers().contains(dead_id),
+            "c still lists the dead node"
+        );
+        let detections = net
+            .outputs
+            .iter()
+            .filter(|(_, o)| matches!(o, Output::FailureDetected { .. }))
+            .count();
+        assert!(detections >= 1);
+    }
+
+    #[test]
+    fn info_change_propagates_to_audience() {
+        let mut net = MiniNet::new();
+        let a = net.add_seed(0x2000_0000_0000_0000_0000_0000_0000_0000);
+        let b = net.add_joiner(0x7000_0000_0000_0000_0000_0000_0000_0000, a, 1e9);
+        net.run_until(5_000_000);
+        net.send_command(b, Command::ChangeInfo(Bytes::from_static(b"os:plan9")));
+        net.run_until(10_000_000);
+        let b_id = net.machines[b].id();
+        let seen = net.machines[a].peers().get(b_id).unwrap();
+        assert_eq!(&seen.info[..], b"os:plan9");
+    }
+
+    #[test]
+    fn graceful_shutdown_announces_leave() {
+        let mut net = MiniNet::new();
+        let a = net.add_seed(0x2000_0000_0000_0000_0000_0000_0000_0000);
+        let b = net.add_joiner(0x7000_0000_0000_0000_0000_0000_0000_0000, a, 1e9);
+        net.run_until(5_000_000);
+        let b_id = net.machines[b].id();
+        assert!(net.machines[a].peers().contains(b_id));
+        net.send_command(b, Command::Shutdown);
+        net.run_until(8_000_000);
+        assert!(!net.machines[a].peers().contains(b_id));
+        // A left machine ignores further input.
+        assert!(net.machines[b]
+            .handle(net.now, Input::Timer(Timer::Probe))
+            .is_empty());
+    }
+
+    #[test]
+    fn bandwidth_meter_windows_correctly() {
+        let mut m = BandwidthMeter::new(6_000_000); // 6 s window
+        m.note(0, 6_000); // 6 kbit at t=0
+        assert!((m.bps(1_000_000) - 1_000.0).abs() < 1.0); // 6 kbit / 6 s
+        // After the window passes, the sample expires.
+        assert!(m.bps(13_000_000) < 1.0);
+    }
+
+    #[test]
+    fn lifetime_stats_mean() {
+        let mut lt = LifetimeStats::default();
+        assert!(lt.mean_us(Level::TOP).is_none());
+        lt.record(Level::TOP, 100);
+        lt.record(Level::TOP, 300);
+        assert_eq!(lt.mean_us(Level::TOP), Some(200));
+        lt.record(Level::new(2), 500);
+        assert_eq!(lt.mean_us(Level::new(2)), Some(500));
+        // Levels without samples fall back to the overall mean.
+        assert_eq!(lt.mean_us(Level::new(1)), Some(300));
+    }
+}

@@ -1,0 +1,185 @@
+//! Split PeerWindow parts (§4.4).
+//!
+//! When no node can afford level 0, the system splits into independent
+//! parts: one per minimal eigenstring present. A node's part is identified
+//! by the shortest live eigenstring that prefixes its id; the nodes whose
+//! eigenstring *equals* that prefix are the part's top nodes. Parts are
+//! wholly independent — a node in one part keeps no pointer to any node of
+//! another part — and each part is a complete PeerWindow.
+
+use crate::id::{NodeId, Prefix};
+use crate::level::NodeIdentity;
+use std::collections::BTreeSet;
+
+/// The set of part prefixes of a membership: the minimal (under the
+/// prefix-of order) eigenstrings present.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartMap {
+    /// Minimal eigenstrings, sorted. Pairwise prefix-free.
+    parts: Vec<Prefix>,
+}
+
+impl PartMap {
+    /// Computes the parts of a membership from its eigenstrings.
+    pub fn from_eigenstrings(eigenstrings: impl IntoIterator<Item = Prefix>) -> Self {
+        // Sort by (bits, len); a prefix sorts before everything it covers,
+        // so a linear scan keeping non-covered entries finds the minimal set.
+        let all: BTreeSet<(u128, u8)> = eigenstrings
+            .into_iter()
+            .map(|p| (p.bits(), p.len()))
+            .collect();
+        let mut parts: Vec<Prefix> = Vec::new();
+        for (bits, len) in all {
+            let p = Prefix::new(bits, len);
+            if !parts
+                .last()
+                .is_some_and(|last| last.is_prefix_of(p))
+            {
+                // Not covered by the most recent minimal prefix. Because the
+                // set is sorted, any covering prefix would be the latest
+                // minimal one, so `p` is itself minimal.
+                parts.push(p);
+            }
+        }
+        PartMap { parts }
+    }
+
+    /// Computes the parts of a membership from node identities.
+    pub fn from_members<'a>(members: impl IntoIterator<Item = &'a NodeIdentity>) -> Self {
+        Self::from_eigenstrings(members.into_iter().map(|m| m.eigenstring()))
+    }
+
+    /// The part prefixes, sorted and pairwise prefix-free.
+    #[inline]
+    pub fn parts(&self) -> &[Prefix] {
+        &self.parts
+    }
+
+    /// Number of parts. 1 means the system is whole (one connected
+    /// PeerWindow); 0 means the system is empty.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the system is split (more than one part).
+    #[inline]
+    pub fn is_split(&self) -> bool {
+        self.parts.len() > 1
+    }
+
+    /// The part containing id `id`, if any (every live node's id is in
+    /// some part; an arbitrary id may fall outside all parts).
+    pub fn part_of(&self, id: NodeId) -> Option<Prefix> {
+        // Parts are sorted by bits; binary search for the candidate whose
+        // range could contain `id`, then verify.
+        let idx = self
+            .parts
+            .partition_point(|p| p.range_start().raw() <= id.raw());
+        idx.checked_sub(1)
+            .map(|i| self.parts[i])
+            .filter(|p| p.contains(id))
+    }
+
+    /// Whether two ids belong to the same part.
+    pub fn same_part(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.part_of(a), self.part_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Whether `n` is a top node of its part (its eigenstring equals the
+    /// part prefix).
+    pub fn is_top(&self, n: NodeIdentity) -> bool {
+        self.part_of(n.id) == Some(n.eigenstring())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Level;
+
+    fn ident(bits: &str, level: u8) -> NodeIdentity {
+        NodeIdentity::new(
+            Prefix::from_bits_str(bits).unwrap().range_start(),
+            Level::new(level),
+        )
+    }
+
+    #[test]
+    fn whole_system_is_one_part() {
+        let members = [ident("0010", 0), ident("1011", 1), ident("0100", 2)];
+        let pm = PartMap::from_members(&members);
+        assert_eq!(pm.count(), 1);
+        assert!(!pm.is_split());
+        assert_eq!(pm.parts()[0], Prefix::EMPTY);
+        assert!(pm.is_top(members[0]));
+        assert!(!pm.is_top(members[1]));
+    }
+
+    #[test]
+    fn paper_split_example() {
+        // §2: removing the level-0 nodes A and B from figure 1 splits the
+        // system into {C, F, G, I} (ids 0…) and {D, E, H, J} (ids 1…).
+        let members = [
+            ident("0100", 2), // C
+            ident("1101", 1), // D
+            ident("1011", 1), // E
+            ident("0110", 2), // F
+            ident("0000", 2), // G
+            ident("1010", 2), // H
+            ident("0011", 2), // I
+            ident("1000", 2), // J
+        ];
+        let pm = PartMap::from_members(&members);
+        assert!(pm.is_split());
+        // Minimal eigenstrings: "1" (D, E) covers H and J; on the 0-side the
+        // level-2 eigenstrings "00" and "01" are minimal.
+        assert_eq!(
+            pm.parts(),
+            &[
+                Prefix::from_bits_str("00").unwrap(),
+                Prefix::from_bits_str("01").unwrap(),
+                Prefix::from_bits_str("1").unwrap(),
+            ]
+        );
+        // Part membership.
+        assert!(pm.same_part(members[1].id, members[5].id)); // D, H
+        assert!(!pm.same_part(members[0].id, members[1].id)); // C, D
+        // Top nodes: D and E are tops of part "1"; H is not.
+        assert!(pm.is_top(members[1]));
+        assert!(pm.is_top(members[2]));
+        assert!(!pm.is_top(members[5]));
+    }
+
+    #[test]
+    fn nested_eigenstrings_collapse_to_minimal() {
+        let pm = PartMap::from_eigenstrings([
+            Prefix::from_bits_str("10").unwrap(),
+            Prefix::from_bits_str("101").unwrap(),
+            Prefix::from_bits_str("1011").unwrap(),
+        ]);
+        assert_eq!(pm.count(), 1);
+        assert_eq!(pm.parts()[0], Prefix::from_bits_str("10").unwrap());
+    }
+
+    #[test]
+    fn part_of_outside_any_part_is_none() {
+        let pm = PartMap::from_eigenstrings([Prefix::from_bits_str("11").unwrap()]);
+        assert_eq!(
+            pm.part_of(Prefix::from_bits_str("00").unwrap().range_start()),
+            None
+        );
+        let in_part = Prefix::from_bits_str("1101").unwrap().range_start();
+        assert_eq!(pm.part_of(in_part), Some(Prefix::from_bits_str("11").unwrap()));
+    }
+
+    #[test]
+    fn empty_membership_has_no_parts() {
+        let pm = PartMap::from_eigenstrings(std::iter::empty());
+        assert_eq!(pm.count(), 0);
+        assert_eq!(pm.part_of(NodeId(0)), None);
+    }
+}

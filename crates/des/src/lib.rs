@@ -1,0 +1,26 @@
+//! # peerwindow-des
+//!
+//! Deterministic discrete-event simulation, substituting for the paper's
+//! ONSP platform ([17]: a parallel overlay-network simulator using MPI on
+//! a 16-server cluster).
+//!
+//! * [`engine`] — the sequential engine: a single totally-ordered event
+//!   queue; bit-deterministic.
+//! * [`parallel`] — the conservative sharded engine: actors partitioned
+//!   across shards, barrier-synchronised lookahead windows, rayon for the
+//!   intra-window parallelism (threads standing in for ONSP's MPI ranks).
+//! * [`time`] — µs-resolution simulated time.
+//! * [`rng`] — deterministic per-stream random numbers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod parallel;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Engine, EngineStats, Scheduler, Simulation};
+pub use parallel::{Outbox, ParallelEngine, ShardLogic};
+pub use rng::DetRng;
+pub use time::SimTime;

@@ -1,0 +1,396 @@
+//! Conservative parallel discrete-event engine (the ONSP substitute).
+//!
+//! The paper ran its experiments on ONSP, a parallel discrete-event
+//! platform using MPI across a 16-server cluster. This module provides the
+//! shared-memory analogue: actors are partitioned into shards, each shard
+//! owns a private event queue, and execution proceeds in barrier-
+//! synchronised *windows* of length equal to the *lookahead* — the minimum
+//! cross-shard message latency. Within a window every shard processes its
+//! local events independently (in parallel via rayon); messages to other
+//! shards are buffered and merged at the barrier in a canonical order, so
+//! a run is **bit-deterministic for a fixed shard count**, and the *set*
+//! of deliveries is identical across shard counts (asserted by tests).
+//!
+//! Correctness rests on the classic conservative-synchronisation argument:
+//! a message sent during window `[w, w+δ)` to another shard carries a
+//! timestamp `≥ w+δ` (enforced by assertion), so no shard can receive a
+//! message that should have pre-empted work it already did.
+
+use crate::time::SimTime;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Shard-local simulation logic: the state of all actors owned by one
+/// shard, plus the message handler.
+pub trait ShardLogic: Send {
+    /// Inter-actor message type.
+    type Msg: Send;
+
+    /// Delivers `msg` to `actor` at time `now`; follow-up sends go into
+    /// `out`.
+    fn handle(&mut self, now: SimTime, actor: u32, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// An order-insensitive digest of the shard's state, for cross-run and
+    /// cross-shard-count validation.
+    fn fingerprint(&self) -> u64 {
+        0
+    }
+}
+
+/// Collects the sends emitted by a handler.
+pub struct Outbox<M> {
+    now: SimTime,
+    sends: Vec<(SimTime, u32, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `actor` after `delay_us`. Cross-shard sends must
+    /// respect the engine's lookahead (checked at the barrier).
+    #[inline]
+    pub fn send(&mut self, delay_us: u64, actor: u32, msg: M) {
+        self.sends.push((self.now + delay_us, actor, msg));
+    }
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    actor: u32,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Shard<L: ShardLogic> {
+    logic: L,
+    queue: BinaryHeap<Scheduled<L::Msg>>,
+    seq: u64,
+    processed: u64,
+}
+
+/// A buffered cross-shard message with its canonical merge key.
+struct Remote<M> {
+    at: SimTime,
+    src_shard: u32,
+    src_seq: u64,
+    actor: u32,
+    msg: M,
+}
+
+/// The parallel engine: `S` shards advancing in lockstep windows.
+pub struct ParallelEngine<L: ShardLogic> {
+    shards: Vec<Shard<L>>,
+    lookahead_us: u64,
+    now: SimTime,
+}
+
+impl<L: ShardLogic> ParallelEngine<L> {
+    /// Builds an engine over the given shard logics. `lookahead_us` must be
+    /// a lower bound on every cross-shard message delay (for PeerWindow
+    /// topologies: the minimum link latency, 1 ms).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or `lookahead_us == 0`.
+    pub fn new(shards: Vec<L>, lookahead_us: u64) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert!(lookahead_us > 0, "lookahead must be positive");
+        ParallelEngine {
+            shards: shards
+                .into_iter()
+                .map(|logic| Shard {
+                    logic,
+                    queue: BinaryHeap::new(),
+                    seq: 0,
+                    processed: 0,
+                })
+                .collect(),
+            lookahead_us,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `actor` (static modulo partition).
+    #[inline]
+    pub fn shard_of(&self, actor: u32) -> usize {
+        actor as usize % self.shards.len()
+    }
+
+    /// Current window start time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed across shards.
+    pub fn processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Read access to a shard's logic.
+    pub fn logic(&self, shard: usize) -> &L {
+        &self.shards[shard].logic
+    }
+
+    /// Combined order-insensitive fingerprint of all shards.
+    pub fn fingerprint(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.logic.fingerprint()))
+    }
+
+    /// Schedules an initial message (setup).
+    pub fn schedule(&mut self, at: SimTime, actor: u32, msg: L::Msg) {
+        let shard = self.shard_of(actor);
+        let s = &mut self.shards[shard];
+        s.seq += 1;
+        let seq = s.seq;
+        s.queue.push(Scheduled {
+            at: at.max(self.now),
+            seq,
+            actor,
+            msg,
+        });
+    }
+
+    /// Runs windows until simulated time reaches `until` or all queues
+    /// drain.
+    pub fn run_until(&mut self, until: SimTime)
+    where
+        L::Msg: Send,
+    {
+        while self.now < until {
+            let earliest = self
+                .shards
+                .iter()
+                .filter_map(|s| s.queue.peek().map(|e| e.at))
+                .min();
+            let Some(earliest) = earliest else {
+                break; // all queues empty
+            };
+            if earliest >= until {
+                break;
+            }
+            // Skip idle gaps: jump the window to the earliest pending event.
+            let window_start = self.now.max(earliest);
+            let window_end = (window_start + self.lookahead_us).min(until);
+            let n = self.shards.len() as u32;
+            let lookahead = self.lookahead_us;
+            // Phase 1: parallel local processing; collect cross-shard sends.
+            let outgoing: Vec<Vec<Remote<L::Msg>>> = self
+                .shards
+                .par_iter_mut()
+                .enumerate()
+                .map(|(shard_idx, shard)| {
+                    let mut remote = Vec::new();
+                    let mut out = Outbox {
+                        now: SimTime::ZERO,
+                        sends: Vec::new(),
+                    };
+                    while let Some(head) = shard.queue.peek() {
+                        if head.at >= window_end {
+                            break;
+                        }
+                        let ev = shard.queue.pop().expect("peeked");
+                        shard.processed += 1;
+                        out.now = ev.at;
+                        shard.logic.handle(ev.at, ev.actor, ev.msg, &mut out);
+                        for (at, actor, msg) in out.sends.drain(..) {
+                            if actor % n == shard_idx as u32 {
+                                shard.seq += 1;
+                                let seq = shard.seq;
+                                shard.queue.push(Scheduled {
+                                    at,
+                                    seq,
+                                    actor,
+                                    msg,
+                                });
+                            } else {
+                                assert!(
+                                    at >= window_end || at.as_micros() >= ev.at.as_micros() + lookahead,
+                                    "cross-shard send violates lookahead: at {at:?}, window ends {window_end:?}"
+                                );
+                                shard.seq += 1;
+                                remote.push(Remote {
+                                    at,
+                                    src_shard: shard_idx as u32,
+                                    src_seq: shard.seq,
+                                    actor,
+                                    msg,
+                                });
+                            }
+                        }
+                    }
+                    remote
+                })
+                .collect();
+            // Phase 2 (barrier): merge cross-shard messages canonically.
+            let mut inbound: Vec<Vec<Remote<L::Msg>>> =
+                (0..self.shards.len()).map(|_| Vec::new()).collect();
+            for batch in outgoing {
+                for r in batch {
+                    let dest = r.actor as usize % self.shards.len();
+                    inbound[dest].push(r);
+                }
+            }
+            for (dest, mut batch) in inbound.into_iter().enumerate() {
+                batch.sort_by_key(|r| (r.at, r.src_shard, r.src_seq));
+                let shard = &mut self.shards[dest];
+                for r in batch {
+                    shard.seq += 1;
+                    let seq = shard.seq;
+                    shard.queue.push(Scheduled {
+                        at: r.at,
+                        seq,
+                        actor: r.actor,
+                        msg: r.msg,
+                    });
+                }
+            }
+            self.now = window_end;
+        }
+        self.now = self.now.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy gossip: each delivery increments a counter and, while `hops`
+    /// remain, forwards to two pseudo-random actors with ≥ lookahead delay.
+    struct Gossip {
+        actors: u32,
+        digest: u64,
+        deliveries: u64,
+    }
+
+    #[derive(Clone)]
+    struct G {
+        hops: u32,
+        token: u64,
+    }
+
+    impl ShardLogic for Gossip {
+        type Msg = G;
+        fn handle(&mut self, now: SimTime, actor: u32, msg: G, out: &mut Outbox<G>) {
+            self.deliveries += 1;
+            // Order-insensitive digest: commutative sum of delivery hashes.
+            let h = (now.as_micros() ^ (actor as u64) << 32 ^ msg.token)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            self.digest = self.digest.wrapping_add(h);
+            if msg.hops > 0 {
+                for k in 0..2u64 {
+                    let t = msg.token.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    let dst = (t % self.actors as u64) as u32;
+                    let delay = 1_000 + (t % 5_000);
+                    out.send(
+                        delay,
+                        dst,
+                        G {
+                            hops: msg.hops - 1,
+                            token: t,
+                        },
+                    );
+                }
+            }
+        }
+        fn fingerprint(&self) -> u64 {
+            self.digest.wrapping_add(self.deliveries)
+        }
+    }
+
+    fn run(shards: usize, actors: u32) -> (u64, u64) {
+        let logics: Vec<Gossip> = (0..shards)
+            .map(|_| Gossip {
+                actors,
+                digest: 0,
+                deliveries: 0,
+            })
+            .collect();
+        let mut e = ParallelEngine::new(logics, 1_000);
+        for i in 0..4 {
+            e.schedule(SimTime(i as u64 * 13), i, G { hops: 8, token: i as u64 + 1 });
+        }
+        e.run_until(SimTime::from_secs(10));
+        let deliveries: u64 = (0..shards).map(|s| e.logic(s).deliveries).sum();
+        (e.fingerprint(), deliveries)
+    }
+
+    #[test]
+    fn fixed_shard_count_is_deterministic() {
+        assert_eq!(run(4, 64), run(4, 64));
+        assert_eq!(run(7, 64), run(7, 64));
+    }
+
+    #[test]
+    fn delivery_set_is_invariant_across_shard_counts() {
+        let (f1, d1) = run(1, 64);
+        let (f4, d4) = run(4, 64);
+        let (f8, d8) = run(8, 64);
+        assert_eq!(d1, d4);
+        assert_eq!(d1, d8);
+        assert_eq!(f1, f4, "digest differs between 1 and 4 shards");
+        assert_eq!(f1, f8, "digest differs between 1 and 8 shards");
+        // The cascade actually ran: 4 roots × (2^9 - 1) deliveries each.
+        assert_eq!(d1, 4 * 511);
+    }
+
+    #[test]
+    fn windows_skip_idle_gaps() {
+        // One event far in the future must not require millions of windows.
+        struct Noop;
+        impl ShardLogic for Noop {
+            type Msg = ();
+            fn handle(&mut self, _: SimTime, _: u32, _: (), _: &mut Outbox<()>) {}
+        }
+        let mut e = ParallelEngine::new(vec![Noop, Noop], 1_000);
+        e.schedule(SimTime::from_secs(3600), 0, ());
+        e.run_until(SimTime::from_secs(7200));
+        assert_eq!(e.processed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn cross_shard_send_below_lookahead_panics() {
+        struct Bad;
+        impl ShardLogic for Bad {
+            type Msg = u32;
+            fn handle(&mut self, _: SimTime, actor: u32, hops: u32, out: &mut Outbox<u32>) {
+                if hops > 0 {
+                    out.send(1, actor + 1, hops - 1); // 1 µs < lookahead
+                }
+            }
+        }
+        let mut e = ParallelEngine::new(vec![Bad, Bad], 1_000);
+        e.schedule(SimTime::ZERO, 0, 1);
+        e.run_until(SimTime::from_secs(1));
+    }
+}

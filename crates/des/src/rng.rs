@@ -1,0 +1,166 @@
+//! Deterministic random-number utilities.
+//!
+//! Simulations need many independent random streams (one per node, one per
+//! workload generator) that are stable across runs and across
+//! parallelization choices. [`DetRng`] is a SplitMix64 generator;
+//! [`DetRng::for_stream`] derives decorrelated per-stream seeds from a
+//! master seed, so adding a node never perturbs another node's stream.
+
+/// A small, fast, deterministic RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Derives an independent stream: same `(master, stream)` always yields
+    /// the same sequence, and distinct streams are decorrelated.
+    pub fn for_stream(master: u64, stream: u64) -> Self {
+        let mut r = DetRng::new(master ^ stream.wrapping_mul(0x9E3779B97F4A7C15));
+        r.next_u64(); // discard the correlated first output
+        r
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128-bit value (two draws).
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Lemire-style rejection-free multiply-shift is fine here: the
+        // modulo bias for n ≪ 2^64 is negligible for simulation purposes,
+        // but we use widening multiply to avoid it anyway.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Exponential with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Lognormal with parameters `mu`, `sigma` (of the underlying normal).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_stream_independent() {
+        let a: Vec<u64> = {
+            let mut r = DetRng::for_stream(42, 7);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DetRng::for_stream(42, 7);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = DetRng::for_stream(42, 8);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = DetRng::new(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = DetRng::new(3);
+        let n = 200_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let got = sum / n as f64;
+        assert!((got - mean).abs() < 0.05 * mean, "mean {got}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut r = DetRng::new(4);
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| r.lognormal(2.0, 1.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        let expect = 2.0f64.exp();
+        assert!(
+            (median - expect).abs() < 0.1 * expect,
+            "median {median} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = DetRng::new(5);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean: f64 = xs.iter().sum::<f64>() / n as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

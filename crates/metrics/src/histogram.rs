@@ -1,0 +1,167 @@
+//! Fixed-bucket and integer histograms.
+
+use serde::Serialize;
+
+/// A counting histogram over u64 categories (e.g. nodes per level).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct CountHistogram {
+    counts: Vec<u64>,
+}
+
+impl CountHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments category `k`.
+    pub fn add(&mut self, k: usize) {
+        if self.counts.len() <= k {
+            self.counts.resize(k + 1, 0);
+        }
+        self.counts[k] += 1;
+    }
+
+    /// Decrements category `k` (saturating).
+    pub fn sub(&mut self, k: usize) {
+        if let Some(c) = self.counts.get_mut(k) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Count in category `k`.
+    pub fn get(&self, k: usize) -> u64 {
+        self.counts.get(k).copied().unwrap_or(0)
+    }
+
+    /// Total count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of categories (highest seen + 1).
+    pub fn categories(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Fraction of the total in category `k` (0 when empty).
+    pub fn fraction(&self, k: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(k) as f64 / t as f64
+        }
+    }
+
+    /// Iterates `(category, count)` pairs including zeros up to the max.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().copied().enumerate()
+    }
+}
+
+/// A histogram over logarithmically spaced value buckets, for
+/// latency/size distributions.
+#[derive(Clone, Debug, Serialize)]
+pub struct LogHistogram {
+    base: f64,
+    min: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+}
+
+impl LogHistogram {
+    /// Buckets: `[min·base^k, min·base^(k+1))`.
+    pub fn new(min: f64, base: f64) -> Self {
+        assert!(min > 0.0 && base > 1.0);
+        LogHistogram {
+            base,
+            min,
+            counts: Vec::new(),
+            underflow: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.min {
+            self.underflow += 1;
+            return;
+        }
+        let k = ((x / self.min).ln() / self.base.ln()).floor() as usize;
+        if self.counts.len() <= k {
+            self.counts.resize(k + 1, 0);
+        }
+        self.counts[k] += 1;
+    }
+
+    /// Total samples (including underflow).
+    pub fn total(&self) -> u64 {
+        self.underflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// Approximate quantile via bucket interpolation (`q` in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = self.underflow;
+        if acc >= target {
+            return self.min;
+        }
+        for (k, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                // Geometric midpoint of the bucket.
+                return self.min * self.base.powf(k as f64 + 0.5);
+            }
+        }
+        self.min * self.base.powi(self.counts.len() as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_histogram_add_sub() {
+        let mut h = CountHistogram::new();
+        h.add(0);
+        h.add(0);
+        h.add(3);
+        assert_eq!(h.get(0), 2);
+        assert_eq!(h.get(3), 1);
+        assert_eq!(h.get(9), 0);
+        assert_eq!(h.total(), 3);
+        assert!((h.fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+        h.sub(0);
+        assert_eq!(h.get(0), 1);
+        h.sub(7); // out of range: no-op
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn log_histogram_quantiles() {
+        let mut h = LogHistogram::new(1.0, 2.0);
+        for i in 1..=1000u32 {
+            h.add(i as f64);
+        }
+        assert_eq!(h.total(), 1000);
+        let med = h.quantile(0.5);
+        assert!(med > 250.0 && med < 1000.0, "median {med}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= med);
+    }
+
+    #[test]
+    fn log_histogram_underflow() {
+        let mut h = LogHistogram::new(10.0, 10.0);
+        h.add(1.0);
+        h.add(100.0);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.quantile(0.25), 10.0); // underflow clamps to min
+    }
+}

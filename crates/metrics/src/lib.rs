@@ -1,0 +1,18 @@
+//! # peerwindow-metrics
+//!
+//! Statistics and reporting utilities shared by the PeerWindow simulator,
+//! baselines, and the figure-reproduction harness: streaming accumulators,
+//! per-level tables, histograms, and markdown/CSV rendering.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod histogram;
+pub mod plot;
+pub mod stream;
+pub mod table;
+
+pub use histogram::{CountHistogram, LogHistogram};
+pub use plot::{bar_chart, scatter};
+pub use stream::{PerLevel, StreamingStat};
+pub use table::{fmt_f64, Table};

@@ -1,0 +1,164 @@
+//! Terminal plots for experiment reports.
+//!
+//! EXPERIMENTS.md quotes figures as monospace charts so the shapes the
+//! paper plots (distributions per level, error-vs-scale trends) are
+//! visible without a plotting toolchain. Two forms: horizontal bar charts
+//! (categorical x) and scatter/line charts on linear or log axes.
+
+/// Renders a horizontal bar chart: one row per `(label, value)`.
+///
+/// Bars are scaled to `width` characters against the maximum value; each
+/// row shows the label, the bar, and the numeric value.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let filled = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} |{}{} {value:.4}\n",
+            "█".repeat(filled),
+            " ".repeat(width - filled.min(width)),
+        ));
+    }
+    out
+}
+
+/// Axis scale for [`scatter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Log₁₀ axis (non-positive values are clamped to the minimum).
+    Log,
+}
+
+fn project(v: f64, min: f64, max: f64, scale: Scale, extent: usize) -> usize {
+    let (v, min, max) = match scale {
+        Scale::Linear => (v, min, max),
+        Scale::Log => (v.max(min).log10(), min.log10(), max.log10()),
+    };
+    if max <= min {
+        return 0;
+    }
+    (((v - min) / (max - min)) * (extent.saturating_sub(1)) as f64).round() as usize
+}
+
+/// Renders an ASCII scatter plot of `(x, y)` points on a `width`×`height`
+/// character canvas, with the given axis scales. Points are `*`; the
+/// corners are annotated with the axis ranges.
+pub fn scatter(points: &[(f64, f64)], width: usize, height: usize, xs: Scale, ys: Scale) -> String {
+    if points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let positive_floor = |s: Scale, vals: &mut dyn Iterator<Item = f64>| -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in vals {
+            if s == Scale::Log && v <= 0.0 {
+                continue;
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() {
+            (1e-9, 1.0)
+        } else {
+            (min, max)
+        }
+    };
+    let (xmin, xmax) = positive_floor(xs, &mut points.iter().map(|p| p.0));
+    let (ymin, ymax) = positive_floor(ys, &mut points.iter().map(|p| p.1));
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let cx = project(x, xmin, xmax, xs, width).min(width - 1);
+        let cy = project(y, ymin, ymax, ys, height).min(height - 1);
+        grid[height - 1 - cy][cx] = '*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{ymax:>10.3e} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{ymin:>10.3e} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str(&format!(
+        "           └{}\n            {:<.3e}{}{:>.3e}\n",
+        "─".repeat(width),
+        xmin,
+        " ".repeat(width.saturating_sub(18)),
+        xmax
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![
+            ("L0".to_string(), 0.5),
+            ("L1".to_string(), 0.25),
+            ("L2".to_string(), 0.0),
+        ];
+        let s = bar_chart(&rows, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].matches('█').count(), 20);
+        assert_eq!(lines[1].matches('█').count(), 10);
+        assert_eq!(lines[2].matches('█').count(), 0);
+        assert!(lines[0].contains("0.5000"));
+    }
+
+    #[test]
+    fn bar_chart_handles_empty_and_zero() {
+        assert_eq!(bar_chart(&[], 10), "");
+        let s = bar_chart(&[("x".to_string(), 0.0)], 10);
+        assert!(s.contains("|"));
+    }
+
+    #[test]
+    fn scatter_plots_extremes_at_corners() {
+        let pts = vec![(1.0, 1.0), (10.0, 100.0)];
+        let s = scatter(&pts, 30, 8, Scale::Linear, Scale::Linear);
+        let lines: Vec<&str> = s.lines().collect();
+        // First data row (top) holds the max-y point at the right edge.
+        assert!(lines[0].trim_end().ends_with('*'));
+        // Bottom data row holds the min point just after the axis.
+        assert!(lines[7].contains('*'));
+        assert!(s.contains('└'));
+    }
+
+    #[test]
+    fn log_scale_spreads_decades_evenly() {
+        // Points one decade apart must be evenly spaced on a log axis.
+        let pts = vec![(1.0, 1.0), (1.0, 10.0), (1.0, 100.0)];
+        let s = scatter(&pts, 10, 9, Scale::Linear, Scale::Log);
+        let rows_with_star: Vec<usize> = s
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains('*'))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(rows_with_star.len(), 3);
+        let d1 = rows_with_star[1] - rows_with_star[0];
+        let d2 = rows_with_star[2] - rows_with_star[1];
+        assert_eq!(d1, d2, "decades not evenly spaced: {rows_with_star:?}");
+    }
+
+    #[test]
+    fn scatter_empty_is_graceful() {
+        assert_eq!(scatter(&[], 10, 5, Scale::Linear, Scale::Linear), "(no data)\n");
+    }
+}

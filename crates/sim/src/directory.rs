@@ -1,0 +1,557 @@
+//! Ground-truth membership directory for oracle-mode simulation.
+//!
+//! The paper's own experiment uses this trick (§5): "Considering that
+//! PeerWindow nodes with the same eigenstring would have the same peer
+//! list, we record all the correct peer lists in a centralized data
+//! structure, and only record erroneous items in nodes' individual data
+//! structures." The directory holds the live membership in sorted vectors
+//! (one global, one per level), so every peer-list-shaped question — list
+//! sizes, audience sets, multicast target selection — is a pair of binary
+//! searches instead of per-node state.
+
+use peerwindow_core::prelude::{Level, NodeId, Prefix};
+use std::collections::HashMap;
+
+/// Per-node simulation state (traffic accounting and workload schedule).
+#[derive(Clone, Debug)]
+pub struct SlotData {
+    /// Node id.
+    pub id: NodeId,
+    /// Overlay address (stable per slot; maps to a topology stub node).
+    pub addr: u32,
+    /// Current level.
+    pub level: Level,
+    /// Bandwidth threshold, bps.
+    pub threshold_bps: f64,
+    /// Total access bandwidth, bps (reporting only).
+    pub bandwidth_bps: f64,
+    /// Whether the node is currently alive.
+    pub alive: bool,
+    /// Bits received in the current adaptation window.
+    pub rx_window_bits: u64,
+    /// Bits received during the measurement period.
+    pub rx_measure_bits: u64,
+    /// Bits sent during the measurement period.
+    pub tx_measure_bits: u64,
+    /// Event sequence counter (for StateEvent seq fields).
+    pub seq: u64,
+    /// Adaptation debounce: +1 per over-budget window, −1 per
+    /// raise-eligible window, reset on in-band windows; a shift needs two
+    /// consecutive same-direction windows (deep levels see few events per
+    /// window, and acting on one noisy sample makes them flap).
+    pub pressure: i8,
+}
+
+/// The ground-truth directory.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    /// All live ids, sorted.
+    all: Vec<u128>,
+    /// Live ids per level, each sorted.
+    levels: Vec<Vec<u128>>,
+    /// id → slot index.
+    index: HashMap<u128, u32>,
+    /// Slot storage (never shrinks; `alive` distinguishes).
+    slots: Vec<SlotData>,
+    /// Live count per level (kept in sync with `levels`).
+    level_counts: Vec<usize>,
+}
+
+fn insert_sorted(v: &mut Vec<u128>, x: u128) {
+    match v.binary_search(&x) {
+        Ok(_) => {}
+        Err(pos) => v.insert(pos, x),
+    }
+}
+
+fn remove_sorted(v: &mut Vec<u128>, x: u128) {
+    if let Ok(pos) = v.binary_search(&x) {
+        v.remove(pos);
+    }
+}
+
+/// Index range of ids with prefix `p` within a sorted vector.
+fn range_of(v: &[u128], p: Prefix) -> (usize, usize) {
+    let lo = v.partition_point(|&x| x < p.range_start().raw());
+    let hi = v.partition_point(|&x| x <= p.range_end().raw());
+    (lo, hi)
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Highest level value in use.
+    pub fn max_level(&self) -> u8 {
+        self.levels.len().saturating_sub(1) as u8
+    }
+
+    /// Live nodes at `level`.
+    pub fn level_count(&self, level: u8) -> usize {
+        self.level_counts.get(level as usize).copied().unwrap_or(0)
+    }
+
+    /// The slot storage (including dead slots).
+    pub fn slots(&self) -> &[SlotData] {
+        &self.slots
+    }
+
+    /// Mutable slot access.
+    pub fn slot_mut(&mut self, slot: u32) -> &mut SlotData {
+        &mut self.slots[slot as usize]
+    }
+
+    /// Slot of a live id.
+    pub fn slot_of(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id.raw()).copied()
+    }
+
+    /// Slot data of a live id.
+    pub fn get(&self, id: NodeId) -> Option<&SlotData> {
+        self.slot_of(id).map(|s| &self.slots[s as usize])
+    }
+
+    /// Adds a node; returns its slot.
+    ///
+    /// # Panics
+    /// Panics if the id is already live.
+    pub fn join(
+        &mut self,
+        id: NodeId,
+        addr: u32,
+        level: Level,
+        threshold_bps: f64,
+        bandwidth_bps: f64,
+    ) -> u32 {
+        assert!(
+            !self.index.contains_key(&id.raw()),
+            "duplicate join of {id}"
+        );
+        let slot = self.slots.len() as u32;
+        self.slots.push(SlotData {
+            id,
+            addr,
+            level,
+            threshold_bps,
+            bandwidth_bps,
+            alive: true,
+            rx_window_bits: 0,
+            rx_measure_bits: 0,
+            tx_measure_bits: 0,
+            seq: 1,
+            pressure: 0,
+        });
+        self.index.insert(id.raw(), slot);
+        insert_sorted(&mut self.all, id.raw());
+        let l = level.value() as usize;
+        if self.levels.len() <= l {
+            self.levels.resize_with(l + 1, Vec::new);
+            self.level_counts.resize(l + 1, 0);
+        }
+        insert_sorted(&mut self.levels[l], id.raw());
+        self.level_counts[l] += 1;
+        slot
+    }
+
+    /// Removes a node; returns its slot if it was live.
+    pub fn leave(&mut self, id: NodeId) -> Option<u32> {
+        let slot = self.index.remove(&id.raw())?;
+        let level = self.slots[slot as usize].level.value() as usize;
+        self.slots[slot as usize].alive = false;
+        remove_sorted(&mut self.all, id.raw());
+        remove_sorted(&mut self.levels[level], id.raw());
+        self.level_counts[level] -= 1;
+        Some(slot)
+    }
+
+    /// Changes a live node's level; returns `(slot, old_level)`.
+    pub fn change_level(&mut self, id: NodeId, new: Level) -> Option<(u32, Level)> {
+        let slot = self.slot_of(id)?;
+        let old = self.slots[slot as usize].level;
+        if old == new {
+            return None;
+        }
+        remove_sorted(&mut self.levels[old.value() as usize], id.raw());
+        self.level_counts[old.value() as usize] -= 1;
+        let l = new.value() as usize;
+        if self.levels.len() <= l {
+            self.levels.resize_with(l + 1, Vec::new);
+            self.level_counts.resize(l + 1, 0);
+        }
+        insert_sorted(&mut self.levels[l], id.raw());
+        self.level_counts[l] += 1;
+        self.slots[slot as usize].level = new;
+        Some((slot, old))
+    }
+
+    /// Number of live ids with prefix `p` — the correct peer-list size of
+    /// any node whose eigenstring is `p` (§2 property 1).
+    pub fn count_prefix(&self, p: Prefix) -> usize {
+        let (lo, hi) = range_of(&self.all, p);
+        hi - lo
+    }
+
+    /// Live ids at `level` with prefix `p` (a group's population).
+    pub fn count_level_prefix(&self, level: u8, p: Prefix) -> usize {
+        match self.levels.get(level as usize) {
+            Some(v) => {
+                let (lo, hi) = range_of(v, p);
+                hi - lo
+            }
+            None => 0,
+        }
+    }
+
+    /// Iterates live ids at `level` within `p`.
+    pub fn level_prefix_ids(&self, level: u8, p: Prefix) -> &[u128] {
+        match self.levels.get(level as usize) {
+            Some(v) => {
+                let (lo, hi) = range_of(v, p);
+                &v[lo..hi]
+            }
+            None => &[],
+        }
+    }
+
+    /// All live ids, sorted.
+    pub fn all_ids(&self) -> &[u128] {
+        &self.all
+    }
+
+    /// The part of node `id` (§4.4): the smallest `l` such that some live
+    /// node's eigenstring equals `id.prefix(l)`. Returns `(top_level,
+    /// part_prefix)`; `None` only when the system is empty of coverers
+    /// (cannot happen for a live id — its own eigenstring covers it).
+    pub fn part_of(&self, id: NodeId) -> Option<(Level, Prefix)> {
+        for l in 0..=self.max_level() {
+            let p = id.prefix(l);
+            if self.count_level_prefix(l, p) > 0 {
+                return Some((Level::new(l), p));
+            }
+        }
+        None
+    }
+
+    /// Picks a pseudo-random top node of `subject`'s part, excluding the
+    /// subject itself. `die` supplies randomness (index below n).
+    pub fn random_top_for(
+        &self,
+        subject: NodeId,
+        mut die: impl FnMut(usize) -> usize,
+    ) -> Option<NodeId> {
+        let (top_level, part) = self.part_of(subject)?;
+        let ids = self.level_prefix_ids(top_level.value(), part);
+        if ids.is_empty() {
+            return None;
+        }
+        for _ in 0..8 {
+            let cand = ids[die(ids.len())];
+            if cand != subject.raw() {
+                return Some(NodeId(cand));
+            }
+        }
+        ids.iter().find(|&&x| x != subject.raw()).map(|&x| NodeId(x))
+    }
+
+    /// The audience set of `subject`, as `(id, level, slot)` triples sorted
+    /// by id: for each level `l`, the live level-`l` nodes whose id shares
+    /// `subject`'s first `l` bits. Writes into `out` (reused buffer).
+    pub fn collect_audience(&self, subject: NodeId, out: &mut Vec<AudienceEntry>) {
+        out.clear();
+        for l in 0..self.levels.len() {
+            let p = subject.prefix(l as u8);
+            let ids = self.level_prefix_ids(l as u8, p);
+            out.reserve(ids.len());
+            for &raw in ids {
+                if raw == subject.raw() {
+                    continue;
+                }
+                let slot = self.index[&raw];
+                out.push(AudienceEntry {
+                    id: raw,
+                    level: l as u8,
+                    slot,
+                    addr: self.slots[slot as usize].addr,
+                });
+            }
+        }
+        out.sort_unstable_by_key(|e| e.id);
+    }
+
+    /// Consistency check for tests: every invariant the sorted vectors and
+    /// counters must satisfy.
+    pub fn check_invariants(&self) {
+        assert!(self.all.windows(2).all(|w| w[0] < w[1]), "all not sorted");
+        let mut total = 0;
+        for (l, v) in self.levels.iter().enumerate() {
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "level {l} not sorted");
+            assert_eq!(v.len(), self.level_counts[l], "level {l} count");
+            total += v.len();
+            for &id in v {
+                let slot = self.index[&id];
+                assert_eq!(self.slots[slot as usize].level.value() as usize, l);
+                assert!(self.slots[slot as usize].alive);
+            }
+        }
+        assert_eq!(total, self.all.len(), "levels partition all");
+        assert_eq!(self.index.len(), self.all.len());
+    }
+}
+
+/// One audience-set member (sorted extraction for the tree planner).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AudienceEntry {
+    /// Raw node id.
+    pub id: u128,
+    /// Level.
+    pub level: u8,
+    /// Slot index.
+    pub slot: u32,
+    /// Overlay address (copied out so planners never re-touch slots).
+    pub addr: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(bits: &str) -> NodeId {
+        Prefix::from_bits_str(bits).unwrap().range_start()
+    }
+
+    fn figure1() -> Directory {
+        let mut d = Directory::new();
+        for (i, (bits, level)) in [
+            ("0010", 0u8), // A
+            ("0111", 0),   // B
+            ("0100", 2),   // C
+            ("1101", 1),   // D
+            ("1011", 1),   // E
+            ("0110", 2),   // F
+            ("0000", 2),   // G
+            ("1010", 2),   // H
+            ("0011", 2),   // I
+            ("1000", 3),   // J
+        ]
+        .iter()
+        .enumerate()
+        {
+            d.join(nid(bits), i as u32, Level::new(*level), 500.0, 1e6);
+        }
+        d.check_invariants();
+        d
+    }
+
+    #[test]
+    fn join_leave_change_level_keep_invariants() {
+        let mut d = figure1();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.level_count(0), 2);
+        assert_eq!(d.level_count(2), 5);
+        d.leave(nid("0111"));
+        d.check_invariants();
+        assert_eq!(d.level_count(0), 1);
+        d.change_level(nid("1011"), Level::new(2));
+        d.check_invariants();
+        assert_eq!(d.level_count(1), 1);
+        assert_eq!(d.level_count(2), 6);
+        // no-op change returns None
+        assert!(d.change_level(nid("1011"), Level::new(2)).is_none());
+        // rejoin after leave works
+        d.join(nid("0111"), 99, Level::TOP, 500.0, 1e6);
+        d.check_invariants();
+        assert_eq!(d.level_count(0), 2);
+    }
+
+    #[test]
+    fn count_prefix_is_correct_list_size() {
+        let d = figure1();
+        assert_eq!(d.count_prefix(Prefix::EMPTY), 10);
+        assert_eq!(d.count_prefix(Prefix::from_bits_str("1").unwrap()), 4);
+        assert_eq!(d.count_prefix(Prefix::from_bits_str("10").unwrap()), 3);
+        assert_eq!(d.count_prefix(Prefix::from_bits_str("11").unwrap()), 1);
+    }
+
+    #[test]
+    fn audience_matches_paper_example() {
+        let d = figure1();
+        let mut out = Vec::new();
+        d.collect_audience(nid("1011"), &mut out);
+        let ids: Vec<u128> = out.iter().map(|e| e.id).collect();
+        let expect: Vec<u128> = [nid("0010"), nid("0111"), nid("1010"), nid("1101")]
+            .iter()
+            .map(|n| n.raw())
+            .collect();
+        assert_eq!(ids, expect);
+        // levels carried along
+        let h = out.iter().find(|e| e.id == nid("1010").raw()).unwrap();
+        assert_eq!(h.level, 2);
+    }
+
+    #[test]
+    fn part_of_whole_system_is_top() {
+        let d = figure1();
+        let (l, p) = d.part_of(nid("1011")).unwrap();
+        assert_eq!(l, Level::TOP);
+        assert_eq!(p, Prefix::EMPTY);
+    }
+
+    #[test]
+    fn part_of_split_system() {
+        let mut d = figure1();
+        d.leave(nid("0010"));
+        d.leave(nid("0111"));
+        d.check_invariants();
+        // Now the "1…" side's tops are the level-1 nodes D and E.
+        let (l, p) = d.part_of(nid("1000")).unwrap();
+        assert_eq!(l, Level::new(1));
+        assert_eq!(p, Prefix::from_bits_str("1").unwrap());
+        // The "0…" side splits further: C and F ("01"-group level 2).
+        let (l, p) = d.part_of(nid("0110")).unwrap();
+        assert_eq!(l, Level::new(2));
+        assert_eq!(p, Prefix::from_bits_str("01").unwrap());
+    }
+
+    #[test]
+    fn random_top_excludes_subject() {
+        let d = figure1();
+        let mut k = 0usize;
+        let top = d
+            .random_top_for(nid("0010"), |n| {
+                k += 1;
+                (k - 1) % n
+            })
+            .unwrap();
+        assert_ne!(top, nid("0010"));
+        assert_eq!(top, nid("0111")); // the only other top
+    }
+
+    #[test]
+    fn random_top_in_split_part() {
+        let mut d = figure1();
+        d.leave(nid("0010"));
+        d.leave(nid("0111"));
+        let top = d.random_top_for(nid("1000"), |_| 0).unwrap();
+        // Tops of part "1" are D (1101) and E (1011); die(0) picks E
+        // (smaller id sorts first).
+        assert_eq!(top, nid("1011"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Join(u128, u8),
+        Leave(usize),
+        Shift(usize, u8),
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec(
+            prop_oneof![
+                (any::<u128>(), 0u8..6).prop_map(|(id, l)| Op::Join(id, l)),
+                any::<usize>().prop_map(Op::Leave),
+                (any::<usize>(), 0u8..6).prop_map(|(i, l)| Op::Shift(i, l)),
+            ],
+            1..120,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random operation sequences keep every structural invariant, and
+        /// the range counts always agree with a brute-force recount.
+        #[test]
+        fn random_ops_maintain_invariants(ops in arb_ops(), probe in any::<u128>()) {
+            let mut dir = Directory::new();
+            let mut live: Vec<u128> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Join(id, level) => {
+                        if dir.get(NodeId(id)).is_none() {
+                            dir.join(NodeId(id), 0, Level::new(level), 500.0, 1e6);
+                            live.push(id);
+                        }
+                    }
+                    Op::Leave(i) => {
+                        if !live.is_empty() {
+                            let id = live.remove(i % live.len());
+                            prop_assert!(dir.leave(NodeId(id)).is_some());
+                        }
+                    }
+                    Op::Shift(i, level) => {
+                        if !live.is_empty() {
+                            let id = live[i % live.len()];
+                            dir.change_level(NodeId(id), Level::new(level));
+                        }
+                    }
+                }
+                dir.check_invariants();
+            }
+            prop_assert_eq!(dir.len(), live.len());
+            // count_prefix agrees with brute force for a random probe.
+            for l in [0u8, 1, 2, 5, 9] {
+                let p = NodeId(probe).prefix(l);
+                let brute = live.iter().filter(|&&id| p.contains(NodeId(id))).count();
+                prop_assert_eq!(dir.count_prefix(p), brute, "prefix len {}", l);
+            }
+            // Audience extraction matches the covers() definition.
+            let mut audience = Vec::new();
+            dir.collect_audience(NodeId(probe), &mut audience);
+            let brute: std::collections::BTreeSet<u128> = live
+                .iter()
+                .filter(|&&id| {
+                    id != probe && {
+                        let lvl = dir.get(NodeId(id)).unwrap().level;
+                        NodeId(id).prefix(lvl.value()).contains(NodeId(probe))
+                    }
+                })
+                .copied()
+                .collect();
+            let got: std::collections::BTreeSet<u128> =
+                audience.iter().map(|e| e.id).collect();
+            prop_assert_eq!(got, brute);
+        }
+
+        /// part_of always returns the strongest covering eigenstring.
+        #[test]
+        fn part_of_is_minimal_cover(ids in proptest::collection::vec((any::<u128>(), 0u8..5), 1..40)) {
+            let mut dir = Directory::new();
+            for &(id, l) in &ids {
+                if dir.get(NodeId(id)).is_none() {
+                    dir.join(NodeId(id), 0, Level::new(l), 500.0, 1e6);
+                }
+            }
+            for &(id, _) in &ids {
+                let (top_level, p) = dir.part_of(NodeId(id)).expect("own eigenstring covers");
+                prop_assert!(p.contains(NodeId(id)));
+                prop_assert_eq!(p.len(), top_level.value());
+                // Nothing stronger covers it.
+                for l in 0..top_level.value() {
+                    prop_assert_eq!(
+                        dir.count_level_prefix(l, NodeId(id).prefix(l)),
+                        0,
+                        "stronger cover exists at level {}", l
+                    );
+                }
+            }
+        }
+    }
+}

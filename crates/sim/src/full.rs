@@ -1,0 +1,583 @@
+//! Full-fidelity simulation: every node runs the real sans-IO
+//! [`NodeMachine`] over the discrete-event engine.
+//!
+//! This is the ground-truth validation substrate for oracle mode (and the
+//! embedding example for real deployments): joins execute the actual §4.3
+//! four-step process, failures are detected by actual probe timeouts, and
+//! multicast flows hop by hop with acknowledgements and redirection.
+//! Memory is O(Σ peer-list sizes), so use it for populations up to a few
+//! thousand; the oracle mode covers the 100,000-node experiments.
+
+use peerwindow_core::prelude::*;
+use peerwindow_des::{DetRng, Engine, Scheduler, SimTime, Simulation};
+use peerwindow_topology::NetworkModel;
+use peerwindow_workload::NodeSpec;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Events of the full-fidelity world.
+enum FEv {
+    /// Network delivery of a message to the node in `to_slot`.
+    Deliver {
+        to_slot: u32,
+        from: NodeId,
+        from_addr: Addr,
+        msg: Message,
+    },
+    /// A node-machine timer fires.
+    Timer { slot: u32, timer: Timer },
+    /// Silent departure (crash) — the slot just stops responding.
+    Crash { slot: u32 },
+    /// Graceful departure.
+    Graceful { slot: u32 },
+    /// Application info change.
+    SetInfo { slot: u32, info: Bytes },
+    /// Application budget change (autonomy: the user retunes it).
+    SetThreshold { slot: u32, bps: f64 },
+    /// Explicit level pin.
+    SetLevel { slot: u32, level: Level },
+}
+
+/// Notable things that happened (for tests and reports).
+#[derive(Clone, Debug, Default)]
+pub struct FullLog {
+    /// Slots that completed joining.
+    pub joined: Vec<u32>,
+    /// `(detector slot, dead id)` failure detections.
+    pub failures: Vec<(u32, NodeId)>,
+    /// Fatal errors `(slot, reason)`.
+    pub fatals: Vec<(u32, &'static str)>,
+    /// Level shifts `(slot, from, to)`.
+    pub shifts: Vec<(u32, Level, Level)>,
+}
+
+struct FullWorld {
+    protocol: ProtocolConfig,
+    net: Box<dyn NetworkModel>,
+    machines: Vec<Option<NodeMachine>>,
+    /// Ground truth: id → slot for *live* nodes (crashed nodes removed at
+    /// crash time; gracefully-left at shutdown time).
+    live: HashMap<NodeId, u32>,
+    log: FullLog,
+    rng: DetRng,
+    /// Probability a datagram is silently dropped ("Internet asynchrony",
+    /// §4.6). Applied per delivery, deterministically from the seed.
+    loss: f64,
+    /// Datagrams dropped so far.
+    dropped: u64,
+}
+
+impl FullWorld {
+    fn process_outputs(
+        &mut self,
+        now: SimTime,
+        slot: u32,
+        outs: Vec<Output>,
+        sched: &mut Scheduler<'_, FEv>,
+    ) {
+        let Some(machine) = self.machines[slot as usize].as_ref() else {
+            return;
+        };
+        let from = machine.id();
+        let from_addr = machine.addr();
+        for o in outs {
+            match o {
+                Output::Send { to, msg, delay_us } => {
+                    let latency = self.net.latency_us(from_addr.0 as u32, to.addr.0 as u32);
+                    sched.schedule(
+                        delay_us + latency,
+                        FEv::Deliver {
+                            to_slot: to.addr.0 as u32,
+                            from,
+                            from_addr,
+                            msg,
+                        },
+                    );
+                }
+                Output::SetTimer { delay_us, timer } => {
+                    sched.schedule(delay_us, FEv::Timer { slot, timer });
+                }
+                Output::Joined => self.log.joined.push(slot),
+                Output::FailureDetected { dead } => self.log.failures.push((slot, dead)),
+                Output::LevelShifted { from, to } => self.log.shifts.push((slot, from, to)),
+                Output::Fatal(reason) => {
+                    self.log.fatals.push((slot, reason));
+                    if let Some(m) = self.machines[slot as usize].take() {
+                        self.live.remove(&m.id());
+                    }
+                }
+            }
+        }
+        let _ = now;
+    }
+}
+
+impl Simulation for FullWorld {
+    type Event = FEv;
+    fn handle(&mut self, now: SimTime, event: FEv, sched: &mut Scheduler<'_, FEv>) {
+        match event {
+            FEv::Deliver {
+                to_slot,
+                from,
+                from_addr,
+                msg,
+            } => {
+                if self.loss > 0.0 && self.rng.next_f64() < self.loss {
+                    self.dropped += 1;
+                    return; // lost in the network
+                }
+                let Some(m) = self.machines.get_mut(to_slot as usize).and_then(Option::as_mut)
+                else {
+                    return; // crashed or never existed: silent drop
+                };
+                let outs = m.handle(
+                    now.as_micros(),
+                    Input::Message {
+                        from,
+                        from_addr,
+                        msg,
+                    },
+                );
+                self.process_outputs(now, to_slot, outs, sched);
+            }
+            FEv::Timer { slot, timer } => {
+                let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut)
+                else {
+                    return;
+                };
+                let outs = m.handle(now.as_micros(), Input::Timer(timer));
+                self.process_outputs(now, slot, outs, sched);
+            }
+            FEv::Crash { slot } => {
+                if let Some(m) = self.machines[slot as usize].take() {
+                    self.live.remove(&m.id());
+                }
+            }
+            FEv::Graceful { slot } => {
+                if let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut) {
+                    let outs = m.handle(now.as_micros(), Input::Command(Command::Shutdown));
+                    self.process_outputs(now, slot, outs, sched);
+                }
+                if let Some(m) = self.machines[slot as usize].take() {
+                    self.live.remove(&m.id());
+                }
+            }
+            FEv::SetInfo { slot, info } => {
+                if let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut) {
+                    let outs = m.handle(now.as_micros(), Input::Command(Command::ChangeInfo(info)));
+                    self.process_outputs(now, slot, outs, sched);
+                }
+            }
+            FEv::SetThreshold { slot, bps } => {
+                if let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut) {
+                    let outs = m.handle(now.as_micros(), Input::Command(Command::SetThreshold(bps)));
+                    self.process_outputs(now, slot, outs, sched);
+                }
+            }
+            FEv::SetLevel { slot, level } => {
+                if let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut) {
+                    let outs = m.handle(now.as_micros(), Input::Command(Command::SetLevel(level)));
+                    self.process_outputs(now, slot, outs, sched);
+                }
+            }
+        }
+    }
+}
+
+/// A full-fidelity simulation harness.
+pub struct FullSim {
+    engine: Engine<FullWorld>,
+}
+
+impl FullSim {
+    /// Creates an empty world.
+    pub fn new(protocol: ProtocolConfig, net: Box<dyn NetworkModel>, seed: u64) -> Self {
+        FullSim {
+            engine: Engine::new(FullWorld {
+                protocol,
+                net,
+                machines: Vec::new(),
+                live: HashMap::new(),
+                log: FullLog::default(),
+                rng: DetRng::for_stream(seed, 0xF00D),
+                loss: 0.0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Sets the per-datagram loss probability (0.0 = reliable network).
+    pub fn set_loss(&mut self, loss: f64) {
+        self.engine.sim_mut().loss = loss.clamp(0.0, 1.0);
+    }
+
+    /// Datagrams dropped by the loss model so far.
+    pub fn dropped(&self) -> u64 {
+        self.engine.sim().dropped
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &FullLog {
+        &self.engine.sim().log
+    }
+
+    /// Spawns the genesis node (already active at level 0). Returns its
+    /// slot.
+    pub fn spawn_seed(&mut self, id: NodeId, threshold_bps: f64, info: Bytes) -> u32 {
+        let world = self.engine.sim_mut();
+        let slot = world.machines.len() as u32;
+        let seed = world.rng.next_u64();
+        let (m, outs) = NodeMachine::new_seed(
+            world.protocol.clone(),
+            id,
+            Addr(slot as u64),
+            info,
+            threshold_bps,
+            seed,
+        );
+        world.live.insert(id, slot);
+        world.machines.push(Some(m));
+        self.drain_initial(slot, outs);
+        slot
+    }
+
+    /// Spawns a joining node bootstrapping off a random live node.
+    /// Returns its slot, or `None` if nobody is alive to bootstrap from.
+    pub fn spawn_joiner(&mut self, id: NodeId, threshold_bps: f64, info: Bytes) -> Option<u32> {
+        let world = self.engine.sim_mut();
+        let n = world.live.len();
+        if n == 0 {
+            return None;
+        }
+        let pick = world.rng.below(n as u64) as usize;
+        let boot_slot = *world.live.values().nth(pick)?;
+        let boot = world.machines[boot_slot as usize].as_ref()?.as_target();
+        let slot = world.machines.len() as u32;
+        let seed = world.rng.next_u64();
+        let (m, outs) = NodeMachine::new_joining(
+            world.protocol.clone(),
+            id,
+            Addr(slot as u64),
+            info,
+            threshold_bps,
+            boot,
+            seed,
+        );
+        world.live.insert(id, slot);
+        world.machines.push(Some(m));
+        self.drain_initial(slot, outs);
+        Some(slot)
+    }
+
+    fn drain_initial(&mut self, slot: u32, outs: Vec<Output>) {
+        // Two phases: read the world to translate outputs, then schedule.
+        let mut items: Vec<(u64, FEv)> = Vec::new();
+        {
+            let world = self.engine.sim_mut();
+            let (from, from_addr) = match world.machines[slot as usize].as_ref() {
+                Some(m) => (m.id(), m.addr()),
+                None => return,
+            };
+            for o in outs {
+                match o {
+                    Output::Send { to, msg, delay_us } => {
+                        let latency = world.net.latency_us(from_addr.0 as u32, to.addr.0 as u32);
+                        items.push((
+                            delay_us + latency,
+                            FEv::Deliver {
+                                to_slot: to.addr.0 as u32,
+                                from,
+                                from_addr,
+                                msg,
+                            },
+                        ));
+                    }
+                    Output::SetTimer { delay_us, timer } => {
+                        items.push((delay_us, FEv::Timer { slot, timer }));
+                    }
+                    Output::Joined => world.log.joined.push(slot),
+                    Output::FailureDetected { dead } => world.log.failures.push((slot, dead)),
+                    Output::LevelShifted { from, to } => world.log.shifts.push((slot, from, to)),
+                    Output::Fatal(reason) => world.log.fatals.push((slot, reason)),
+                }
+            }
+        }
+        for (delay, ev) in items {
+            self.engine.schedule(delay, ev);
+        }
+    }
+
+    /// Schedules a silent crash of `slot` after `delay_us`.
+    pub fn crash_after(&mut self, slot: u32, delay_us: u64) {
+        self.engine.schedule(delay_us, FEv::Crash { slot });
+    }
+
+    /// Schedules a graceful departure of `slot` after `delay_us`.
+    pub fn leave_after(&mut self, slot: u32, delay_us: u64) {
+        self.engine.schedule(delay_us, FEv::Graceful { slot });
+    }
+
+    /// Schedules an info change on `slot` after `delay_us`.
+    pub fn set_info_after(&mut self, slot: u32, delay_us: u64, info: Bytes) {
+        self.engine.schedule(delay_us, FEv::SetInfo { slot, info });
+    }
+
+    /// Schedules a bandwidth-threshold change on `slot` after `delay_us`
+    /// (the §2 autonomy knob).
+    pub fn set_threshold_after(&mut self, slot: u32, delay_us: u64, bps: f64) {
+        self.engine.schedule(delay_us, FEv::SetThreshold { slot, bps });
+    }
+
+    /// Schedules an explicit level pin on `slot` after `delay_us`.
+    pub fn set_level_after(&mut self, slot: u32, delay_us: u64, level: Level) {
+        self.engine.schedule(delay_us, FEv::SetLevel { slot, level });
+    }
+
+    /// Spawns one node per [`NodeSpec`], seeds first, then runs churn:
+    /// each node crashes (silently) at the end of its lifetime.
+    pub fn populate(&mut self, specs: &[NodeSpec]) -> Vec<u32> {
+        let mut slots = Vec::with_capacity(specs.len());
+        for (i, s) in specs.iter().enumerate() {
+            let id = NodeId(s.id_raw);
+            let slot = if i == 0 {
+                self.spawn_seed(id, s.threshold_bps, Bytes::new())
+            } else {
+                match self.spawn_joiner(id, s.threshold_bps, Bytes::new()) {
+                    Some(sl) => sl,
+                    None => continue,
+                }
+            };
+            slots.push(slot);
+        }
+        slots
+    }
+
+    /// Advances simulated time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.engine.run_until(t);
+    }
+
+    /// Runs until the event queue drains (careful: periodic timers never
+    /// drain; prefer [`FullSim::run_until`]).
+    pub fn run_for(&mut self, delta_us: u64) {
+        let t = self.engine.now() + delta_us;
+        self.engine.run_until(t);
+    }
+
+    /// Live node count.
+    pub fn live_count(&self) -> usize {
+        self.engine.sim().live.len()
+    }
+
+    /// Read access to a machine.
+    pub fn machine(&self, slot: u32) -> Option<&NodeMachine> {
+        self.engine.sim().machines.get(slot as usize)?.as_ref()
+    }
+
+    /// Iterates `(slot, machine)` over live machines.
+    pub fn machines(&self) -> impl Iterator<Item = (u32, &NodeMachine)> + '_ {
+        self.engine
+            .sim()
+            .machines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|m| (i as u32, m)))
+    }
+
+    /// Ground-truth live identities (id, level) from the machines
+    /// themselves.
+    pub fn ground_truth(&self) -> Vec<NodeIdentity> {
+        self.machines()
+            .filter(|(_, m)| m.is_active())
+            .map(|(_, m)| NodeIdentity::new(m.id(), m.level()))
+            .collect()
+    }
+
+    /// A per-level summary in the same shape as the oracle's report rows
+    /// (node counts, list sizes, mean traffic), computed from the live
+    /// machines — used to cross-validate the two fidelities.
+    pub fn report(&self, elapsed_s: f64) -> crate::report::OracleReport {
+        use peerwindow_metrics::StreamingStat;
+        let mut by_level: std::collections::BTreeMap<u8, (u64, StreamingStat, f64, f64)> =
+            Default::default();
+        let mut n = 0u64;
+        for (_, m) in self.machines().filter(|(_, m)| m.is_active()) {
+            n += 1;
+            let e = by_level
+                .entry(m.level().value())
+                .or_insert_with(|| (0, StreamingStat::new(), 0.0, 0.0));
+            e.0 += 1;
+            e.1.push(m.peers().len() as f64);
+            e.2 += m.stats().rx_bits as f64;
+            e.3 += m.stats().tx_bits as f64;
+        }
+        let rows = by_level
+            .into_iter()
+            .map(|(level, (count, sizes, rx, tx))| crate::report::LevelRow {
+                level,
+                nodes: count as f64,
+                node_fraction: count as f64 / n.max(1) as f64,
+                list_min: sizes.min(),
+                list_mean: sizes.mean(),
+                list_max: sizes.max(),
+                error_rate: 0.0, // measured via accuracy(), not time-weighted
+                in_bps: rx / count as f64 / elapsed_s.max(1e-9),
+                out_bps: tx / count as f64 / elapsed_s.max(1e-9),
+            })
+            .collect();
+        crate::report::OracleReport {
+            rows,
+            n_final: n as usize,
+            measure_s: elapsed_s,
+            ..Default::default()
+        }
+    }
+
+    /// Peer-list accuracy of every active machine against ground truth:
+    /// returns `(total_correct_entries, missing, stale)` summed over
+    /// machines. `missing` = live in-scope nodes absent from the list;
+    /// `stale` = listed nodes that are no longer live.
+    pub fn accuracy(&self) -> (usize, usize, usize) {
+        let truth = self.ground_truth();
+        let live: std::collections::HashSet<NodeId> = truth.iter().map(|n| n.id).collect();
+        let mut correct = 0;
+        let mut missing = 0;
+        let mut stale = 0;
+        for (_, m) in self.machines().filter(|(_, m)| m.is_active()) {
+            let scope = m.eigenstring();
+            for t in &truth {
+                if t.id != m.id() && scope.contains(t.id) {
+                    correct += 1;
+                    if !m.peers().contains(t.id) {
+                        missing += 1;
+                    }
+                }
+            }
+            for p in m.peers().iter() {
+                if !live.contains(&p.id) {
+                    stale += 1;
+                }
+            }
+        }
+        (correct, missing, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peerwindow_topology::UniformNetwork;
+
+    fn quick_protocol() -> ProtocolConfig {
+        ProtocolConfig {
+            probe_interval_us: 2_000_000,
+            rpc_timeout_us: 500_000,
+            processing_delay_us: 10_000,
+            bandwidth_window_us: 10_000_000,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    fn net() -> Box<dyn NetworkModel> {
+        Box::new(UniformNetwork { latency_us: 20_000 })
+    }
+
+    #[test]
+    fn thirty_nodes_converge_to_full_knowledge() {
+        let mut sim = FullSim::new(quick_protocol(), net(), 7);
+        let mut rng = DetRng::new(42);
+        let seed_id = NodeId(rng.next_u128());
+        sim.spawn_seed(seed_id, 1e9, Bytes::new());
+        for k in 1..30 {
+            sim.run_for(500_000);
+            sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+                .unwrap();
+            let _ = k;
+        }
+        sim.run_for(30_000_000);
+        assert_eq!(sim.live_count(), 30);
+        assert!(sim.log().fatals.is_empty(), "fatals: {:?}", sim.log().fatals);
+        let (correct, missing, stale) = sim.accuracy();
+        assert_eq!(correct, 30 * 29);
+        assert_eq!(missing, 0, "missing pointers");
+        assert_eq!(stale, 0, "stale pointers");
+    }
+
+    #[test]
+    fn crash_is_detected_and_propagated_everywhere() {
+        let mut sim = FullSim::new(quick_protocol(), net(), 8);
+        let mut rng = DetRng::new(1);
+        sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+        let mut slots = vec![];
+        for _ in 1..12 {
+            sim.run_for(400_000);
+            slots.push(
+                sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+                    .unwrap(),
+            );
+        }
+        sim.run_for(20_000_000);
+        let victim = slots[4];
+        let victim_id = sim.machine(victim).unwrap().id();
+        sim.crash_after(victim, 0);
+        // probe interval 2 s + 3 × 0.5 s timeouts + propagation ≪ 30 s
+        sim.run_for(30_000_000);
+        assert_eq!(sim.live_count(), 11);
+        assert!(!sim.log().failures.is_empty());
+        let (_, missing, stale) = sim.accuracy();
+        assert_eq!(stale, 0, "stale pointer to {victim_id} survived");
+        assert_eq!(missing, 0);
+    }
+
+    #[test]
+    fn graceful_leave_propagates_without_probe_delay() {
+        let mut sim = FullSim::new(quick_protocol(), net(), 9);
+        let mut rng = DetRng::new(2);
+        sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+        let mut slots = vec![];
+        for _ in 0..8 {
+            sim.run_for(400_000);
+            slots.push(
+                sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+                    .unwrap(),
+            );
+        }
+        sim.run_for(10_000_000);
+        sim.leave_after(slots[2], 0);
+        sim.run_for(5_000_000);
+        assert_eq!(sim.live_count(), 8);
+        let (_, missing, stale) = sim.accuracy();
+        assert_eq!((missing, stale), (0, 0));
+    }
+
+    #[test]
+    fn info_changes_reach_all_audience_members() {
+        let mut sim = FullSim::new(quick_protocol(), net(), 10);
+        let mut rng = DetRng::new(3);
+        sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+        let mut slots = vec![];
+        for _ in 0..6 {
+            sim.run_for(400_000);
+            slots.push(
+                sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+                    .unwrap(),
+            );
+        }
+        sim.run_for(10_000_000);
+        let subject = sim.machine(slots[0]).unwrap().id();
+        sim.set_info_after(slots[0], 0, Bytes::from_static(b"load:0.1"));
+        sim.run_for(5_000_000);
+        for (_, m) in sim.machines() {
+            if m.id() == subject {
+                continue;
+            }
+            let p = m.peers().get(subject).expect("subject known");
+            assert_eq!(&p.info[..], b"load:0.1");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # peerwindow-sim
+//!
+//! Large-scale PeerWindow simulation, reproducing the paper's §5
+//! experiments:
+//!
+//! * [`full`] — **full fidelity**: every node runs the real
+//!   `peerwindow_core::node::NodeMachine` over the discrete-event engine;
+//!   used for protocol validation and small-system studies.
+//! * [`oracle`] — **oracle mode**: the paper's own memory trick (§5 ¶3) —
+//!   one ground-truth directory stands in for all correct peer lists, so
+//!   100,000-node runs fit in one machine's memory; multicast trees are
+//!   planned per event and accounted analytically.
+//! * [`directory`], [`plan`] — the oracle's membership structure and tree
+//!   planner.
+//! * [`report`] — per-level result rows (the columns of figures 5–8).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod directory;
+pub mod full;
+pub mod oracle;
+pub mod parallel_full;
+pub mod plan;
+pub mod report;
+
+pub use directory::Directory;
+pub use full::{FullLog, FullSim};
+pub use parallel_full::ParallelFullSim;
+pub use oracle::{run_oracle, NetworkConfig, OracleConfig};
+pub use report::{LevelRow, OracleReport};

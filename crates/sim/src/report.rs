@@ -1,0 +1,118 @@
+//! Run reports: the per-level rows behind every §5 figure.
+
+use peerwindow_metrics::{fmt_f64, Table};
+use serde::Serialize;
+
+/// Aggregates for one level (one row of figures 5–8).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LevelRow {
+    /// Level value (0 = top).
+    pub level: u8,
+    /// Mean live nodes at this level over the measurement samples.
+    pub nodes: f64,
+    /// Fraction of the population at this level (figure 5 / 9 / 11).
+    pub node_fraction: f64,
+    /// Smallest correct peer-list size observed (figure 6).
+    pub list_min: f64,
+    /// Mean correct peer-list size (figure 6).
+    pub list_mean: f64,
+    /// Largest correct peer-list size (figure 6).
+    pub list_max: f64,
+    /// Time-averaged peer-list error rate (figure 7).
+    pub error_rate: f64,
+    /// Mean per-node input bandwidth for list maintenance, bps (figure 8).
+    pub in_bps: f64,
+    /// Mean per-node output bandwidth, bps (figure 8).
+    pub out_bps: f64,
+}
+
+/// The full result of one oracle-mode run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct OracleReport {
+    /// Per-level rows, level-ascending.
+    pub rows: Vec<LevelRow>,
+    /// Live population at the end of the run.
+    pub n_final: usize,
+    /// State-changing events processed during measurement.
+    pub events: u64,
+    /// Multicast deliveries during measurement.
+    pub deliveries: u64,
+    /// Population-wide average error rate (figures 10 / 12).
+    pub avg_error_rate: f64,
+    /// Mean multicast tree depth over measured events.
+    pub mean_tree_depth: f64,
+    /// Largest tree depth seen.
+    pub max_tree_depth: u32,
+    /// Mean end-to-end multicast delay (origin → last delivery), seconds.
+    pub mean_multicast_delay_s: f64,
+    /// Level shifts performed by the adaptation loop during measurement.
+    pub level_shifts: u64,
+    /// Measurement window length, seconds.
+    pub measure_s: f64,
+}
+
+impl OracleReport {
+    /// Renders the per-level rows as a table (figures 5–8 in columns).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new([
+            "level",
+            "nodes",
+            "fraction",
+            "list_min",
+            "list_mean",
+            "list_max",
+            "error_rate",
+            "in_bps",
+            "out_bps",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.level.to_string(),
+                fmt_f64(r.nodes),
+                fmt_f64(r.node_fraction),
+                fmt_f64(r.list_min),
+                fmt_f64(r.list_mean),
+                fmt_f64(r.list_max),
+                fmt_f64(r.error_rate),
+                fmt_f64(r.in_bps),
+                fmt_f64(r.out_bps),
+            ]);
+        }
+        t
+    }
+
+    /// The row for `level`, if present.
+    pub fn level(&self, level: u8) -> Option<&LevelRow> {
+        self.rows.iter().find(|r| r.level == level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_one_row_per_level() {
+        let rep = OracleReport {
+            rows: vec![
+                LevelRow {
+                    level: 0,
+                    nodes: 10.0,
+                    node_fraction: 0.5,
+                    ..Default::default()
+                },
+                LevelRow {
+                    level: 2,
+                    nodes: 10.0,
+                    node_fraction: 0.5,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        let t = rep.to_table();
+        assert_eq!(t.len(), 2);
+        assert!(rep.level(2).is_some());
+        assert!(rep.level(1).is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end latency models for overlay simulations.
+//!
+//! The simulator asks one question: *how long does a message take from
+//! overlay node `a` to overlay node `b`?* [`NetworkModel`] abstracts that;
+//! [`TransitStubNetwork`] answers it from a precomputed all-pairs
+//! stub-to-stub matrix (parallel Dijkstra via rayon) plus the paper's 1 ms
+//! host–stub legs, and [`UniformNetwork`] is a constant-latency stand-in
+//! for unit tests and microbenchmarks.
+
+use crate::graph::Topology;
+use rayon::prelude::*;
+
+/// Answers point-to-point latency queries between overlay nodes, addressed
+/// by an opaque `u32` (the simulator hands out addresses densely).
+pub trait NetworkModel: Sync + Send {
+    /// One-way latency between overlay addresses `a` and `b`, µs.
+    fn latency_us(&self, a: u32, b: u32) -> u64;
+}
+
+/// Constant-latency network (tests, baselines, microbenches).
+#[derive(Clone, Copy, Debug)]
+pub struct UniformNetwork {
+    /// The constant one-way latency, µs.
+    pub latency_us: u64,
+}
+
+impl NetworkModel for UniformNetwork {
+    #[inline]
+    fn latency_us(&self, a: u32, b: u32) -> u64 {
+        if a == b {
+            0
+        } else {
+            self.latency_us
+        }
+    }
+}
+
+/// Stub-to-stub latency matrix over a transit-stub topology, with overlay
+/// nodes mapped onto stub nodes round-robin (`addr % stub_count`, giving
+/// the paper's ≈20 overlay nodes per stub node at the 100,000-node scale).
+pub struct TransitStubNetwork {
+    stub_count: u32,
+    node_leg_us: u64,
+    /// Row-major `stub_count × stub_count`, milliseconds (fits u16: the
+    /// diameter of the paper topology is well under 65 s).
+    matrix_ms: Vec<u16>,
+}
+
+impl TransitStubNetwork {
+    /// Precomputes the all-pairs stub latency matrix (one Dijkstra per stub
+    /// node, parallelised with rayon).
+    pub fn build(topo: &Topology) -> Self {
+        let stub_count = topo.params().stub_count();
+        let node_leg_us = topo.params().node_node_us as u64;
+        let rows: Vec<Vec<u16>> = (0..stub_count)
+            .into_par_iter()
+            .map(|i| {
+                let dist = topo.dijkstra(topo.stub_router(i));
+                (0..stub_count)
+                    .map(|j| {
+                        let us = dist[topo.stub_router(j) as usize];
+                        debug_assert_ne!(us, u32::MAX, "disconnected stub");
+                        ((us + 500) / 1_000).min(u16::MAX as u32) as u16
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut matrix_ms = Vec::with_capacity(stub_count as usize * stub_count as usize);
+        for row in rows {
+            matrix_ms.extend(row);
+        }
+        TransitStubNetwork {
+            stub_count,
+            node_leg_us,
+            matrix_ms,
+        }
+    }
+
+    /// Number of stub attachment points.
+    pub fn stub_count(&self) -> u32 {
+        self.stub_count
+    }
+
+    /// The stub node an overlay address attaches to.
+    #[inline]
+    pub fn stub_of(&self, addr: u32) -> u32 {
+        addr % self.stub_count
+    }
+
+    /// Raw stub-to-stub latency, µs.
+    #[inline]
+    pub fn stub_latency_us(&self, a: u32, b: u32) -> u64 {
+        self.matrix_ms[a as usize * self.stub_count as usize + b as usize] as u64 * 1_000
+    }
+}
+
+impl NetworkModel for TransitStubNetwork {
+    fn latency_us(&self, a: u32, b: u32) -> u64 {
+        if a == b {
+            return 0;
+        }
+        let sa = self.stub_of(a);
+        let sb = self.stub_of(b);
+        // Two host–stub legs plus the routed stub–stub path (0 if the two
+        // hosts share a stub node — they are 2 · node_node apart).
+        2 * self.node_leg_us + self.stub_latency_us(sa, sb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TransitStubParams;
+
+    fn small_net() -> TransitStubNetwork {
+        let topo = Topology::generate(TransitStubParams::small(), 1);
+        TransitStubNetwork::build(&topo)
+    }
+
+    #[test]
+    fn uniform_network_is_constant() {
+        let n = UniformNetwork { latency_us: 5_000 };
+        assert_eq!(n.latency_us(1, 2), 5_000);
+        assert_eq!(n.latency_us(3, 3), 0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let net = small_net();
+        let s = net.stub_count();
+        for a in 0..s {
+            assert_eq!(net.stub_latency_us(a, a), 0);
+            for b in 0..s {
+                assert_eq!(net.stub_latency_us(a, b), net.stub_latency_us(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn same_stub_hosts_are_two_host_legs_apart() {
+        let net = small_net();
+        let s = net.stub_count();
+        // Addresses a and a + s map to the same stub node.
+        assert_eq!(net.latency_us(3, 3 + s), 2_000);
+    }
+
+    #[test]
+    fn same_domain_stubs_cost_5ms_plus_legs() {
+        let net = small_net();
+        // Stubs 0 and 1 are in the same stub domain (construction order).
+        assert_eq!(net.latency_us(0, 1), 2_000 + 5_000);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_on_samples() {
+        let net = small_net();
+        let s = net.stub_count();
+        for a in 0..s.min(12) {
+            for b in 0..s.min(12) {
+                for c in 0..s.min(12) {
+                    assert!(
+                        net.stub_latency_us(a, c)
+                            <= net.stub_latency_us(a, b) + net.stub_latency_us(b, c) + 1_000,
+                        "triangle violated at ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_matrix_builds() {
+        let topo = Topology::generate(TransitStubParams::default(), 2);
+        let net = TransitStubNetwork::build(&topo);
+        assert_eq!(net.stub_count(), 4_800);
+        // Cross-backbone paths cost at least one transit hop.
+        let far = net.latency_us(0, 2_400);
+        assert!(far >= 2_000 + 20_000, "far latency {far}");
+        assert!(far < 2_000_000, "far latency {far} implausibly large");
+    }
+}

@@ -1,0 +1,94 @@
+//! Transit-stub generation parameters.
+
+/// Parameters of the transit-stub topology, defaulting to the paper's §5.1
+/// configuration: 120 transit domains × 4 transit nodes; 5 stub domains per
+/// transit node × 2 stub nodes = 4800 stub nodes; latencies
+/// transit–transit 100 ms, transit–stub 20 ms, stub–stub 5 ms, and 1 ms
+/// for the last hop from a stub node to an attached end host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransitStubParams {
+    /// Number of transit domains.
+    pub transit_domains: u32,
+    /// Transit nodes per transit domain.
+    pub transit_per_domain: u32,
+    /// Stub domains attached to each transit node.
+    pub stub_domains_per_transit: u32,
+    /// Stub nodes per stub domain.
+    pub stubs_per_domain: u32,
+    /// Latency of a transit–transit edge, µs.
+    pub transit_transit_us: u32,
+    /// Latency of a transit–stub edge, µs.
+    pub transit_stub_us: u32,
+    /// Latency of a stub–stub edge (within a stub domain), µs.
+    pub stub_stub_us: u32,
+    /// Latency of the final hop between an end host and its stub node, µs.
+    pub node_node_us: u32,
+    /// Extra random inter-domain transit edges per domain (GT-ITM adds
+    /// redundant links beyond the connectivity backbone).
+    pub extra_transit_edges_per_domain: u32,
+}
+
+impl Default for TransitStubParams {
+    fn default() -> Self {
+        TransitStubParams {
+            transit_domains: 120,
+            transit_per_domain: 4,
+            stub_domains_per_transit: 5,
+            stubs_per_domain: 2,
+            transit_transit_us: 100_000,
+            transit_stub_us: 20_000,
+            stub_stub_us: 5_000,
+            node_node_us: 1_000,
+            extra_transit_edges_per_domain: 2,
+        }
+    }
+}
+
+impl TransitStubParams {
+    /// A scaled-down topology for tests and CI: 6 domains × 2 transit
+    /// nodes, 2 stub domains each × 2 stubs = 48 stub nodes.
+    pub fn small() -> Self {
+        TransitStubParams {
+            transit_domains: 6,
+            transit_per_domain: 2,
+            stub_domains_per_transit: 2,
+            stubs_per_domain: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Total transit nodes.
+    pub fn transit_count(&self) -> u32 {
+        self.transit_domains * self.transit_per_domain
+    }
+
+    /// Total stub nodes (4800 with paper defaults).
+    pub fn stub_count(&self) -> u32 {
+        self.transit_count() * self.stub_domains_per_transit * self.stubs_per_domain
+    }
+
+    /// Total router-level graph size.
+    pub fn router_count(&self) -> u32 {
+        self.transit_count() + self.stub_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_give_4800_stub_nodes() {
+        let p = TransitStubParams::default();
+        assert_eq!(p.transit_count(), 480);
+        assert_eq!(p.stub_count(), 4_800);
+        assert_eq!(p.router_count(), 5_280);
+    }
+
+    #[test]
+    fn small_is_small() {
+        let p = TransitStubParams::small();
+        assert_eq!(p.stub_count(), 48);
+        assert!(p.router_count() < 100);
+    }
+}

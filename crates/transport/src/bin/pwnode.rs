@@ -1,0 +1,105 @@
+//! A standalone PeerWindow node over UDP.
+//!
+//! ```text
+//! # start a seed node:
+//! pwnode --listen 127.0.0.1:7000
+//! # join it:
+//! pwnode --listen 127.0.0.1:7001 --bootstrap 127.0.0.1:7000 \
+//!        --budget 5000 --info "os:linux"
+//! ```
+//!
+//! Prints a peer-list summary every few seconds. Ctrl-C to quit
+//! (ungracefully — watch the other nodes detect it within a few probe
+//! intervals).
+
+use bytes::Bytes;
+use peerwindow_core::prelude::*;
+use peerwindow_transport::{spawn_node, RuntimeConfig};
+use std::net::SocketAddrV4;
+use std::time::Duration;
+
+fn parse_args() -> RuntimeConfig {
+    let mut listen: SocketAddrV4 = "127.0.0.1:0".parse().unwrap();
+    let mut bootstrap: Option<SocketAddrV4> = None;
+    let mut budget = 50_000.0;
+    let mut info = Bytes::new();
+    let mut seed = 0x5EED;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = it.next().expect("--listen ADDR").parse().expect("ipv4:port"),
+            "--bootstrap" => {
+                bootstrap = Some(it.next().expect("--bootstrap ADDR").parse().expect("ipv4:port"))
+            }
+            "--budget" => budget = it.next().expect("--budget BPS").parse().expect("number"),
+            "--info" => info = Bytes::from(it.next().expect("--info STRING")),
+            "--seed" => seed = it.next().expect("--seed N").parse().expect("number"),
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: pwnode --listen IP:PORT [--bootstrap IP:PORT] [--budget BPS] [--info S]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Derive the node id from the listen address + seed (a real
+    // deployment would hash a persistent public key).
+    let id = {
+        let mut h = seed ^ 0x9E3779B97F4A7C15u64;
+        for b in listen.to_string().bytes() {
+            h = h.wrapping_mul(1099511628211).wrapping_add(b as u64);
+        }
+        NodeId(((h as u128) << 64) | h.wrapping_mul(0xBF58476D1CE4E5B9) as u128)
+    };
+    RuntimeConfig {
+        protocol: ProtocolConfig {
+            processing_delay_us: 0,
+            probe_interval_us: 3_000_000,
+            rpc_timeout_us: 1_000_000,
+            bandwidth_window_us: 10_000_000,
+            ..ProtocolConfig::default()
+        },
+        id,
+        listen,
+        bootstrap,
+        threshold_bps: budget,
+        info,
+        seed,
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let role = if cfg.bootstrap.is_some() { "joining" } else { "seed" };
+    println!("pwnode {} ({role})", cfg.id);
+    let handle = match spawn_node(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to start: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.local_addr);
+    loop {
+        std::thread::sleep(Duration::from_secs(3));
+        let Some(s) = handle.snapshot(Duration::from_secs(1)) else {
+            eprintln!("node stopped");
+            std::process::exit(1);
+        };
+        println!(
+            "level {} | {} peers | active: {} | rx {} kbit, tx {} kbit",
+            s.level,
+            s.peers.len(),
+            s.is_active,
+            s.stats.rx_bits / 1000,
+            s.stats.tx_bits / 1000,
+        );
+        for p in s.peers.iter().take(6) {
+            println!(
+                "  {}  {}  {:?}",
+                &p.id.to_string()[..12],
+                p.level,
+                String::from_utf8_lossy(&p.info)
+            );
+        }
+    }
+}

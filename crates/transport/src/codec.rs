@@ -1,0 +1,536 @@
+//! Binary wire codec for PeerWindow messages.
+//!
+//! A deliberately simple, versioned, fixed-layout format — no schema
+//! compiler, no reflection — so the decoder is easy to audit and fuzz.
+//! Every datagram is an [`Envelope`]: sender identity plus one
+//! [`Message`]. Decoding never panics on malformed input.
+//!
+//! ```text
+//! envelope := magic(u16 = 0x5057) version(u8 = 1) sender_id(u128)
+//!             sender_addr(u64) msg
+//! msg      := tag(u8) body
+//! ```
+//!
+//! Integers are little-endian; variable-size fields carry a `u32` length.
+
+use bytes::Bytes;
+use peerwindow_core::prelude::*;
+
+/// Frame magic: "PW".
+pub const MAGIC: u16 = 0x5057;
+/// Wire format version.
+pub const VERSION: u8 = 1;
+
+/// A decoded datagram: who sent it and what it says.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Sender's node id.
+    pub from: NodeId,
+    /// Sender's transport address as the sender believes it to be
+    /// (packed IPv4:port; see `Addr::from_v4`).
+    pub from_addr: Addr,
+    /// The payload.
+    pub msg: Message,
+}
+
+/// Decoding errors. Malformed input yields an error, never a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame too short for the requested read.
+    Truncated,
+    /// Wrong magic number.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u8),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A length field exceeds the remaining frame (or a sanity cap).
+    BadLength,
+    /// An enum discriminant is out of range.
+    BadEnum,
+    /// Trailing garbage after a complete message.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadMagic => write!(f, "bad magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::BadLength => write!(f, "bad length field"),
+            CodecError::BadEnum => write!(f, "bad enum discriminant"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Sanity cap on any single variable-length field (64 MiB).
+const MAX_FIELD: usize = 64 << 20;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(256),
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn prefix(&mut self, p: Prefix) {
+        self.u128(p.bits());
+        self.u8(p.len());
+    }
+    fn target(&mut self, t: &Target) {
+        self.u128(t.id.raw());
+        self.u64(t.addr.0);
+        self.u8(t.level.value());
+    }
+    fn pointer(&mut self, p: &Pointer) {
+        // Local bookkeeping (refresh stamps) never crosses the wire.
+        self.u128(p.id.raw());
+        self.u64(p.addr.0);
+        self.u8(p.level.value());
+        self.bytes(&p.info);
+    }
+    fn event(&mut self, e: &StateEvent) {
+        self.u128(e.subject.raw());
+        self.u64(e.addr.0);
+        self.u8(e.level.value());
+        let (kind, extra) = match e.kind {
+            EventKind::Join => (0u8, 0u8),
+            EventKind::Leave => (1, 0),
+            EventKind::LevelShift { from } => (2, from.value()),
+            EventKind::InfoChange => (3, 0),
+            EventKind::Refresh => (4, 0),
+        };
+        self.u8(kind);
+        self.u8(extra);
+        self.u64(e.seq);
+        self.u64(e.origin_us);
+        self.bytes(&e.info);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> Result<Bytes, CodecError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FIELD {
+            return Err(CodecError::BadLength);
+        }
+        Ok(Bytes::copy_from_slice(self.take(n)?))
+    }
+    fn prefix(&mut self) -> Result<Prefix, CodecError> {
+        let bits = self.u128()?;
+        let len = self.u8()?;
+        if len > ID_BITS {
+            return Err(CodecError::BadEnum);
+        }
+        Ok(Prefix::new(bits, len))
+    }
+    fn target(&mut self) -> Result<Target, CodecError> {
+        Ok(Target {
+            id: NodeId(self.u128()?),
+            addr: Addr(self.u64()?),
+            level: Level::new(self.u8()?),
+        })
+    }
+    fn pointer(&mut self) -> Result<Pointer, CodecError> {
+        let id = NodeId(self.u128()?);
+        let addr = Addr(self.u64()?);
+        let level = Level::new(self.u8()?);
+        let info = self.bytes()?;
+        Ok(Pointer::with_info(id, addr, level, info))
+    }
+    fn event(&mut self) -> Result<StateEvent, CodecError> {
+        let subject = NodeId(self.u128()?);
+        let addr = Addr(self.u64()?);
+        let level = Level::new(self.u8()?);
+        let kind_tag = self.u8()?;
+        let extra = self.u8()?;
+        let kind = match kind_tag {
+            0 => EventKind::Join,
+            1 => EventKind::Leave,
+            2 => EventKind::LevelShift {
+                from: Level::new(extra),
+            },
+            3 => EventKind::InfoChange,
+            4 => EventKind::Refresh,
+            _ => return Err(CodecError::BadEnum),
+        };
+        Ok(StateEvent {
+            subject,
+            addr,
+            level,
+            kind,
+            seq: self.u64()?,
+            origin_us: self.u64()?,
+            info: self.bytes()?,
+        })
+    }
+    fn targets(&mut self) -> Result<Vec<Target>, CodecError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FIELD / 25 {
+            return Err(CodecError::BadLength);
+        }
+        (0..n).map(|_| self.target()).collect()
+    }
+    fn done(&self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+}
+
+fn write_targets(w: &mut Writer, ts: &[Target]) {
+    w.u32(ts.len() as u32);
+    for t in ts {
+        w.target(t);
+    }
+}
+
+/// Encodes an envelope into a fresh buffer.
+pub fn encode(from: NodeId, from_addr: Addr, msg: &Message) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u16(MAGIC);
+    w.u8(VERSION);
+    w.u128(from.raw());
+    w.u64(from_addr.0);
+    match msg {
+        Message::Probe => w.u8(0),
+        Message::ProbeAck => w.u8(1),
+        Message::Report { event } => {
+            w.u8(2);
+            w.event(event);
+        }
+        Message::ReportAck { key, tops } => {
+            w.u8(3);
+            w.u128(key.0.raw());
+            w.u64(key.1);
+            write_targets(&mut w, tops);
+        }
+        Message::Multicast { event, step } => {
+            w.u8(4);
+            w.event(event);
+            w.u8(*step);
+        }
+        Message::MulticastAck { key } => {
+            w.u8(5);
+            w.u128(key.0.raw());
+            w.u64(key.1);
+        }
+        Message::FindTop { joiner } => {
+            w.u8(6);
+            w.u128(joiner.raw());
+        }
+        Message::FindTopReply { tops } => {
+            w.u8(7);
+            write_targets(&mut w, tops);
+        }
+        Message::LevelQuery => w.u8(8),
+        Message::LevelQueryReply { level, cost_bps } => {
+            w.u8(9);
+            w.u8(level.value());
+            w.f64(*cost_bps);
+        }
+        Message::Download { scope } => {
+            w.u8(10);
+            w.prefix(*scope);
+        }
+        Message::DownloadReply {
+            scope,
+            pointers,
+            tops,
+        } => {
+            w.u8(11);
+            w.prefix(*scope);
+            w.u32(pointers.len() as u32);
+            for p in pointers {
+                w.pointer(p);
+            }
+            write_targets(&mut w, tops);
+        }
+        Message::TopListRequest => w.u8(12),
+        Message::TopListReply { tops } => {
+            w.u8(13);
+            write_targets(&mut w, tops);
+        }
+    }
+    w.buf
+}
+
+/// Decodes an envelope; rejects malformed or trailing-garbage frames.
+pub fn decode(buf: &[u8]) -> Result<Envelope, CodecError> {
+    let mut r = Reader::new(buf);
+    if r.u16()? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let from = NodeId(r.u128()?);
+    let from_addr = Addr(r.u64()?);
+    let tag = r.u8()?;
+    let msg = match tag {
+        0 => Message::Probe,
+        1 => Message::ProbeAck,
+        2 => Message::Report { event: r.event()? },
+        3 => Message::ReportAck {
+            key: (NodeId(r.u128()?), r.u64()?),
+            tops: r.targets()?,
+        },
+        4 => Message::Multicast {
+            event: r.event()?,
+            step: r.u8()?,
+        },
+        5 => Message::MulticastAck {
+            key: (NodeId(r.u128()?), r.u64()?),
+        },
+        6 => Message::FindTop {
+            joiner: NodeId(r.u128()?),
+        },
+        7 => Message::FindTopReply { tops: r.targets()? },
+        8 => Message::LevelQuery,
+        9 => Message::LevelQueryReply {
+            level: Level::new(r.u8()?),
+            cost_bps: r.f64()?,
+        },
+        10 => Message::Download { scope: r.prefix()? },
+        11 => {
+            let scope = r.prefix()?;
+            let n = r.u32()? as usize;
+            if n > MAX_FIELD / 29 {
+                return Err(CodecError::BadLength);
+            }
+            let pointers = (0..n)
+                .map(|_| r.pointer())
+                .collect::<Result<Vec<_>, _>>()?;
+            Message::DownloadReply {
+                scope,
+                pointers,
+                tops: r.targets()?,
+            }
+        }
+        12 => Message::TopListRequest,
+        13 => Message::TopListReply { tops: r.targets()? },
+        t => return Err(CodecError::BadTag(t)),
+    };
+    r.done()?;
+    Ok(Envelope {
+        from,
+        from_addr,
+        msg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(msg: &Message) {
+        let buf = encode(NodeId(42), Addr(7), msg);
+        let env = decode(&buf).expect("decodes");
+        assert_eq!(env.from, NodeId(42));
+        assert_eq!(env.from_addr, Addr(7));
+        // Pointers lose their local refresh stamps on the wire.
+        assert_eq!(&env.msg, msg);
+    }
+
+    fn sample_event() -> StateEvent {
+        StateEvent {
+            subject: NodeId(0xABCD),
+            addr: Addr::from_v4([10, 0, 0, 9], 4001),
+            level: Level::new(3),
+            kind: EventKind::LevelShift {
+                from: Level::new(5),
+            },
+            seq: 77,
+            origin_us: 123_456_789,
+            info: Bytes::from_static(b"os:linux"),
+        }
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let t = Target {
+            id: NodeId(1),
+            addr: Addr(2),
+            level: Level::TOP,
+        };
+        let p = Pointer::with_info(NodeId(5), Addr(6), Level::new(2), Bytes::from_static(b"x"));
+        for msg in [
+            Message::Probe,
+            Message::ProbeAck,
+            Message::Report {
+                event: sample_event(),
+            },
+            Message::ReportAck {
+                key: (NodeId(9), 4),
+                tops: vec![t, t],
+            },
+            Message::Multicast {
+                event: sample_event(),
+                step: 17,
+            },
+            Message::MulticastAck { key: (NodeId(9), 4) },
+            Message::FindTop { joiner: NodeId(3) },
+            Message::FindTopReply { tops: vec![t] },
+            Message::LevelQuery,
+            Message::LevelQueryReply {
+                level: Level::new(2),
+                cost_bps: 1234.5,
+            },
+            Message::Download {
+                scope: Prefix::from_bits_str("1011").unwrap(),
+            },
+            Message::DownloadReply {
+                scope: Prefix::from_bits_str("10").unwrap(),
+                pointers: vec![p.clone(), p],
+                tops: vec![t],
+            },
+            Message::TopListRequest,
+            Message::TopListReply { tops: vec![] },
+        ] {
+            roundtrip(&msg);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(&[]), Err(CodecError::Truncated));
+        assert_eq!(decode(&[0, 0, 0]), Err(CodecError::BadMagic));
+        let mut good = encode(NodeId(1), Addr(2), &Message::Probe);
+        // Wrong version.
+        let mut bad = good.clone();
+        bad[2] = 99;
+        assert_eq!(decode(&bad), Err(CodecError::BadVersion(99)));
+        // Unknown tag.
+        let n = good.len();
+        good[n - 1] = 200;
+        assert_eq!(decode(&good), Err(CodecError::BadTag(200)));
+        // Trailing garbage.
+        let mut trailing = encode(NodeId(1), Addr(2), &Message::Probe);
+        trailing.push(0);
+        assert_eq!(decode(&trailing), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error_not_a_panic() {
+        let buf = encode(
+            NodeId(1),
+            Addr(2),
+            &Message::Report {
+                event: sample_event(),
+            },
+        );
+        for cut in 0..buf.len() {
+            assert!(decode(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn absurd_length_fields_are_rejected() {
+        // A DownloadReply claiming 2^31 pointers must not allocate.
+        let mut w = encode(NodeId(1), Addr(2), &Message::TopListRequest);
+        let tag_pos = w.len() - 1;
+        w[tag_pos] = 13; // TopListReply
+        w.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&w), Err(CodecError::BadLength));
+    }
+
+    proptest! {
+        #[test]
+        fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decode(&data);
+        }
+
+        #[test]
+        fn multicast_roundtrips(
+            subject in any::<u128>(),
+            addr in any::<u64>(),
+            level in 0u8..=128,
+            seq in any::<u64>(),
+            origin in any::<u64>(),
+            step in any::<u8>(),
+            info in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let msg = Message::Multicast {
+                event: StateEvent {
+                    subject: NodeId(subject),
+                    addr: Addr(addr),
+                    level: Level::new(level),
+                    kind: EventKind::Join,
+                    seq,
+                    origin_us: origin,
+                    info: Bytes::from(info),
+                },
+                step,
+            };
+            roundtrip(&msg);
+        }
+    }
+}

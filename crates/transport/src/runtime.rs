@@ -1,0 +1,394 @@
+//! A UDP runtime for the sans-IO [`NodeMachine`].
+//!
+//! One thread per node: a `UdpSocket` with a short read timeout drives the
+//! machine's inputs; a timer heap realises its `SetTimer` effects; sends
+//! with a processing delay are queued rather than slept on. A control
+//! channel lets the embedding application change the attached info or the
+//! bandwidth budget, take state snapshots, and shut the node down
+//! gracefully — the same operations the paper's upper layers need (§3).
+//!
+//! **Scale limitation:** the §4.3 bulk peer-list download travels as one
+//! datagram, so UDP caps it at ~64 KiB ≈ 2,300 pointers. That suits
+//! LAN-scale systems and demos; a deployment expecting 10⁵-pointer lists
+//! should carry `Download`/`DownloadReply` over a stream transport and
+//! keep UDP for the (small) event/probe traffic. Oversized frames are
+//! logged and dropped rather than truncated.
+
+use crate::codec::{decode, encode};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use peerwindow_core::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Commands the application can send to a running node.
+pub enum Control {
+    /// Request a state snapshot; the reply goes to the provided sender.
+    Snapshot(Sender<Snapshot>),
+    /// Change the attached info (§3) and announce it.
+    ChangeInfo(Bytes),
+    /// Change the bandwidth budget (autonomy knob).
+    SetThreshold(f64),
+    /// Leave gracefully and stop the thread.
+    Shutdown,
+}
+
+/// A point-in-time view of a running node.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Node id.
+    pub id: NodeId,
+    /// Current level.
+    pub level: Level,
+    /// Whether the §4.3 joining process has completed.
+    pub is_active: bool,
+    /// Peer-list contents.
+    pub peers: Vec<Pointer>,
+    /// Known top nodes.
+    pub tops: Vec<Target>,
+    /// Traffic counters.
+    pub stats: NodeStats,
+}
+
+/// Configuration for [`spawn_node`].
+pub struct RuntimeConfig {
+    /// Protocol constants. For real deployments set
+    /// `processing_delay_us: 0` (the 1 s §5.1 delay models slow overlay
+    /// hosts, not your CPU).
+    pub protocol: ProtocolConfig,
+    /// Node id; derive it by hashing a stable public key.
+    pub id: NodeId,
+    /// UDP listen address (must be IPv4; port 0 picks an ephemeral port).
+    pub listen: SocketAddrV4,
+    /// Bootstrap node address; `None` starts a brand-new system (seed).
+    pub bootstrap: Option<SocketAddrV4>,
+    /// Bandwidth budget for node collection, bps.
+    pub threshold_bps: f64,
+    /// Initial attached info.
+    pub info: Bytes,
+    /// RNG seed (protocol choices such as which top node to report to).
+    pub seed: u64,
+}
+
+/// Handle to a node thread.
+pub struct NodeHandle {
+    /// The node's id.
+    pub id: NodeId,
+    /// The actually-bound listen address.
+    pub local_addr: SocketAddrV4,
+    ctl: Sender<Control>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// Sends a control command; returns `false` if the node has stopped.
+    pub fn control(&self, c: Control) -> bool {
+        self.ctl.send(c).is_ok()
+    }
+
+    /// Takes a snapshot, waiting up to `timeout`.
+    pub fn snapshot(&self, timeout: Duration) -> Option<Snapshot> {
+        let (tx, rx) = bounded(1);
+        if self.ctl.send(Control::Snapshot(tx)).is_err() {
+            return None;
+        }
+        rx.recv_timeout(timeout).ok()
+    }
+
+    /// Requests a graceful shutdown and joins the thread.
+    pub fn shutdown(mut self) {
+        let _ = self.ctl.send(Control::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        let _ = self.ctl.send(Control::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Errors from [`spawn_node`].
+#[derive(Debug)]
+pub enum SpawnError {
+    /// Socket setup failed.
+    Io(std::io::Error),
+    /// The bootstrap node did not answer the discovery probe.
+    BootstrapUnreachable,
+}
+
+impl From<std::io::Error> for SpawnError {
+    fn from(e: std::io::Error) -> Self {
+        SpawnError::Io(e)
+    }
+}
+
+fn addr_of(sock: SocketAddrV4) -> Addr {
+    Addr::from_v4(sock.ip().octets(), sock.port())
+}
+
+fn sock_of(addr: Addr) -> SocketAddrV4 {
+    let (ip, port) = addr.to_v4();
+    SocketAddrV4::new(Ipv4Addr::from(ip), port)
+}
+
+/// Spawns a PeerWindow node on its own thread. Returns once the socket is
+/// bound and (for joiners) the bootstrap node has been discovered.
+pub fn spawn_node(cfg: RuntimeConfig) -> Result<NodeHandle, SpawnError> {
+    let socket = UdpSocket::bind(SocketAddr::V4(cfg.listen))?;
+    let local = match socket.local_addr()? {
+        SocketAddr::V4(v4) => v4,
+        SocketAddr::V6(_) => unreachable!("bound v4"),
+    };
+    let my_addr = addr_of(local);
+    socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+
+    // Bootstrap discovery: the §4.3 join needs the bootstrap's NodeId,
+    // which we learn from a transport-level probe (every envelope carries
+    // the sender id).
+    let bootstrap_target = match cfg.bootstrap {
+        None => None,
+        Some(peer) => {
+            let probe = encode(cfg.id, my_addr, &Message::Probe);
+            let mut found = None;
+            let mut buf = [0u8; 2048];
+            'discovery: for _attempt in 0..50 {
+                socket.send_to(&probe, SocketAddr::V4(peer))?;
+                let deadline = Instant::now() + Duration::from_millis(100);
+                while Instant::now() < deadline {
+                    match socket.recv_from(&mut buf) {
+                        Ok((n, _)) => {
+                            if let Ok(env) = decode(&buf[..n]) {
+                                if matches!(env.msg, Message::ProbeAck) {
+                                    found = Some(Target {
+                                        id: env.from,
+                                        addr: addr_of(peer),
+                                        level: Level::MAX, // unknown yet
+                                    });
+                                    break 'discovery;
+                                }
+                            }
+                        }
+                        Err(ref e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        Err(e) => return Err(SpawnError::Io(e)),
+                    }
+                }
+            }
+            Some(found.ok_or(SpawnError::BootstrapUnreachable)?)
+        }
+    };
+
+    let (machine, initial) = match bootstrap_target {
+        None => NodeMachine::new_seed(
+            cfg.protocol,
+            cfg.id,
+            my_addr,
+            cfg.info,
+            cfg.threshold_bps,
+            cfg.seed,
+        ),
+        Some(boot) => NodeMachine::new_joining(
+            cfg.protocol,
+            cfg.id,
+            my_addr,
+            cfg.info,
+            cfg.threshold_bps,
+            boot,
+            cfg.seed,
+        ),
+    };
+
+    let (ctl_tx, ctl_rx) = bounded(64);
+    let id = cfg.id;
+    let thread = std::thread::Builder::new()
+        .name(format!("pwnode-{id}"))
+        .spawn(move || run_loop(socket, machine, initial, ctl_rx))
+        .map_err(SpawnError::Io)?;
+    Ok(NodeHandle {
+        id,
+        local_addr: local,
+        ctl: ctl_tx,
+        thread: Some(thread),
+    })
+}
+
+/// Timer-or-delayed-send entries, ordered by due time.
+enum Due {
+    Timer(Timer),
+    Send(Target, Message),
+}
+
+fn run_loop(
+    socket: UdpSocket,
+    mut machine: NodeMachine,
+    initial: Vec<Output>,
+    ctl: Receiver<Control>,
+) {
+    let start = Instant::now();
+    let now_us = |start: &Instant| start.elapsed().as_micros() as u64;
+    let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut parked: Vec<Option<Due>> = Vec::new();
+    let mut seq = 0u64;
+    let mut buf = [0u8; 65_536];
+    let me = machine.id();
+    let my_addr = machine.addr();
+    let mut stopping = false;
+
+    let schedule = |heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+                        parked: &mut Vec<Option<Due>>,
+                        seq: &mut u64,
+                        at: u64,
+                        due: Due| {
+        *seq += 1;
+        parked.push(Some(due));
+        heap.push(Reverse((at, *seq, parked.len() - 1)));
+    };
+
+    let process =
+        |outs: Vec<Output>,
+         now: u64,
+         socket: &UdpSocket,
+         heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+         parked: &mut Vec<Option<Due>>,
+         seq: &mut u64,
+         stopping: &mut bool| {
+            for o in outs {
+                match o {
+                    Output::Send { to, msg, delay_us } => {
+                        if delay_us == 0 {
+                            let frame = encode(me, my_addr, &msg);
+                            if frame.len() > 65_000 {
+                                eprintln!(
+                                    "pwnode {me}: dropping oversized frame                                      ({} bytes) — see the transport crate                                      docs on UDP download limits",
+                                    frame.len()
+                                );
+                            } else {
+                                let _ =
+                                    socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
+                            }
+                        } else {
+                            schedule(heap, parked, seq, now + delay_us, Due::Send(to, msg));
+                        }
+                    }
+                    Output::SetTimer { delay_us, timer } => {
+                        schedule(heap, parked, seq, now + delay_us, Due::Timer(timer));
+                    }
+                    Output::Fatal(reason) => {
+                        eprintln!("pwnode {me}: fatal: {reason}");
+                        *stopping = true;
+                    }
+                    // Joined / FailureDetected / LevelShifted are
+                    // observable through snapshots; real applications
+                    // would hook them here.
+                    _ => {}
+                }
+            }
+        };
+
+    let mut outs = initial;
+    loop {
+        let now = now_us(&start);
+        process(outs, now, &socket, &mut heap, &mut parked, &mut seq, &mut stopping);
+        outs = Vec::new();
+        if stopping {
+            return;
+        }
+
+        // Fire due timers and delayed sends.
+        let now = now_us(&start);
+        while let Some(&Reverse((at, _, idx))) = heap.peek() {
+            if at > now {
+                break;
+            }
+            heap.pop();
+            match parked[idx].take() {
+                Some(Due::Timer(t)) => {
+                    let o = machine.handle(now, Input::Timer(t));
+                    process(o, now, &socket, &mut heap, &mut parked, &mut seq, &mut stopping);
+                }
+                Some(Due::Send(to, msg)) => {
+                    let frame = encode(me, my_addr, &msg);
+                    let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
+                }
+                None => {}
+            }
+            if stopping {
+                return;
+            }
+        }
+
+        // Control commands.
+        while let Ok(c) = ctl.try_recv() {
+            let now = now_us(&start);
+            match c {
+                Control::Snapshot(reply) => {
+                    let snap = Snapshot {
+                        id: machine.id(),
+                        level: machine.level(),
+                        is_active: machine.is_active(),
+                        peers: machine.peers().iter().cloned().collect(),
+                        tops: machine.tops().entries().to_vec(),
+                        stats: machine.stats(),
+                    };
+                    match reply.try_send(snap) {
+                        Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+                    }
+                }
+                Control::ChangeInfo(info) => {
+                    let o = machine.handle(now, Input::Command(Command::ChangeInfo(info)));
+                    process(o, now, &socket, &mut heap, &mut parked, &mut seq, &mut stopping);
+                }
+                Control::SetThreshold(bps) => {
+                    let o = machine.handle(now, Input::Command(Command::SetThreshold(bps)));
+                    process(o, now, &socket, &mut heap, &mut parked, &mut seq, &mut stopping);
+                }
+                Control::Shutdown => {
+                    let o = machine.handle(now, Input::Command(Command::Shutdown));
+                    // Flush the leave announcement synchronously.
+                    for out in o {
+                        if let Output::Send { to, msg, .. } = out {
+                            let frame = encode(me, my_addr, &msg);
+                            let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+
+        // Network input (10 ms read timeout set at bind).
+        match socket.recv_from(&mut buf) {
+            Ok((n, _peer)) => {
+                if let Ok(env) = decode(&buf[..n]) {
+                    let now = now_us(&start);
+                    let o = machine.handle(
+                        now,
+                        Input::Message {
+                            from: env.from,
+                            from_addr: env.from_addr,
+                            msg: env.msg,
+                        },
+                    );
+                    outs = o;
+                }
+            }
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => {
+                eprintln!("pwnode {me}: socket error: {e}");
+                return;
+            }
+        }
+    }
+}

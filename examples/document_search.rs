@@ -1,0 +1,96 @@
+//! LOCKSS-style document location through bloom-filter attachments
+//! (§3's "using compression techniques to express more info").
+//!
+//! Every node advertises its document collection as a ~128-byte Bloom
+//! filter inside its pointer. Finding replicas of a document is then a
+//! *local* scan of the peer list — no query messages at all — followed by
+//! one verification round-trip per probable holder.
+//!
+//! ```text
+//! cargo run --release --example document_search
+//! ```
+
+use peerwindow::apps::{probable_holders, Bloom};
+use peerwindow::des::DetRng;
+use peerwindow::metrics::{fmt_f64, Table};
+use peerwindow::prelude::*;
+
+fn main() {
+    println!("== document search over bloom-filter attachments ==\n");
+    let mut rng = DetRng::new(2026);
+    // A 2,000-node membership; each node holds 40–200 documents drawn
+    // from a 20,000-title universe with Zipf-ish popularity.
+    let n_nodes = 2_000usize;
+    let universe = 20_000u64;
+    let mut list = PeerList::new(Prefix::EMPTY);
+    let mut truth: Vec<(NodeId, Vec<u64>)> = Vec::new();
+    for _ in 0..n_nodes {
+        let id = NodeId(rng.next_u128());
+        let n_docs = 40 + rng.below(160) as usize;
+        let mut docs = Vec::with_capacity(n_docs);
+        let mut filter = Bloom::for_items(200, 0.01);
+        for _ in 0..n_docs {
+            // popularity ∝ 1/rank: squaring a uniform skews low.
+            let d = ((rng.next_f64() * rng.next_f64()) * universe as f64) as u64;
+            filter.insert(&d.to_le_bytes());
+            docs.push(d);
+        }
+        list.insert(Pointer::with_info(id, Addr(0), Level::TOP, filter.to_bytes()));
+        truth.push((id, docs));
+    }
+    println!(
+        "{} nodes, each advertising its collection in a {}-byte filter\n",
+        n_nodes,
+        Bloom::for_items(200, 0.01).to_bytes().len()
+    );
+
+    // Query 300 documents: local filter scan, then verify against truth.
+    let mut t = Table::new([
+        "metric",
+        "value",
+    ]);
+    let queries = 300u64;
+    let mut found = 0usize;
+    let mut candidates_total = 0usize;
+    let mut false_positives = 0usize;
+    for q in 0..queries {
+        let doc = ((q as f64 / queries as f64).powi(2) * universe as f64) as u64;
+        let key = doc.to_le_bytes();
+        let cands = probable_holders(&list, &key);
+        candidates_total += cands.len();
+        let mut any = false;
+        for c in &cands {
+            let really = truth
+                .iter()
+                .find(|(id, _)| *id == c.id)
+                .map(|(_, docs)| docs.contains(&doc))
+                .unwrap_or(false);
+            if really {
+                any = true;
+            } else {
+                false_positives += 1;
+            }
+        }
+        if any {
+            found += 1;
+        }
+    }
+    t.row([String::from("queries"), queries.to_string()]);
+    t.row([String::from("answered locally"), found.to_string()]);
+    t.row([
+        String::from("candidates per query"),
+        fmt_f64(candidates_total as f64 / queries as f64),
+    ]);
+    t.row([
+        String::from("filter false positives / query"),
+        fmt_f64(false_positives as f64 / queries as f64),
+    ]);
+    t.row([
+        String::from("query messages sent"),
+        String::from("0 (list scan) + 1 verify per candidate"),
+    ]);
+    println!("{}", t.to_markdown());
+    println!("\nWithout PeerWindow the same search floods or walks the overlay;");
+    println!("with it, the entire lookup is a scan of state the node already");
+    println!("pays ~0.5 kbps per 1000 pointers to keep fresh.");
+}

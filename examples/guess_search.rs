@@ -1,0 +1,81 @@
+//! GUESS-style non-forwarding search (§1, §3; Yang et al. [19]).
+//!
+//! GUESS answers file-sharing queries *without forwarding*: a node probes
+//! candidates straight from its own pointer collection, so the local hit
+//! rate grows with the number of pointers collected. This example attaches
+//! per-node shared-file counts to pointers, then measures the probability
+//! that a query can be satisfied by some node already in the querier's
+//! peer list — as a function of the querier's level.
+//!
+//! ```text
+//! cargo run --release --example guess_search
+//! ```
+
+use peerwindow::des::DetRng;
+use peerwindow::metrics::{fmt_f64, Table};
+use peerwindow::prelude::*;
+use peerwindow::protocol::model::ModelParams;
+
+/// Zipf-ish file popularity: file `f` is held by a node with probability
+/// `p0 / (1 + f)`.
+fn holds(rng: &mut DetRng, file: u32, shared_files: u32) -> bool {
+    let p = (shared_files as f64 / 300.0) / (1.0 + file as f64);
+    rng.next_f64() < p.min(1.0)
+}
+
+fn main() {
+    println!("== GUESS non-forwarding search over collected pointers ==\n");
+    // Synthesize a 50,000-node membership with shared-file counts drawn
+    // from a heavy-tailed distribution (most nodes share little; a few
+    // share thousands — the classic Gnutella free-riding shape).
+    let n = 50_000usize;
+    let mut rng = DetRng::new(99);
+    let mut members: Vec<(NodeId, u32)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let shared = (10.0 * (1.0 / (1.0 - rng.next_f64())).powf(0.7)) as u32;
+        members.push((NodeId(rng.next_u128()), shared.min(5_000)));
+    }
+    members.sort_by_key(|&(id, _)| id);
+
+    // A querier at level l sees the n / 2^l members sharing its prefix.
+    // Query workload: 200 files of decreasing popularity.
+    let model = ModelParams::default();
+    let mut t = Table::new([
+        "querier level",
+        "peer list size",
+        "collection cost (bps)",
+        "local hit rate",
+    ]);
+    let querier = members[n / 2].0;
+    for level in [0u8, 2, 4, 6, 8, 10] {
+        let scope = querier.prefix(level);
+        let visible: Vec<&(NodeId, u32)> = members
+            .iter()
+            .filter(|(id, _)| scope.contains(*id))
+            .collect();
+        let mut hits = 0;
+        let queries = 400;
+        let mut qrng = DetRng::for_stream(4242, level as u64);
+        for _q in 0..queries {
+            let file = (qrng.next_f64() * qrng.next_f64() * 200.0) as u32;
+            let hit = visible
+                .iter()
+                .take(4_000) // GUESS probes a bounded candidate set
+                .any(|&&(_, shared)| holds(&mut qrng, file, shared));
+            if hit {
+                hits += 1;
+            }
+        }
+        t.row([
+            format!("L{level}"),
+            visible.len().to_string(),
+            fmt_f64(model.cost_bps(visible.len() as f64)),
+            format!("{:.3}", hits as f64 / queries as f64),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!("\nThe hit rate climbs with the peer list while the maintenance cost");
+    println!("stays in the hundreds of bps — the §2 efficiency claim, seen from");
+    println!("the application side. A node picks the level whose cost it can pay");
+    println!("and gets the corresponding hit rate: heterogeneity as a dial.");
+}

@@ -1,0 +1,127 @@
+//! Load balancing over collected pointers (the Godfrey et al. use case
+//! from §1).
+//!
+//! Heavily-loaded nodes must find lightly-loaded ones to shed work. With
+//! PeerWindow each node attaches its current load to its pointer and
+//! *changes its info* when the load moves (§3) — the multicast keeps
+//! everyone's view fresh, so transfer decisions are made locally. This
+//! example runs the full protocol, perturbs loads at runtime, and
+//! measures how good the locally-chosen transfer target is compared to
+//! the true global optimum.
+//!
+//! ```text
+//! cargo run --release --example load_balancing
+//! ```
+
+use peerwindow::des::{DetRng, SimTime};
+use peerwindow::metrics::{fmt_f64, Table};
+use peerwindow::prelude::*;
+use peerwindow::sim::FullSim;
+use peerwindow::topology::UniformNetwork;
+use bytes::Bytes;
+
+fn load_of(info: &[u8]) -> f64 {
+    std::str::from_utf8(info)
+        .ok()
+        .and_then(|s| s.strip_prefix("load:"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(f64::MAX)
+}
+
+fn main() {
+    let mut rng = DetRng::new(11);
+    let protocol = ProtocolConfig {
+        probe_interval_us: 5_000_000,
+        rpc_timeout_us: 1_000_000,
+        processing_delay_us: 50_000,
+        ..ProtocolConfig::default()
+    };
+    let mut sim = FullSim::new(
+        protocol,
+        Box::new(UniformNetwork { latency_us: 30_000 }),
+        5,
+    );
+
+    println!("== load balancing with live attached info ==\n");
+    let n = 70;
+    let mut loads: Vec<f64> = Vec::new();
+    let l0 = (rng.next_f64() * 100.0 * 100.0).round() / 100.0;
+    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::from(format!("load:{l0}")));
+    loads.push(l0);
+    let mut slots = vec![0u32];
+    for _ in 1..n {
+        sim.run_for(200_000);
+        let l = (rng.next_f64() * 100.0 * 100.0).round() / 100.0;
+        let slot = sim
+            .spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::from(format!("load:{l}")))
+            .unwrap();
+        loads.push(l);
+        slots.push(slot);
+    }
+    sim.run_until(SimTime::from_secs(40));
+
+    // Perturb a third of the loads at runtime — the InfoChange multicast
+    // must propagate the new values.
+    println!("perturbing 1/3 of the loads at runtime …");
+    for k in 0..n / 3 {
+        let slot = slots[k * 3];
+        let l = (rng.next_f64() * 100.0 * 100.0).round() / 100.0;
+        loads[k * 3] = l;
+        sim.set_info_after(slot, (k as u64) * 100_000, Bytes::from(format!("load:{l}")));
+    }
+    sim.run_until(SimTime::from_secs(80));
+
+    // Ground truth: the lightest node in the system.
+    let truth: Vec<(NodeId, f64)> = sim
+        .machines()
+        .map(|(_, m)| (m.id(), load_of(m.info())))
+        .collect();
+    let global_min = truth
+        .iter()
+        .map(|&(_, l)| l)
+        .fold(f64::INFINITY, f64::min);
+
+    // Every overloaded node (load > 80) picks its transfer target from
+    // its own peer list; how close to optimal is the local choice?
+    let mut t = Table::new([
+        "overloaded node",
+        "own load",
+        "local pick",
+        "picked load",
+        "global min",
+    ]);
+    let mut regret = 0.0;
+    let mut count = 0;
+    for (_, m) in sim.machines() {
+        let own = load_of(m.info());
+        if own <= 80.0 {
+            continue;
+        }
+        let pick = m
+            .peers()
+            .iter()
+            .min_by(|a, b| load_of(&a.info).partial_cmp(&load_of(&b.info)).unwrap());
+        let Some(pick) = pick else { continue };
+        let picked_load = load_of(&pick.info);
+        regret += picked_load - global_min;
+        count += 1;
+        if count <= 8 {
+            t.row([
+                m.id().to_string()[..8].to_string(),
+                fmt_f64(own),
+                pick.id.to_string()[..8].to_string(),
+                fmt_f64(picked_load),
+                fmt_f64(global_min),
+            ]);
+        }
+    }
+    println!("\n{}", t.to_markdown());
+    println!(
+        "{} overloaded nodes; mean regret vs global optimum: {:.3} load units",
+        count,
+        if count > 0 { regret / count as f64 } else { 0.0 }
+    );
+    println!("\nAt level 0 the local pick IS the global optimum (the peer list");
+    println!("covers everything). Deeper levels trade optimality for bandwidth —");
+    println!("that is exactly the paper's heterogeneity story.");
+}

@@ -1,0 +1,97 @@
+//! Split PeerWindow (§4.4): when no node can afford level 0.
+//!
+//! In a very large or very dynamic system, nobody pays for a full-system
+//! peer list; the system splits into independent parts — one per minimal
+//! eigenstring — each a complete PeerWindow with its own top nodes. This
+//! example builds such a membership, verifies the parts with [`PartMap`],
+//! and shows that a multicast initiated in one part never crosses into
+//! another (the parts are "wholly unrelated").
+//!
+//! ```text
+//! cargo run --release --example split_system
+//! ```
+
+use peerwindow::des::DetRng;
+use peerwindow::metrics::Table;
+use peerwindow::prelude::*;
+use peerwindow::protocol::model::ModelParams;
+
+fn main() {
+    println!("== split PeerWindow: life without level-0 nodes ==\n");
+
+    // Why splits happen: at N = 10M with 13.5-minute lifetimes, level 0
+    // costs ~37 Mbps of events — nobody volunteers.
+    let model = ModelParams {
+        lifetime_s: 13.5 * 60.0,
+        ..ModelParams::default()
+    };
+    println!(
+        "at N = 10,000,000 and 13.5-min lifetimes, a level-0 list costs {:.1} Mbps;",
+        model.cost_bps(10_000_000.0) / 1e6
+    );
+    println!("even a 100 Mbps node budgeting 1% (1 Mbps) settles at level {}\n",
+        model.stable_level(10_000_000.0, 1_000_000.0));
+
+    // Build a membership where the strongest nodes are at level 2: the
+    // system splits into (up to) four parts "00", "01", "10", "11".
+    let mut rng = DetRng::new(5);
+    let mut members = Vec::new();
+    for _ in 0..400 {
+        let id = NodeId(rng.next_u128());
+        let level = Level::new(2 + (rng.below(3) as u8)); // levels 2..4
+        members.push(NodeIdentity::new(id, level));
+    }
+    let parts = PartMap::from_members(&members);
+    println!("the {}-node membership splits into {} parts:", members.len(), parts.count());
+    let mut t = Table::new(["part prefix", "members", "top nodes"]);
+    for &p in parts.parts() {
+        let in_part = members.iter().filter(|m| p.contains(m.id)).count();
+        let tops = members.iter().filter(|m| parts.is_top(**m)).filter(|m| p.contains(m.id)).count();
+        t.row([format!("\"{p}\""), in_part.to_string(), tops.to_string()]);
+    }
+    println!("\n{}", t.to_markdown());
+
+    // Multicast confinement: build the ground-truth view, pick a subject
+    // in part "00…", plan the tree, and verify every receiver shares the
+    // subject's part.
+    let mut view = PeerList::new(Prefix::EMPTY);
+    for m in &members {
+        view.insert(Pointer::new(m.id, Addr(0), m.level));
+    }
+    let subject = members
+        .iter()
+        .find(|m| !m.level.is_top() && m.id.raw() >> 126 == 0) // id starts "00"
+        .expect("someone in part 00");
+    let subject_part = parts.part_of(subject.id).unwrap();
+    // The root is a top node of the subject's part; its responsibility
+    // range starts at its own level (§4.4).
+    let root = members
+        .iter()
+        .filter(|m| parts.is_top(**m) && subject_part.contains(m.id))
+        .min_by_key(|m| m.id)
+        .unwrap();
+    let edges = plan_tree(&view, root.id, root.level.value(), subject.id);
+    let crossings = edges
+        .iter()
+        .filter(|e| parts.part_of(e.to.id) != Some(subject_part))
+        .count();
+    let audience = members
+        .iter()
+        .filter(|m| m.covers(subject.id) && m.id != root.id && m.id != subject.id)
+        .count();
+    println!(
+        "multicast about {} (part \"{}\"): {} receivers, {} part crossings (audience: {})",
+        subject.id.to_string()[..8].to_string(),
+        subject_part,
+        edges.len(),
+        crossings,
+        audience,
+    );
+    assert_eq!(crossings, 0, "a part is wholly independent (§4.4)");
+    assert_eq!(edges.len(), audience, "and completely covered");
+
+    println!("\ncross-part bootstrap (§4.4): a joiner whose bootstrap node lives in");
+    println!("another part asks a top node there; that top's top-node list holds");
+    println!("t pointers per foreign part — the joiner reaches its own tops in one");
+    println!("extra hop. See NodeMachine::on_find_top_reply for the implementation.");
+}

@@ -1,0 +1,28 @@
+//! # peerwindow
+//!
+//! Facade crate for the PeerWindow workspace — a reproduction of
+//! *"PeerWindow: An Efficient, Heterogeneous, and Autonomic Node
+//! Collection Protocol"* (Hu, Li, Yu, Dong, Zheng — ICPP 2005).
+//!
+//! * [`protocol`] — the sans-IO protocol implementation.
+//! * [`sim`] — full-fidelity and oracle-mode simulation.
+//! * [`des`] — the discrete-event engines (sequential + parallel).
+//! * [`topology`] — transit-stub Internet model.
+//! * [`workload`] — Gnutella-calibrated churn.
+//! * [`baselines`] — explicit probing, gossip, one-hop DHT.
+//! * [`metrics`] — statistics and table/CSV reporting.
+//! * [`apps`] — §3 application helpers (typed info, bloom filters,
+//!   selection queries).
+//!
+//! See `examples/quickstart.rs` for a first contact, and DESIGN.md /
+//! EXPERIMENTS.md for the paper-reproduction map.
+
+pub use peerwindow_apps as apps;
+pub use peerwindow_baselines as baselines;
+pub use peerwindow_core as protocol;
+pub use peerwindow_core::prelude;
+pub use peerwindow_des as des;
+pub use peerwindow_metrics as metrics;
+pub use peerwindow_sim as sim;
+pub use peerwindow_topology as topology;
+pub use peerwindow_workload as workload;

@@ -1,0 +1,170 @@
+//! Autonomy (§2, §4.3): nodes pick levels from their budgets at join time
+//! and shift levels at runtime when their measured cost or their budget
+//! changes.
+
+use peerwindow::des::{DetRng, SimTime};
+use peerwindow::prelude::*;
+use peerwindow::sim::FullSim;
+use peerwindow::topology::UniformNetwork;
+use bytes::Bytes;
+
+fn protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        probe_interval_us: 4_000_000,
+        rpc_timeout_us: 400_000,
+        processing_delay_us: 10_000,
+        bandwidth_window_us: 8_000_000, // adapt every 8 s
+        ..ProtocolConfig::default()
+    }
+}
+
+/// Drive enough event traffic that a tiny-budget node must lower its
+/// level (shrink its list) while loaded, and — autonomy! — climb back to
+/// the top once the system quiets down (§2's dynamic adjustment).
+#[test]
+fn overloaded_node_lowers_its_level_and_recovers() {
+    let mut sim = FullSim::new(
+        protocol(),
+        Box::new(UniformNetwork { latency_us: 10_000 }),
+        21,
+    );
+    let mut rng = DetRng::new(50);
+    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    // One pauper among patricians: ~200 bps budget.
+    let pauper = {
+        sim.run_for(500_000);
+        sim.spawn_joiner(NodeId(rng.next_u128()), 200.0, Bytes::new())
+            .unwrap()
+    };
+    for _ in 0..30 {
+        sim.run_for(400_000);
+        sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+            .unwrap();
+    }
+    sim.run_for(10_000_000);
+    // Generate sustained event traffic: rolling info changes (~4 kbps at
+    // level 0, 20x the pauper's budget).
+    let slots: Vec<u32> = sim.machines().map(|(s, _)| s).collect();
+    for round in 0..120u64 {
+        let slot = slots[(round as usize) % slots.len()];
+        sim.set_info_after(slot, round * 250_000, Bytes::from(format!("v{round}")));
+    }
+    // Mid-load: the pauper has descended.
+    sim.run_until(SimTime::from_secs(42));
+    let m = sim.machine(pauper).expect("pauper alive");
+    assert!(
+        m.level().value() >= 1,
+        "pauper stayed at level {} despite a 200 bps budget",
+        m.level()
+    );
+    // Its list really is the prefix-scoped subset.
+    assert_eq!(m.peers().scope(), m.eigenstring());
+    for p in m.peers().iter() {
+        assert!(m.eigenstring().contains(p.id));
+    }
+    assert!(
+        sim.log().shifts.iter().any(|&(s, from, to)| s == pauper && to.value() > from.value()),
+        "no downward shift recorded: {:?}",
+        sim.log().shifts
+    );
+    // The rich stayed on top throughout.
+    let rich_at_top = sim
+        .machines()
+        .filter(|(s, _)| *s != pauper)
+        .filter(|(_, m)| m.level().is_top())
+        .count();
+    assert!(rich_at_top >= 25, "only {rich_at_top} rich nodes at level 0");
+    // Quiet phase: cost collapses, the pauper climbs back (peer list
+    // "inflates" as §2 describes), re-downloading from stronger nodes.
+    sim.run_until(SimTime::from_secs(150));
+    let m = sim.machine(pauper).unwrap();
+    assert!(
+        m.level().is_top(),
+        "pauper did not recover after quiescence: {}",
+        m.level()
+    );
+    assert_eq!(m.peers().len(), 31);
+}
+
+/// Autonomy is dynamic the other way too: under *sustained* load a
+/// pauper stays deep, until its budget is raised at runtime — then it
+/// climbs despite the load (§2: "adjust it dynamically").
+#[test]
+fn budget_increase_raises_level_under_load() {
+    let mut sim = FullSim::new(
+        protocol(),
+        Box::new(UniformNetwork { latency_us: 10_000 }),
+        22,
+    );
+    let mut rng = DetRng::new(51);
+    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    let pauper = {
+        sim.run_for(500_000);
+        sim.spawn_joiner(NodeId(rng.next_u128()), 200.0, Bytes::new())
+            .unwrap()
+    };
+    for _ in 0..25 {
+        sim.run_for(400_000);
+        sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+            .unwrap();
+    }
+    // Sustained traffic for the whole test (one info change every 400 ms
+    // until t = 190 s).
+    let slots: Vec<u32> = sim.machines().map(|(s, _)| s).collect();
+    for round in 0..450u64 {
+        let slot = slots[(round as usize) % slots.len()];
+        sim.set_info_after(slot, 10_000_000 + round * 400_000, Bytes::from(format!("v{round}")));
+    }
+    sim.run_until(SimTime::from_secs(90));
+    let low = sim.machine(pauper).unwrap().level();
+    assert!(low.value() >= 1, "pauper never descended under load");
+    // Budget upgrade at runtime: the user bought fiber.
+    sim.set_threshold_after(pauper, 0, 1e9);
+    sim.run_until(SimTime::from_secs(185));
+    let high = sim.machine(pauper).unwrap().level();
+    assert!(
+        high.value() < low.value(),
+        "pauper did not climb despite the new budget: {low} vs {high}"
+    );
+    let m = sim.machine(pauper).unwrap();
+    assert_eq!(m.peers().scope(), m.eigenstring());
+}
+
+/// The §4.3 join-time estimate places a weak joiner below the top level
+/// immediately (no oscillation from level 0 downwards) once the system
+/// carries measurable traffic.
+#[test]
+fn weak_joiner_estimates_low_entry_level() {
+    let mut sim = FullSim::new(
+        protocol(),
+        Box::new(UniformNetwork { latency_us: 10_000 }),
+        23,
+    );
+    let mut rng = DetRng::new(52);
+    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    for _ in 0..30 {
+        sim.run_for(300_000);
+        sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+            .unwrap();
+    }
+    // Sustained traffic so the top's measured cost W_T is non-trivial.
+    let slots: Vec<u32> = sim.machines().map(|(s, _)| s).collect();
+    for round in 0..200u64 {
+        let slot = slots[(round as usize) % slots.len()];
+        sim.set_info_after(slot, 10_000_000 + round * 150_000, Bytes::from(format!("x{round}")));
+    }
+    sim.run_until(SimTime::from_secs(45));
+    // Now a genuinely weak node joins: its level estimate uses l_T and
+    // the measured W_T (§4.3) and should start below level 0.
+    let weak = sim
+        .spawn_joiner(NodeId(rng.next_u128()), 50.0, Bytes::new())
+        .unwrap();
+    sim.run_until(SimTime::from_secs(60));
+    let m = sim.machine(weak).expect("weak node alive");
+    assert!(m.is_active(), "weak node failed to join");
+    assert!(
+        m.level().value() >= 1,
+        "weak joiner estimated level {}",
+        m.level()
+    );
+}

@@ -1,0 +1,138 @@
+//! Full-fidelity churn: the protocol under continuous joins, crashes, and
+//! graceful departures must keep every survivor's peer list accurate.
+
+use peerwindow::des::{DetRng, SimTime};
+use peerwindow::prelude::*;
+use peerwindow::sim::FullSim;
+use peerwindow::topology::UniformNetwork;
+use bytes::Bytes;
+
+fn protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        probe_interval_us: 4_000_000,
+        rpc_timeout_us: 500_000,
+        processing_delay_us: 20_000,
+        bandwidth_window_us: 15_000_000,
+        ..ProtocolConfig::default()
+    }
+}
+
+#[test]
+fn steady_state_churn_keeps_error_fraction_small() {
+    let mut sim = FullSim::new(
+        protocol(),
+        Box::new(UniformNetwork { latency_us: 25_000 }),
+        11,
+    );
+    let mut rng = DetRng::new(1234);
+    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    let mut slots = Vec::new();
+    // Build up to ~50 nodes, then run balanced churn for five minutes:
+    // one join and one departure every ~8 s (a ~7-minute mean lifetime —
+    // far harsher than the paper's 135 minutes).
+    for _ in 0..50u64 {
+        sim.run_for(2_000_000);
+        slots.push(
+            sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+                .expect("bootstrap available"),
+        );
+    }
+    sim.run_for(20_000_000);
+    for round in 0..40u64 {
+        sim.run_for(8_000_000);
+        slots.push(
+            sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+                .expect("bootstrap available"),
+        );
+        // Departures: mostly graceful, some silent (like real systems).
+        for _ in 0..8 {
+            let victim = slots[(rng.next_u64() as usize) % slots.len()];
+            if sim.machine(victim).is_some() && sim.live_count() > 40 {
+                if round % 4 == 3 {
+                    sim.crash_after(victim, 1_000_000);
+                } else {
+                    sim.leave_after(victim, 1_000_000);
+                }
+                break;
+            }
+        }
+    }
+    sim.run_until(SimTime::from_secs(460));
+    let live = sim.live_count();
+    assert!(live >= 40, "only {live} nodes survived");
+    // The paper's figure-7 claim, order-of-magnitude: errors (stale +
+    // absent entries) are a small fraction of all required pointers even
+    // under churn ~20x harsher than measured reality.
+    let (correct, missing, stale) = sim.accuracy();
+    let errors = missing + stale;
+    // Bound chosen with headroom over the observed ~5 % at this extreme
+    // churn; the paper's own regime (135-minute lifetimes) measures under
+    // 0.5 % — see fig7 in EXPERIMENTS.md.
+    assert!(
+        (errors as f64) < 0.065 * correct as f64,
+        "{errors} errors ({missing} missing, {stale} stale) of {correct} pointers"
+    );
+}
+
+#[test]
+fn mass_failure_is_fully_cleaned_up() {
+    let mut sim = FullSim::new(
+        protocol(),
+        Box::new(UniformNetwork { latency_us: 25_000 }),
+        13,
+    );
+    let mut rng = DetRng::new(99);
+    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    let mut slots = Vec::new();
+    for _ in 0..30 {
+        sim.run_for(800_000);
+        slots.push(
+            sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+                .unwrap(),
+        );
+    }
+    sim.run_for(30_000_000);
+    // Kill a third of the system within one second — including several
+    // consecutive ring neighbors (the §4.1 cascading-detection case).
+    for &v in slots.iter().take(10) {
+        sim.crash_after(v, (rng.next_u64() % 1_000_000) as u64);
+    }
+    // Detection handles most victims within seconds; a victim whose ring
+    // predecessor had never learned it (a join-window absence) is
+    // reclaimed by the §4.6 expiry after ≈ 3 observed lifetimes.
+    sim.run_for(220_000_000);
+    assert_eq!(sim.live_count(), 21);
+    let (_, _missing, stale) = sim.accuracy();
+    assert_eq!(stale, 0, "stale pointers survived a mass failure");
+    // Every crash produced at least one FailureDetected.
+    let detected: std::collections::HashSet<NodeId> =
+        sim.log().failures.iter().map(|&(_, id)| id).collect();
+    // Most victims are caught by probing; the rest (ring-predecessor
+    // absences) fall to the §4.6 expiry, already asserted above.
+    assert!(detected.len() >= 7, "only {} detected", detected.len());
+}
+
+#[test]
+fn determinism_same_seed_same_history() {
+    let run = |seed: u64| {
+        let mut sim = FullSim::new(
+            protocol(),
+            Box::new(UniformNetwork { latency_us: 25_000 }),
+            seed,
+        );
+        let mut rng = DetRng::new(5);
+        sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+        for _ in 0..20 {
+            sim.run_for(900_000);
+            sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new());
+        }
+        sim.run_for(30_000_000);
+        let mut sizes: Vec<(NodeId, usize)> = sim
+            .machines()
+            .map(|(_, m)| (m.id(), m.peers().len()))
+            .collect();
+        sizes.sort();
+        (sim.log().joined.len(), sizes)
+    };
+    assert_eq!(run(42), run(42));
+}

@@ -1,0 +1,214 @@
+//! Property-based tests of the core protocol invariants (§2's five
+//! peer-list properties, audience-set algebra, multicast coverage).
+
+use peerwindow::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_id() -> impl Strategy<Value = NodeId> {
+    any::<u128>().prop_map(NodeId)
+}
+
+fn arb_level() -> impl Strategy<Value = Level> {
+    (0u8..6).prop_map(Level::new)
+}
+
+fn arb_members(n: usize) -> impl Strategy<Value = Vec<(NodeId, Level)>> {
+    proptest::collection::vec((arb_id(), arb_level()), 2..n)
+}
+
+/// Ground-truth correct peer list of a member within a membership.
+fn correct_list(members: &[(NodeId, Level)], me: (NodeId, Level)) -> BTreeSet<NodeId> {
+    let scope = me.1.eigenstring(me.0);
+    members
+        .iter()
+        .filter(|(id, _)| *id != me.0 && scope.contains(*id))
+        .map(|(id, _)| *id)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Prefix algebra: common_prefix_len is symmetric, bounded, and
+    /// consistent with prefix containment.
+    #[test]
+    fn prefix_algebra(a in arb_id(), b in arb_id(), l in 0u8..=128) {
+        let cpl = a.common_prefix_len(b);
+        prop_assert_eq!(cpl, b.common_prefix_len(a));
+        if a != b {
+            prop_assert!(cpl < 128);
+            // They agree on exactly the first cpl bits.
+            prop_assert!(a.prefix(cpl) == b.prefix(cpl));
+            prop_assert!(a.prefix(cpl + 1) != b.prefix(cpl + 1));
+        }
+        // Containment ⇔ prefix equality.
+        prop_assert_eq!(a.prefix(l).contains(b), cpl >= l);
+    }
+
+    /// Prefix ranges: an id is in a prefix's range iff it has the prefix.
+    #[test]
+    fn prefix_ranges(a in arb_id(), b in arb_id(), l in 0u8..=128) {
+        let p = a.prefix(l);
+        let in_range = b >= p.range_start() && b <= p.range_end();
+        prop_assert_eq!(in_range, p.contains(b));
+    }
+
+    /// §2 property 1: same eigenstring ⇒ same (correct) peer list.
+    #[test]
+    fn same_eigenstring_same_list(members in arb_members(40)) {
+        for &a in &members {
+            for &b in &members {
+                let ia = NodeIdentity::new(a.0, a.1);
+                let ib = NodeIdentity::new(b.0, b.1);
+                if ia.same_group(ib) {
+                    let mut la = correct_list(&members, a);
+                    let mut lb = correct_list(&members, b);
+                    // Lists differ only by the owners themselves.
+                    la.insert(a.0);
+                    lb.insert(b.0);
+                    prop_assert_eq!(la, lb);
+                }
+            }
+        }
+    }
+
+    /// §2 property 2: a stronger node's list covers a weaker node's.
+    #[test]
+    fn stronger_covers_weaker(members in arb_members(40)) {
+        for &a in &members {
+            for &b in &members {
+                let ia = NodeIdentity::new(a.0, a.1);
+                let ib = NodeIdentity::new(b.0, b.1);
+                if ia.stronger_than(ib) {
+                    let la = correct_list(&members, a);
+                    let lb = correct_list(&members, b);
+                    for id in &lb {
+                        prop_assert!(*id == a.0 || la.contains(id),
+                            "stronger list missing {id}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// §2 properties 4–5: same level + different eigenstrings ⇒ disjoint
+    /// lists; same eigenstring ⇒ fully connected (mutual coverage).
+    #[test]
+    fn disjoint_and_fully_connected(members in arb_members(40)) {
+        for &a in &members {
+            for &b in &members {
+                if a.0 == b.0 { continue; }
+                let ia = NodeIdentity::new(a.0, a.1);
+                let ib = NodeIdentity::new(b.0, b.1);
+                if a.1 == b.1 && ia.eigenstring() != ib.eigenstring() {
+                    let la = correct_list(&members, a);
+                    let lb = correct_list(&members, b);
+                    prop_assert!(la.is_disjoint(&lb), "lists must be disjoint");
+                }
+                if ia.same_group(ib) {
+                    prop_assert!(ia.covers(b.0) && ib.covers(a.0),
+                        "group members must be fully connected");
+                }
+            }
+        }
+    }
+
+    /// Audience-set duality: A keeps a pointer to B ⇔ A is in B's
+    /// audience set (§2).
+    #[test]
+    fn audience_duality(id in arb_id(), level in arb_level(), other in arb_id()) {
+        let a = NodeIdentity::new(id, level);
+        // covers(other) means "other ∈ my list" means "I ∈ other's audience".
+        prop_assert_eq!(a.covers(other), a.eigenstring().is_prefix_of(other.prefix(128)));
+    }
+
+    /// Multicast coverage: with a consistent view the planned tree reaches
+    /// exactly the audience set minus {root, subject}, each node once,
+    /// with stronger-to-weaker edges.
+    #[test]
+    fn multicast_exactly_once_coverage(members in arb_members(60), subject_raw in any::<u128>()) {
+        let subject = NodeId(subject_raw);
+        let mut list = PeerList::new(Prefix::EMPTY);
+        for &(id, lvl) in &members {
+            list.insert(Pointer::new(id, Addr(0), lvl));
+        }
+        // Root: strongest member covering the subject; skip memberships
+        // where nobody covers it (empty audience).
+        let root = members
+            .iter()
+            .filter(|(id, l)| NodeIdentity::new(*id, *l).covers(subject) && *id != subject)
+            .min_by_key(|(id, l)| (l.value(), *id))
+            .map(|&(id, _)| id);
+        prop_assume!(root.is_some());
+        let root = root.unwrap();
+        let root_level = list.get(root).unwrap().level;
+        // The §4.2 invariant requires the root to be a top node of the
+        // subject's part: strongest cover, which we chose.
+        let edges = plan_tree(&list, root, root_level.value(), subject);
+        let reached: Vec<NodeId> = edges.iter().map(|e| e.to.id).collect();
+        let reached_set: BTreeSet<NodeId> = reached.iter().copied().collect();
+        prop_assert_eq!(reached.len(), reached_set.len(), "duplicate delivery");
+        let expect: BTreeSet<NodeId> = members
+            .iter()
+            .filter(|(id, l)| {
+                NodeIdentity::new(*id, *l).covers(subject) && *id != root && *id != subject
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        prop_assert_eq!(reached_set, expect);
+        // §4.2 property 1: stronger → weaker flow.
+        for e in &edges {
+            let from_level = list.get(e.from).unwrap().level;
+            prop_assert!(from_level.at_least_as_strong_as(e.to.level));
+        }
+    }
+
+    /// Tree depth is logarithmic: ≤ ~2·log2(audience) + slack.
+    #[test]
+    fn multicast_depth_logarithmic(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 512;
+        let mut list = PeerList::new(Prefix::EMPTY);
+        let mut first = None;
+        for _ in 0..n {
+            let id = NodeId(rng.gen());
+            first.get_or_insert(id);
+            list.insert(Pointer::new(id, Addr(0), Level::TOP));
+        }
+        let subject = NodeId(rng.gen());
+        let edges = plan_tree(&list, first.unwrap(), 0, subject);
+        let stats = tree_stats(&edges, first.unwrap());
+        prop_assert!(stats.max_depth <= 2 * 9 + 8, "depth {}", stats.max_depth);
+    }
+
+    /// PartMap: parts are prefix-free and every member belongs to exactly
+    /// one part; merging all parts' members recovers the membership.
+    #[test]
+    fn parts_partition_members(members in arb_members(50)) {
+        let idents: Vec<NodeIdentity> = members
+            .iter()
+            .map(|&(id, l)| NodeIdentity::new(id, l))
+            .collect();
+        let pm = PartMap::from_members(&idents);
+        // Prefix-free.
+        for a in pm.parts() {
+            for b in pm.parts() {
+                if a != b {
+                    prop_assert!(!a.is_prefix_of(*b) && !b.is_prefix_of(*a));
+                }
+            }
+        }
+        // Exactly one part per member.
+        for m in &idents {
+            let covering = pm
+                .parts()
+                .iter()
+                .filter(|p| p.contains(m.id))
+                .count();
+            prop_assert_eq!(covering, 1, "member {} in {} parts", m.id, covering);
+            prop_assert!(pm.part_of(m.id).is_some());
+        }
+    }
+}

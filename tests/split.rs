@@ -1,0 +1,160 @@
+//! Split PeerWindow (§4.4), full fidelity: when the last level-0 node
+//! departs, the system partitions into independent parts, and each part
+//! keeps functioning as a complete PeerWindow.
+//!
+//! The split regime presumes level 0 is unaffordable (§4.4: "when the
+//! system is very large or very dynamic"); a 25-node test cannot make
+//! level 0 genuinely unaffordable without running at the adaptation
+//! controller's stability edge, so nodes are pinned to level 1 via the
+//! explicit `Command::SetLevel` API and upward adaptation is disabled.
+
+use peerwindow::des::{DetRng, SimTime};
+use peerwindow::prelude::*;
+use peerwindow::sim::FullSim;
+use peerwindow::topology::UniformNetwork;
+use bytes::Bytes;
+
+fn protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        probe_interval_us: 3_000_000,
+        rpc_timeout_us: 400_000,
+        processing_delay_us: 10_000,
+        bandwidth_window_us: 16_000_000,
+        default_refresh_us: 60_000_000,
+        grow_fraction: 0.0, // hold the split: never raise autonomously
+        ..ProtocolConfig::default()
+    }
+}
+
+/// Seed at level 0, 24 joiners pinned to level 1, then the seed leaves:
+/// the system splits into the "0" and "1" parts.
+fn build_split(seed: u64) -> FullSim {
+    let mut sim = FullSim::new(
+        protocol(),
+        Box::new(UniformNetwork { latency_us: 15_000 }),
+        seed,
+    );
+    let mut rng = DetRng::new(seed ^ 0x517);
+    let seed_slot = sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    let mut joiners = Vec::new();
+    for _ in 0..24 {
+        sim.run_for(600_000);
+        joiners.push(
+            sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+                .expect("bootstrap"),
+        );
+    }
+    sim.run_for(20_000_000);
+    for &j in &joiners {
+        sim.set_level_after(j, 0, Level::new(1));
+    }
+    sim.run_for(20_000_000);
+    // Everyone (but the seed) is now at level 1 with a half-space list.
+    for (slot, m) in sim.machines() {
+        if slot != seed_slot {
+            assert_eq!(m.level(), Level::new(1), "slot {slot} not pinned");
+            assert_eq!(m.peers().scope(), m.eigenstring());
+        }
+    }
+    sim.leave_after(seed_slot, 0);
+    sim.run_for(20_000_000);
+    sim
+}
+
+#[test]
+fn seed_departure_splits_the_system() {
+    let mut sim = build_split(31);
+    sim.run_until(SimTime::from_secs(90));
+    let members: Vec<NodeIdentity> = sim.ground_truth();
+    assert!(members.iter().all(|m| m.level == Level::new(1)));
+    let parts = PartMap::from_members(&members);
+    assert!(parts.is_split(), "parts: {:?}", parts.parts());
+    assert_eq!(parts.count(), 2);
+    // §4.4: "a node in one part must keep no pointer to any node of the
+    // other part" — structurally guaranteed by the level-1 scopes.
+    for (_, m) in sim.machines() {
+        let my_part = parts.part_of(m.id()).expect("member has a part");
+        for p in m.peers().iter() {
+            assert_eq!(
+                parts.part_of(p.id),
+                Some(my_part),
+                "{} (part {my_part}) holds cross-part pointer to {}",
+                m.id(),
+                p.id
+            );
+        }
+    }
+    // Each part is fully connected at its own level (§2 property 5).
+    for (_, m) in sim.machines() {
+        let part_size = sim
+            .machines()
+            .filter(|(_, o)| o.eigenstring() == m.eigenstring())
+            .count();
+        assert_eq!(
+            m.peers().len() + 1,
+            part_size,
+            "{} does not know its whole part",
+            m.id()
+        );
+    }
+}
+
+#[test]
+fn each_part_keeps_disseminating_after_the_split() {
+    let mut sim = build_split(37);
+    sim.run_until(SimTime::from_secs(90));
+    let parts = PartMap::from_members(&sim.ground_truth());
+    assert!(parts.is_split());
+    // Change every node's info; within each part the change must reach
+    // every part-mate, and no information crosses the part boundary.
+    let slots: Vec<(u32, NodeId)> = sim.machines().map(|(s, m)| (s, m.id())).collect();
+    for (k, &(slot, _)) in slots.iter().enumerate() {
+        sim.set_info_after(slot, k as u64 * 200_000, Bytes::from(format!("tag-{k}")));
+    }
+    sim.run_until(SimTime::from_secs(140));
+    let mut pairs = 0;
+    let mut agree = 0;
+    for (_, holder) in sim.machines() {
+        for (_, subject) in sim.machines() {
+            if subject.id() == holder.id() {
+                continue;
+            }
+            if holder.eigenstring().contains(subject.id()) {
+                pairs += 1;
+                if holder
+                    .peers()
+                    .get(subject.id())
+                    .map(|p| p.info == *subject.info())
+                    .unwrap_or(false)
+                {
+                    agree += 1;
+                }
+            } else {
+                // Other part: must not even hold a pointer.
+                assert!(holder.peers().get(subject.id()).is_none());
+            }
+        }
+    }
+    assert!(pairs > 0);
+    assert_eq!(
+        agree, pairs,
+        "only {agree}/{pairs} part-mate pairs agree on the info"
+    );
+    // Failure detection also still works per part: crash one node in the
+    // "0" part and watch its part-mates purge it.
+    let victim = slots
+        .iter()
+        .find(|(_, id)| !id.bit(0))
+        .map(|&(s, id)| (s, id))
+        .expect("a node in part 0");
+    sim.crash_after(victim.0, 0);
+    sim.run_until(SimTime::from_secs(200));
+    for (_, m) in sim.machines() {
+        assert!(
+            m.peers().get(victim.1).is_none(),
+            "{} still lists the crashed {}",
+            m.id(),
+            victim.1
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! The §4.3 *warm-up*: "A new node can also first set a low level so as
+//! to start working in a relatively short period, and then ask stronger
+//! nodes for a larger peer list … it raises its level and reports the
+//! state-changing event."
+
+use peerwindow::des::{DetRng, SimTime};
+use peerwindow::prelude::*;
+use peerwindow::sim::FullSim;
+use peerwindow::topology::UniformNetwork;
+use bytes::Bytes;
+
+fn protocol(warm_up: bool) -> ProtocolConfig {
+    ProtocolConfig {
+        probe_interval_us: 3_000_000,
+        rpc_timeout_us: 400_000,
+        processing_delay_us: 10_000,
+        bandwidth_window_us: 6_000_000,
+        warm_up,
+        ..ProtocolConfig::default()
+    }
+}
+
+fn build(warm_up: bool) -> (FullSim, u32) {
+    let mut sim = FullSim::new(
+        protocol(warm_up),
+        Box::new(UniformNetwork { latency_us: 15_000 }),
+        5,
+    );
+    let mut rng = DetRng::new(77);
+    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    for _ in 0..30 {
+        sim.run_for(500_000);
+        sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    }
+    sim.run_for(10_000_000);
+    let late = sim
+        .spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new())
+        .unwrap();
+    (sim, late)
+}
+
+#[test]
+fn warm_up_starts_low_with_a_small_download() {
+    let (mut sim, late) = build(true);
+    sim.run_for(2_000_000);
+    let m = sim.machine(late).expect("joiner alive");
+    assert!(m.is_active());
+    // §4.3: the estimate for this rich node would be level 0; warm-up
+    // starts it two levels weaker so the initial download is a quarter of
+    // the full list.
+    assert!(
+        m.level().value() >= 2,
+        "warm-up joiner started at {}",
+        m.level()
+    );
+    assert!(
+        m.peers().len() < 15,
+        "warm-up download was not small: {} pointers",
+        m.peers().len()
+    );
+    assert_eq!(m.peers().scope(), m.eigenstring());
+}
+
+#[test]
+fn warm_up_rises_to_the_estimated_level_in_the_background() {
+    let (mut sim, late) = build(true);
+    // The adaptation loop raises an under-budget node one level per few
+    // windows (debounced), downloading the wider list each time.
+    sim.run_until(SimTime::from_secs(240));
+    let m = sim.machine(late).expect("joiner alive");
+    assert!(
+        m.level().is_top(),
+        "warm-up node never rose: still at {}",
+        m.level()
+    );
+    // It now holds the full list.
+    assert_eq!(m.peers().len(), sim.live_count() - 1);
+    // Its level shifts were upward (background warm-up, not thrash).
+    let ups = sim
+        .log()
+        .shifts
+        .iter()
+        .filter(|&&(s, from, to)| s == late && to.value() < from.value())
+        .count();
+    assert!(ups >= 2, "expected ≥2 upward shifts, saw {ups}");
+}
+
+#[test]
+fn without_warm_up_the_same_node_starts_at_its_estimate() {
+    let (mut sim, late) = build(false);
+    sim.run_for(2_000_000);
+    let m = sim.machine(late).expect("joiner alive");
+    assert!(m.is_active());
+    // Rich node, quiet system: the §4.3 estimate is level 0 directly.
+    assert!(
+        m.level().value() <= 1,
+        "non-warm-up joiner started at {}",
+        m.level()
+    );
+}
