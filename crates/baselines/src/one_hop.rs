@@ -80,7 +80,8 @@ mod tests {
         // A modem node budgeting 560 bps still participates, with a
         // usefully large list.
         let p = env.peerwindow_pointers(560.0);
-        assert!(p >= 900.0, "weak node collects only {p}"); // ≈ n / 2^10
+        // ≈ n / 2^10.
+        assert!(p >= 900.0, "weak node collects only {p}");
         // A strong node gets (nearly) everything.
         let p = env.peerwindow_pointers(1e9);
         assert!((p - 1_000_000.0).abs() < 1.0);

@@ -88,9 +88,7 @@ pub fn simulate_probing(
     let mut rng = DetRng::for_stream(seed, 0xBEEF);
     // Each neighbor has a current death time; on detection it is replaced
     // (the prober refills its list), mirroring steady state.
-    let mut death: Vec<f64> = (0..k)
-        .map(|_| rng.exponential(cfg.lifetime_s))
-        .collect();
+    let mut death: Vec<f64> = (0..k).map(|_| rng.exponential(cfg.lifetime_s)).collect();
     let mut probes = 0u64;
     let mut wasted = 0u64;
     let mut detections = 0u64;

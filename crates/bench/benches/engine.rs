@@ -18,11 +18,36 @@ impl Simulation for Ping {
     }
 }
 
+/// 100k self-rescheduling timers: the queue shape of a large protocol
+/// run, where every node keeps probe/refresh timers resident.
+struct ResidentTimers {
+    left: u64,
+}
+impl Simulation for ResidentTimers {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, actor: u32, sched: &mut Scheduler<'_, u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.schedule(500 + (actor as u64).wrapping_mul(7919) % 10_000, actor);
+        }
+    }
+}
+
 fn bench_sequential_engine(c: &mut Criterion) {
     c.bench_function("des/sequential_1M_events", |b| {
         b.iter(|| {
             let mut e = Engine::new(Ping { left: 1_000_000 });
             e.schedule(0, 1);
+            e.run_to_completion();
+            black_box(e.stats().processed)
+        })
+    });
+    c.bench_function("des/sequential_1M_events_resident100k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(ResidentTimers { left: 1_000_000 });
+            for a in 0..100_000u32 {
+                e.schedule(500 + (a as u64).wrapping_mul(7919) % 10_000, a);
+            }
             e.run_to_completion();
             black_box(e.stats().processed)
         })
@@ -89,5 +114,10 @@ fn bench_topology(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sequential_engine, bench_parallel_engine, bench_topology);
+criterion_group!(
+    benches,
+    bench_sequential_engine,
+    bench_parallel_engine,
+    bench_topology
+);
 criterion_main!(benches);

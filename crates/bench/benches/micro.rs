@@ -44,40 +44,56 @@ fn bench_peer_list(c: &mut Criterion) {
     for n in [1_000usize, 10_000, 100_000] {
         let list = build_list(n, 2);
         let mut rng = StdRng::seed_from_u64(3);
-        c.bench_with_input(BenchmarkId::new("peer_list/target_selection", n), &n, |b, _| {
-            b.iter(|| {
-                let changing = NodeId(rng.gen());
-                let range = changing.prefix(1).sibling();
-                black_box(PeerList::strongest_audience_in_range(
-                    &list,
-                    range,
-                    changing,
-                    NodeId(0),
-                ))
-            })
-        });
-        c.bench_with_input(BenchmarkId::new("peer_list/insert_remove", n), &n, |b, _| {
-            let mut list = list.clone();
-            b.iter(|| {
-                let id = NodeId(rng.gen());
-                list.insert(Pointer::new(id, Addr(0), Level::new(2)));
-                list.remove(id);
-            })
-        });
+        c.bench_with_input(
+            BenchmarkId::new("peer_list/target_selection", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let changing = NodeId(rng.gen());
+                    let range = changing.prefix(1).sibling();
+                    black_box(PeerList::strongest_audience_in_range(
+                        &list,
+                        range,
+                        changing,
+                        NodeId(0),
+                    ))
+                })
+            },
+        );
+        c.bench_with_input(
+            BenchmarkId::new("peer_list/insert_remove", n),
+            &n,
+            |b, _| {
+                let mut list = list.clone();
+                b.iter(|| {
+                    let id = NodeId(rng.gen());
+                    list.insert(Pointer::new(id, Addr(0), Level::new(2)));
+                    list.remove(id);
+                })
+            },
+        );
     }
 }
 
 fn bench_plan_tree(c: &mut Criterion) {
     for n in [1_000usize, 10_000] {
         let list = build_list(n, 4);
-        let root = list.iter().find(|p| p.level.is_top()).map(|p| p.id).unwrap();
+        let root = list
+            .iter()
+            .find(|p| p.level.is_top())
+            .map(|p| p.id)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        c.bench_with_input(BenchmarkId::new("multicast/plan_tree_reference", n), &n, |b, _| {
-            b.iter(|| {
-                let subject = NodeId(rng.gen());
-                black_box(plan_tree(&list, root, 0, subject).len())
-            })
-        });
+        c.bench_with_input(
+            BenchmarkId::new("multicast/plan_tree_reference", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let subject = NodeId(rng.gen());
+                    black_box(plan_tree(&list, root, 0, subject).len())
+                })
+            },
+        );
     }
 }
 
@@ -106,9 +122,18 @@ fn bench_oracle_planner(c: &mut Criterion) {
                 }
                 let root_idx = audience.iter().position(|e| e.level == 0).unwrap_or(0);
                 let mut count = 0u64;
-                plan_event(&audience, &mut rmq, root_idx, audience[root_idx].level, 0, 1_000_000, |_, _| 80_000, |d| {
-                    count += d.at_us & 1;
-                });
+                plan_event(
+                    &audience,
+                    &mut rmq,
+                    root_idx,
+                    audience[root_idx].level,
+                    0,
+                    1_000_000,
+                    |_, _| 80_000,
+                    |d| {
+                        count += d.at_us & 1;
+                    },
+                );
                 black_box(count);
             })
         });
@@ -119,7 +144,13 @@ fn bench_directory(c: &mut Criterion) {
     let mut dir = Directory::new();
     let mut rng = StdRng::seed_from_u64(7);
     for i in 0..100_000u32 {
-        dir.join(NodeId(rng.gen()), i, Level::new(rng.gen_range(0..6)), 500.0, 1e6);
+        dir.join(
+            NodeId(rng.gen()),
+            i,
+            Level::new(rng.gen_range(0..6)),
+            500.0,
+            1e6,
+        );
     }
     c.bench_function("directory/join_leave_100k", |b| {
         b.iter(|| {
@@ -142,9 +173,9 @@ fn bench_rng(c: &mut Criterion) {
 }
 
 fn bench_codec(c: &mut Criterion) {
+    use bytes::Bytes;
     use peerwindow_core::prelude::*;
     use peerwindow_transport::{decode, encode};
-    use bytes::Bytes;
     let event = StateEvent {
         subject: NodeId(0xABCDEF),
         addr: Addr(0x7F00_0001_1F90),
@@ -181,8 +212,8 @@ fn bench_codec(c: &mut Criterion) {
 }
 
 fn bench_node_machine(c: &mut Criterion) {
-    use peerwindow_core::prelude::*;
     use bytes::Bytes;
+    use peerwindow_core::prelude::*;
     // Measure the hot path: a multicast delivery applied + forwarded by a
     // node holding a 10k-entry peer list.
     let mut rng = StdRng::seed_from_u64(9);
@@ -212,7 +243,10 @@ fn bench_node_machine(c: &mut Criterion) {
             Input::Message {
                 from: NodeId(1),
                 from_addr: Addr(1),
-                msg: Message::Multicast { event: ev, step: 64 },
+                msg: Message::Multicast {
+                    event: ev,
+                    step: 64,
+                },
             },
         );
     }

@@ -58,8 +58,17 @@ fn parse_args() -> Args {
     }
     if targets.is_empty() || targets.contains("all") {
         targets = [
-            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "model",
-            "baselines", "ablation",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "model",
+            "baselines",
+            "ablation",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -126,7 +135,12 @@ fn main() {
             emit(&args.out, "fig6", "peer-list sizes by level", &fig6(rep));
         }
         if want("fig7") {
-            emit(&args.out, "fig7", "peer-list error rate by level", &fig7(rep));
+            emit(
+                &args.out,
+                "fig7",
+                "peer-list error rate by level",
+                &fig7(rep),
+            );
             let rows: Vec<(String, f64)> = rep
                 .rows
                 .iter()

@@ -1,0 +1,465 @@
+//! Non-interactive perf baseline: runs the hot engine/planner workloads
+//! once and writes a machine-readable `BENCH_PR<n>.json` at the repo root
+//! (or `--out PATH`). Every PR that touches the simulation path appends a
+//! new `BENCH_PR<n>.json`, so the perf trajectory of the repo is a set of
+//! checked-in files rather than folklore.
+//!
+//! ```text
+//! perfbaseline [--out PATH] [--quick]
+//! ```
+//!
+//! Workloads (all in this one binary, so comparisons share a build):
+//!
+//! * `seq_ping_1m` — the `des/sequential_1M_events` chain (queue depth 1):
+//!   timing-wheel engine vs. an inline binary-heap reference engine.
+//! * `seq_resident_1m` — 1M events with 100,000 resident periodic timers
+//!   (the queue shape of a 100k-node protocol run, where every node holds
+//!   probe/refresh timers): wheel vs. heap, and the headline speedup.
+//! * `parallel_fanout` — the sharded engine at 1/2/4/8 shards under both
+//!   the modulo and the topology-affine shard maps.
+//! * `oracle_plan_100k` — oracle-mode multicast planning over a 100k-node
+//!   directory (trees per second).
+//! * `latency_matrix_4800` — `TransitStubNetwork::build` wall time at the
+//!   paper-scale 4800-stub topology.
+
+use peerwindow_des::{
+    Engine, ModuloShardMap, Outbox, ParallelEngine, Scheduler, ShardLogic, ShardMap, SimTime,
+    Simulation,
+};
+use peerwindow_sim::StubAffineShardMap;
+use peerwindow_topology::{NetworkModel, Topology, TransitStubNetwork, TransitStubParams};
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+// ---------------------------------------------------------------- sequential
+
+/// The `des/sequential_1M_events` workload: one self-perpetuating event.
+struct Ping {
+    left: u64,
+}
+
+impl Simulation for Ping {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<'_, u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.schedule(100, ev.wrapping_add(1));
+        }
+    }
+}
+
+/// Per-actor timer period: spread over [500, 10 500) µs so pops interleave
+/// actors and the queue order churns (the adversarial case for a heap).
+fn period_us(actor: u32) -> u64 {
+    500 + (actor as u64).wrapping_mul(7919) % 10_000
+}
+
+/// `resident` periodic timers, `events` reschedules: the queue holds
+/// `resident` entries for the whole run.
+struct ResidentTimers {
+    left: u64,
+}
+
+impl Simulation for ResidentTimers {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, actor: u32, sched: &mut Scheduler<'_, u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.schedule(period_us(actor), actor);
+        }
+    }
+}
+
+fn wheel_ping(events: u64) -> f64 {
+    let mut e = Engine::new(Ping { left: events });
+    e.schedule(0, 1);
+    let t = Instant::now();
+    e.run_to_completion();
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(e.stats().processed, events + 1);
+    e.stats().processed as f64 / secs
+}
+
+fn wheel_resident(resident: u32, events: u64) -> f64 {
+    let mut e = Engine::new(ResidentTimers { left: events });
+    for a in 0..resident {
+        e.schedule(period_us(a), a);
+    }
+    let t = Instant::now();
+    e.run_to_completion();
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(e.stats().processed, events + resident as u64);
+    e.stats().processed as f64 / secs
+}
+
+/// The pre-overhaul scheduler, inlined: a `BinaryHeap` ordered by
+/// `(time, insertion seq)`, exactly what `crates/des/src/engine.rs` used
+/// before the timing wheel. Kept here so the wheel/heap comparison is
+/// measured inside one binary with one compiler.
+struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, HeapPayload<E>)>>,
+    seq: u64,
+}
+
+/// Payload wrapper that never influences the ordering.
+struct HeapPayload<E>(E);
+
+impl<E> PartialEq for HeapPayload<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for HeapPayload<E> {}
+impl<E> PartialOrd for HeapPayload<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapPayload<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> HeapQueue<E> {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+    #[inline]
+    fn push(&mut self, at: u64, ev: E) {
+        let s = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, s, HeapPayload(ev))));
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse((at, _, p))| (at, p.0))
+    }
+}
+
+fn heap_ping(events: u64) -> f64 {
+    let mut q = HeapQueue::new();
+    q.push(0, 1u32);
+    let mut left = events;
+    let mut processed = 0u64;
+    let t = Instant::now();
+    while let Some((at, ev)) = q.pop() {
+        processed += 1;
+        if left > 0 {
+            left -= 1;
+            q.push(at + 100, ev.wrapping_add(1));
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(processed, events + 1);
+    processed as f64 / secs
+}
+
+fn heap_resident(resident: u32, events: u64) -> f64 {
+    let mut q = HeapQueue::new();
+    for a in 0..resident {
+        q.push(period_us(a), a);
+    }
+    let mut left = events;
+    let mut processed = 0u64;
+    let t = Instant::now();
+    while let Some((at, actor)) = q.pop() {
+        processed += 1;
+        if left > 0 {
+            left -= 1;
+            q.push(at + period_us(actor), actor);
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(processed, events + resident as u64);
+    processed as f64 / secs
+}
+
+// ------------------------------------------------------------------ parallel
+
+/// The `des/parallel_fanout` workload from `benches/engine.rs`: each event
+/// fans out to two pseudo-random actors until its hop budget runs out.
+struct Fanout {
+    actors: u32,
+    count: u64,
+}
+
+impl ShardLogic for Fanout {
+    type Msg = u32;
+    fn handle(&mut self, _now: SimTime, _actor: u32, hops: u32, out: &mut Outbox<u32>) {
+        self.count += 1;
+        if hops > 0 {
+            let a = (self.count as u32).wrapping_mul(2654435761) % self.actors;
+            let b = (self.count as u32).wrapping_mul(40503) % self.actors;
+            out.send(1_000, a, hops - 1);
+            out.send(1_500, b, hops - 1);
+        }
+    }
+    fn fingerprint(&self) -> u64 {
+        self.count
+    }
+}
+
+fn parallel_fanout<M: ShardMap + Clone>(shards: usize, hops: u32, map: M) -> (f64, u64) {
+    let logics: Vec<Fanout> = (0..shards)
+        .map(|_| Fanout {
+            actors: 256,
+            count: 0,
+        })
+        .collect();
+    let mut e = ParallelEngine::with_map(logics, 1_000, map);
+    for i in 0..8 {
+        e.schedule(SimTime(0), i, hops);
+    }
+    let t = Instant::now();
+    e.run_until(SimTime::from_secs(600));
+    let secs = t.elapsed().as_secs_f64();
+    let processed = e.processed();
+    (processed as f64 / secs, processed)
+}
+
+// -------------------------------------------------------------------- oracle
+
+fn oracle_plan(n: usize, trees: u32) -> f64 {
+    use peerwindow_core::prelude::*;
+    use peerwindow_sim::plan::{plan_event, Rmq};
+    use peerwindow_sim::Directory;
+    let mut dir = Directory::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    for i in 0..n {
+        dir.join(
+            NodeId(rng.gen()),
+            i as u32,
+            Level::new(rng.gen_range(0..6)),
+            500.0,
+            1e6,
+        );
+    }
+    let mut audience = Vec::new();
+    let mut rmq = Rmq::new();
+    let mut sink = 0u64;
+    let t = Instant::now();
+    for _ in 0..trees {
+        let subject = NodeId(rng.gen());
+        dir.collect_audience(subject, &mut audience);
+        if audience.is_empty() {
+            continue;
+        }
+        let root_idx = audience.iter().position(|e| e.level == 0).unwrap_or(0);
+        plan_event(
+            &audience,
+            &mut rmq,
+            root_idx,
+            audience[root_idx].level,
+            0,
+            1_000_000,
+            |_, _| 80_000,
+            |d| sink = sink.wrapping_add(d.at_us),
+        );
+    }
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    trees as f64 / secs
+}
+
+// ---------------------------------------------------------------------- json
+
+/// Minimal JSON emitter (the workspace's `serde_json` is an offline stub).
+struct Json {
+    out: String,
+    depth: usize,
+    need_comma: bool,
+}
+
+impl Json {
+    fn new() -> Self {
+        Json {
+            out: String::new(),
+            depth: 0,
+            need_comma: false,
+        }
+    }
+    fn pad(&mut self) {
+        if self.need_comma {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+    fn open(&mut self, key: Option<&str>) {
+        self.pad();
+        if let Some(k) = key {
+            let _ = write!(self.out, "\"{k}\": ");
+        }
+        self.out.push('{');
+        self.depth += 1;
+        self.need_comma = false;
+    }
+    fn close(&mut self) {
+        self.depth -= 1;
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+        self.out.push('}');
+        self.need_comma = true;
+    }
+    fn num(&mut self, key: &str, v: f64) {
+        self.pad();
+        let _ = write!(self.out, "\"{key}\": {v:.1}");
+        self.need_comma = true;
+    }
+    fn num3(&mut self, key: &str, v: f64) {
+        self.pad();
+        let _ = write!(self.out, "\"{key}\": {v:.3}");
+        self.need_comma = true;
+    }
+    fn int(&mut self, key: &str, v: u64) {
+        self.pad();
+        let _ = write!(self.out, "\"{key}\": {v}");
+        self.need_comma = true;
+    }
+    fn str(&mut self, key: &str, v: &str) {
+        self.pad();
+        let _ = write!(self.out, "\"{key}\": \"{v}\"");
+        self.need_comma = true;
+    }
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+// ----------------------------------------------------------------------- main
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR1.json");
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("usage: perfbaseline [--out PATH] [--quick] (--out takes a path)");
+                    std::process::exit(2);
+                }
+            },
+            "--quick" => quick = true,
+            other => {
+                eprintln!("usage: perfbaseline [--out PATH] [--quick] (unknown arg {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let events: u64 = if quick { 100_000 } else { 1_000_000 };
+    let resident: u32 = if quick { 10_000 } else { 100_000 };
+    let trees: u32 = if quick { 200 } else { 2_000 };
+    let hops: u32 = if quick { 12 } else { 15 };
+
+    let parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1) as u64;
+    eprintln!("host parallelism: {parallelism}");
+
+    let mut j = Json::new();
+    j.open(None);
+    j.str("generated_by", "perfbaseline");
+    j.int("pr", 1);
+    j.str("mode", if quick { "quick" } else { "full" });
+    j.open(Some("host"));
+    j.int("parallelism", parallelism);
+    j.close();
+    j.open(Some("benches"));
+
+    // Sequential: chain (queue depth 1) and resident-timer (deep queue).
+    let w = wheel_ping(events);
+    let h = heap_ping(events);
+    eprintln!(
+        "seq_ping_1m        wheel {w:>12.0} ev/s   heap {h:>12.0} ev/s   x{:.2}",
+        w / h
+    );
+    j.open(Some("seq_ping_1m"));
+    j.int("events", events);
+    j.num("wheel_events_per_sec", w);
+    j.num("heap_events_per_sec", h);
+    j.num3("speedup", w / h);
+    j.close();
+
+    let w = wheel_resident(resident, events);
+    let h = heap_resident(resident, events);
+    eprintln!(
+        "seq_resident_1m    wheel {w:>12.0} ev/s   heap {h:>12.0} ev/s   x{:.2}",
+        w / h
+    );
+    j.open(Some("seq_resident_1m"));
+    j.int("events", events);
+    j.int("resident_timers", resident as u64);
+    j.num("wheel_events_per_sec", w);
+    j.num("heap_events_per_sec", h);
+    j.num3("speedup", w / h);
+    j.close();
+
+    // Parallel fanout under both shard maps.
+    let topo = Topology::generate(TransitStubParams::small(), 11);
+    let net = TransitStubNetwork::build(&topo);
+    let affine = StubAffineShardMap::new(&net);
+    for (name, run) in [
+        ("parallel_fanout_modulo", None),
+        ("parallel_fanout_stub_affine", Some(affine)),
+    ] {
+        j.open(Some(name));
+        for shards in [1usize, 2, 4, 8] {
+            let (eps, processed) = match run {
+                None => parallel_fanout(shards, hops, ModuloShardMap),
+                Some(m) => parallel_fanout(shards, hops, m),
+            };
+            eprintln!("{name:<28} {shards} shards {eps:>12.0} ev/s ({processed} events)");
+            j.num(&format!("shards_{shards}_events_per_sec"), eps);
+        }
+        j.close();
+    }
+
+    // Oracle planner throughput at the paper's 100k scale.
+    let tps = oracle_plan(if quick { 10_000 } else { 100_000 }, trees);
+    eprintln!("oracle_plan        {tps:>12.0} trees/s");
+    j.open(Some("oracle_plan_100k"));
+    j.int("directory_nodes", if quick { 10_000 } else { 100_000 });
+    j.num("trees_per_sec", tps);
+    j.close();
+
+    // Latency-matrix build at the paper-scale 4800-stub topology.
+    let params = if quick {
+        TransitStubParams::small()
+    } else {
+        TransitStubParams::default()
+    };
+    let stubs = params.stub_count() as u64;
+    let topo = Topology::generate(params, 2);
+    let t = Instant::now();
+    let net = TransitStubNetwork::build(&topo);
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(net.latency_us(0, stubs as u32 / 2));
+    eprintln!("latency_matrix     {stubs} stubs built in {secs:.2}s");
+    j.open(Some("latency_matrix_build"));
+    j.int("stubs", stubs);
+    j.num3("seconds", secs);
+    j.close();
+
+    j.close(); // benches
+    j.close(); // root
+    let json = j.finish();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

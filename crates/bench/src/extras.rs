@@ -40,11 +40,7 @@ pub fn model_vs_sim(report: &OracleReport, lifetime_s: f64) -> Table {
     ]);
     // Error rate ≈ multicast_delay / lifetime (§5.1), with the measured
     // mean staleness (≈ half the end-to-end delay plus detection).
-    let model_err = model.error_rate(model.multicast_delay_s(
-        report.n_final as f64,
-        0.5,
-        1.0,
-    ));
+    let model_err = model.error_rate(model.multicast_delay_s(report.n_final as f64, 0.5, 1.0));
     t.row([
         "avg_error_rate".to_string(),
         format!("{model_err:.6}"),
@@ -87,12 +83,7 @@ pub fn baselines_table(n: f64, lifetime_s: f64) -> Table {
         let pr_p = probing.pointers_for_budget(budget).min(n);
         // One-hop is all-or-nothing: N pointers if affordable, else none.
         let oh_p = if one_hop.affordable(budget) { n } else { 0.0 };
-        t.row([
-            fmt_f64(budget),
-            fmt_f64(pw_p),
-            fmt_f64(pr_p),
-            fmt_f64(oh_p),
-        ]);
+        t.row([fmt_f64(budget), fmt_f64(pw_p), fmt_f64(pr_p), fmt_f64(oh_p)]);
     }
     t
 }
@@ -195,7 +186,9 @@ pub fn lifetime_shape_ablation(scale: Scale, seed: u64) -> Table {
         ("gnutella_lognormal", LifetimeDist::Gnutella),
         (
             "exponential_same_mean",
-            LifetimeDist::Exponential { mean_s: 135.0 * 60.0 },
+            LifetimeDist::Exponential {
+                mean_s: 135.0 * 60.0,
+            },
         ),
     ] {
         let mut cfg = scale.config(n, seed);
@@ -287,7 +280,12 @@ mod tests {
         };
         // At 5 kbps: PeerWindow ≫ probing; one-hop unaffordable.
         let cells = row(5_000.0);
-        assert!(cells[1] > 10.0 * cells[2], "pw {} vs probing {}", cells[1], cells[2]);
+        assert!(
+            cells[1] > 10.0 * cells[2],
+            "pw {} vs probing {}",
+            cells[1],
+            cells[2]
+        );
         assert_eq!(cells[3], 0.0, "one-hop should be unaffordable at 5 kbps");
         // At 370 kbps one-hop becomes affordable.
         let cells = row(370_000.0);

@@ -119,11 +119,7 @@ pub fn fig7(report: &OracleReport) -> Table {
 pub fn fig8(report: &OracleReport) -> Table {
     let mut t = Table::new(["level", "in_bps", "out_bps"]);
     for r in &report.rows {
-        t.row([
-            r.level.to_string(),
-            fmt_f64(r.in_bps),
-            fmt_f64(r.out_bps),
-        ]);
+        t.row([r.level.to_string(), fmt_f64(r.in_bps), fmt_f64(r.out_bps)]);
     }
     t
 }
@@ -261,7 +257,10 @@ mod tests {
         assert!(top_ratio > 0.8, "top out/in {top_ratio}");
         if let Some(weak) = rep.rows.iter().rev().find(|r| r.nodes > 20.0) {
             if weak.level >= 2 {
-                assert!(weak.out_bps < weak.in_bps, "weak node sends more than it receives");
+                assert!(
+                    weak.out_bps < weak.in_bps,
+                    "weak node sends more than it receives"
+                );
             }
         }
     }

@@ -100,9 +100,7 @@ impl Message {
             Message::Report { event } | Message::Multicast { event, .. } => {
                 cfg.event_msg_bits + event.info.len() as u64 * 8
             }
-            Message::ReportAck { tops, .. } => {
-                cfg.ack_msg_bits + tops.len() as u64 * TARGET_BITS
-            }
+            Message::ReportAck { tops, .. } => cfg.ack_msg_bits + tops.len() as u64 * TARGET_BITS,
             Message::MulticastAck { .. } => cfg.ack_msg_bits,
             Message::FindTop { .. } | Message::LevelQuery | Message::TopListRequest => {
                 cfg.ack_msg_bits
@@ -186,9 +184,18 @@ mod tests {
         let cfg = ProtocolConfig::default();
         assert!(Message::Probe.expects_reply());
         assert!(!Message::ProbeAck.expects_reply());
-        assert!(Message::Multicast { event: event(b""), step: 0 }.expects_reply());
-        assert!(!Message::MulticastAck { key: (NodeId(1), 0) }.expects_reply());
+        assert!(Message::Multicast {
+            event: event(b""),
+            step: 0
+        }
+        .expects_reply());
+        assert!(!Message::MulticastAck {
+            key: (NodeId(1), 0)
+        }
+        .expects_reply());
         // probes are cheaper than events
-        assert!(Message::Probe.wire_bits(&cfg) < Message::Report { event: event(b"") }.wire_bits(&cfg));
+        assert!(
+            Message::Probe.wire_bits(&cfg) < Message::Report { event: event(b"") }.wire_bits(&cfg)
+        );
     }
 }

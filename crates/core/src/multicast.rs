@@ -252,8 +252,9 @@ mod tests {
         let edges = plan_tree(&list, root, 0, changing);
         let reached: BTreeSet<NodeId> = edges.iter().map(|e| e.to.id).collect();
         // Audience of E = {A, B, D, E, H}; minus root A and subject E.
-        let expect: BTreeSet<NodeId> =
-            [nid("0111"), nid("1101"), nid("1010")].into_iter().collect();
+        let expect: BTreeSet<NodeId> = [nid("0111"), nid("1101"), nid("1010")]
+            .into_iter()
+            .collect();
         assert_eq!(reached, expect);
         // Exactly-once delivery.
         assert_eq!(reached.len(), edges.len());
@@ -356,7 +357,7 @@ mod tests {
         let edges = plan_tree(&list, root, 0, changing);
         let stats = tree_stats(&edges, root);
         assert_eq!(stats.receivers, n - 1); // everyone but the root
-        // log2(1024) = 10; allow slack for the uneven random split.
+                                            // log2(1024) = 10; allow slack for the uneven random split.
         assert!(stats.max_depth <= 24, "depth {} too large", stats.max_depth);
         assert!(
             stats.root_out_degree >= 8 && stats.root_out_degree <= 40,

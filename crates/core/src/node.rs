@@ -236,11 +236,7 @@ impl LifetimeStats {
     /// Mean observed lifetime over all levels.
     fn overall_mean_us(&self) -> Option<u64> {
         let c: u64 = self.count.iter().sum();
-        if c == 0 {
-            None
-        } else {
-            Some(self.sum_us.iter().sum::<u64>() / c)
-        }
+        self.sum_us.iter().sum::<u64>().checked_div(c)
     }
 }
 
@@ -493,7 +489,11 @@ impl NodeMachine {
         }
         let mut outs = Vec::new();
         match input {
-            Input::Message { from, from_addr, msg } => {
+            Input::Message {
+                from,
+                from_addr,
+                msg,
+            } => {
                 self.stats.rx_msgs += 1;
                 let bits = msg.wire_bits(&self.cfg);
                 self.stats.rx_bits += bits;
@@ -532,9 +532,7 @@ impl NodeMachine {
         match msg {
             Message::Probe => self.send(outs, reply_to, Message::ProbeAck, 0),
             Message::ProbeAck => {
-                self.resolve_rpc(|p| {
-                    matches!(p.kind, RpcKind::Probe) && p.target.id == from
-                });
+                self.resolve_rpc(|p| matches!(p.kind, RpcKind::Probe) && p.target.id == from);
             }
             Message::Report { event } => {
                 // §4.4: the multicast must be rooted at a top node of the
@@ -586,9 +584,9 @@ impl NodeMachine {
             Message::ReportAck { key, tops } => {
                 self.tops.refresh(tops);
                 self.report_dead.clear();
-                self.resolve_rpc(|p| {
-                    matches!(&p.kind, RpcKind::Report { event } if event.key() == key)
-                });
+                self.resolve_rpc(
+                    |p| matches!(&p.kind, RpcKind::Report { event } if event.key() == key),
+                );
             }
             Message::Multicast { event, step } => {
                 let key = event.key();
@@ -637,12 +635,8 @@ impl NodeMachine {
                 // Our own list never stores a self-pointer; the downloader
                 // still must learn about us when we fall in its scope.
                 if scope.contains(self.me) {
-                    let mut me = Pointer::with_info(
-                        self.me,
-                        self.addr,
-                        self.level,
-                        self.info.clone(),
-                    );
+                    let mut me =
+                        Pointer::with_info(self.me, self.addr, self.level, self.info.clone());
                     me.last_refresh_us = now_us;
                     pointers.push(me);
                 }
@@ -890,8 +884,7 @@ impl NodeMachine {
                 // last announcement, so the period tracks the measured
                 // lifetimes as they evolve.
                 if self.phase == Phase::Active
-                    && now_us.saturating_sub(self.last_self_refresh_us)
-                        >= self.refresh_period_us()
+                    && now_us.saturating_sub(self.last_self_refresh_us) >= self.refresh_period_us()
                 {
                     self.last_self_refresh_us = now_us;
                     self.seq += 1;
@@ -976,9 +969,10 @@ impl NodeMachine {
 
     fn probe_successor(&mut self, outs: &mut Vec<Output>) {
         let succ = match self.cfg.probe_scope {
-            ProbeScope::Group => self
-                .peers
-                .ring_successor_in_group(self.me, self.eigenstring(), self.level),
+            ProbeScope::Group => {
+                self.peers
+                    .ring_successor_in_group(self.me, self.eigenstring(), self.level)
+            }
             ProbeScope::PeerList => self.peers.ring_successor(self.me),
         };
         let Some(succ) = succ else { return };
@@ -1068,7 +1062,15 @@ impl NodeMachine {
             self.fetch_top_list(outs, Some(event));
             return;
         };
-        self.send_rpc(outs, top, Message::Report { event }, RpcKind::Report { event: placeholder() }, 0);
+        self.send_rpc(
+            outs,
+            top,
+            Message::Report { event },
+            RpcKind::Report {
+                event: placeholder(),
+            },
+            0,
+        );
     }
 
     /// Applies an event locally and forwards it from `step = our level`
@@ -1433,9 +1435,13 @@ impl NodeMachine {
                     };
                     self.send_rpc(outs, suspect, Message::Probe, RpcKind::Probe, 0);
                 }
-                if let Some(next) =
-                    crate::multicast::redirect_target(&self.peers, range, event.subject, self.me, &[])
-                {
+                if let Some(next) = crate::multicast::redirect_target(
+                    &self.peers,
+                    range,
+                    event.subject,
+                    self.me,
+                    &[],
+                ) {
                     let step = range.len();
                     self.send_rpc(
                         outs,
@@ -1850,7 +1856,7 @@ mod tests {
         let mut m = BandwidthMeter::new(6_000_000); // 6 s window
         m.note(0, 6_000); // 6 kbit at t=0
         assert!((m.bps(1_000_000) - 1_000.0).abs() < 1.0); // 6 kbit / 6 s
-        // After the window passes, the sample expires.
+                                                           // After the window passes, the sample expires.
         assert!(m.bps(13_000_000) < 1.0);
     }
 

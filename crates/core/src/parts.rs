@@ -31,10 +31,7 @@ impl PartMap {
         let mut parts: Vec<Prefix> = Vec::new();
         for (bits, len) in all {
             let p = Prefix::new(bits, len);
-            if !parts
-                .last()
-                .is_some_and(|last| last.is_prefix_of(p))
-            {
+            if !parts.last().is_some_and(|last| last.is_prefix_of(p)) {
                 // Not covered by the most recent minimal prefix. Because the
                 // set is sorted, any covering prefix would be the latest
                 // minimal one, so `p` is itself minimal.
@@ -148,7 +145,7 @@ mod tests {
         // Part membership.
         assert!(pm.same_part(members[1].id, members[5].id)); // D, H
         assert!(!pm.same_part(members[0].id, members[1].id)); // C, D
-        // Top nodes: D and E are tops of part "1"; H is not.
+                                                              // Top nodes: D and E are tops of part "1"; H is not.
         assert!(pm.is_top(members[1]));
         assert!(pm.is_top(members[2]));
         assert!(!pm.is_top(members[5]));
@@ -173,7 +170,10 @@ mod tests {
             None
         );
         let in_part = Prefix::from_bits_str("1101").unwrap().range_start();
-        assert_eq!(pm.part_of(in_part), Some(Prefix::from_bits_str("11").unwrap()));
+        assert_eq!(
+            pm.part_of(in_part),
+            Some(Prefix::from_bits_str("11").unwrap())
+        );
     }
 
     #[test]

@@ -183,7 +183,12 @@ impl PeerList {
     /// the smallest id strictly greater than `me` among nodes in `group`
     /// (the caller's eigenstring group: same level, same prefix), wrapping
     /// around. Returns `None` when the group has no other member.
-    pub fn ring_successor_in_group(&self, me: NodeId, group: Prefix, level: Level) -> Option<&Pointer> {
+    pub fn ring_successor_in_group(
+        &self,
+        me: NodeId,
+        group: Prefix,
+        level: Level,
+    ) -> Option<&Pointer> {
         let set = self.by_level.get(level.value() as usize)?;
         let range = group.id_range();
         let (start, end) = (*range.start(), *range.end());
@@ -251,11 +256,11 @@ impl PeerList {
             // Level-l members of the audience set have eigenstring equal to
             // changing.prefix(l). Inside `range` they exist only if the two
             // prefixes are compatible.
-            let query = if l as u8 <= range.len() {
+            let query = if l <= range.len() {
                 // Everything in `range` already fixes the first `range.len()`
                 // bits; audience requires those bits to agree with `changing`
                 // on the first l of them.
-                if (l as u8) <= diverge.min(range.len()) {
+                if l <= diverge.min(range.len()) {
                     range
                 } else {
                     continue;
@@ -264,7 +269,7 @@ impl PeerList {
                 // Deeper levels: candidates must extend `changing`'s own
                 // prefix, which lies inside `range` only if `range` itself
                 // agrees with `changing` on all its bits.
-                if diverge >= range.len() && (l as u8) <= ID_BITS {
+                if diverge >= range.len() && l <= ID_BITS {
                     changing.prefix(l)
                 } else {
                     continue;
@@ -408,7 +413,7 @@ mod tests {
         };
         assert_eq!(next("0000"), Some(nid("0011")));
         assert_eq!(next("0110"), Some(nid("0000"))); // wrap
-        // Singleton group: the only level-1 node under "11" is D itself.
+                                                     // Singleton group: the only level-1 node under "11" is D itself.
         let solo = list.ring_successor_in_group(
             nid("1101"),
             Prefix::from_bits_str("11").unwrap(),
@@ -428,7 +433,13 @@ mod tests {
             .map(|i| i.id)
             .collect();
         ids.sort();
-        let mut expect = vec![nid("0010"), nid("0111"), nid("1101"), nid("1011"), nid("1010")];
+        let mut expect = vec![
+            nid("0010"),
+            nid("0111"),
+            nid("1101"),
+            nid("1011"),
+            nid("1010"),
+        ];
         expect.sort();
         assert_eq!(ids, expect);
     }
@@ -437,14 +448,14 @@ mod tests {
     fn strongest_audience_prefers_low_level_value() {
         let list = figure1_list();
         let changing = nid("1011"); // E
-        // In the "0…" half, only the level-0 nodes A and B are audience.
+                                    // In the "0…" half, only the level-0 nodes A and B are audience.
         let range = Prefix::from_bits_str("0").unwrap();
         let t = list
             .strongest_audience_in_range(range, changing, NodeId::MAX)
             .unwrap();
         assert_eq!(t.level, Level::TOP);
         assert_eq!(t.id, nid("0010")); // smallest-id tie-break (A over B)
-        // In the "10" quarter, H (level 2, eigenstring "10") qualifies.
+                                       // In the "10" quarter, H (level 2, eigenstring "10") qualifies.
         let range = Prefix::from_bits_str("10").unwrap();
         let t = list
             .strongest_audience_in_range(range, changing, nid("1011"))
@@ -500,7 +511,6 @@ mod tests {
             .unwrap();
         assert_eq!(t.id, nid("0110"));
     }
-
 
     #[test]
     fn expire_drops_old_entries() {

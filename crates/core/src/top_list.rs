@@ -135,7 +135,9 @@ mod tests {
         l.refresh([t(1), t(2), t(3)]);
         let chosen = l.choose(&[NodeId(3), NodeId(2)], |_| 0).unwrap();
         assert_eq!(chosen.id, NodeId(1));
-        assert!(l.choose(&[NodeId(1), NodeId(2), NodeId(3)], |_| 0).is_none());
+        assert!(l
+            .choose(&[NodeId(1), NodeId(2), NodeId(3)], |_| 0)
+            .is_none());
     }
 
     #[test]

@@ -5,10 +5,14 @@
 //! produce bit-identical traces. The engine is generic over the
 //! simulation's event type; the simulation schedules follow-up events
 //! through the [`Scheduler`] handed to its handler.
+//!
+//! The pending-event queue is a hierarchical timing wheel
+//! ([`crate::wheel::EventWheel`]): O(1) amortised schedule/pop instead of
+//! the O(log n) binary heap this engine used previously, with identical
+//! `(timestamp, FIFO)` ordering semantics.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::wheel::EventWheel;
 
 /// A simulation driven by the engine.
 pub trait Simulation {
@@ -19,35 +23,10 @@ pub trait Simulation {
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
 }
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// Scheduling interface passed to [`Simulation::handle`].
 pub struct Scheduler<'a, E> {
     now: SimTime,
-    seq: &'a mut u64,
-    heap: &'a mut BinaryHeap<Scheduled<E>>,
+    wheel: &'a mut EventWheel<E>,
 }
 
 impl<E> Scheduler<'_, E> {
@@ -65,13 +44,7 @@ impl<E> Scheduler<'_, E> {
 
     /// Schedules `event` at absolute time `at` (clamped to now).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        let at = at.max(self.now);
-        *self.seq += 1;
-        self.heap.push(Scheduled {
-            at,
-            seq: *self.seq,
-            event,
-        });
+        self.wheel.schedule(at.max(self.now), event);
     }
 }
 
@@ -88,8 +61,7 @@ pub struct EngineStats {
 pub struct Engine<S: Simulation> {
     sim: S,
     now: SimTime,
-    seq: u64,
-    heap: BinaryHeap<Scheduled<S::Event>>,
+    wheel: EventWheel<S::Event>,
     stats: EngineStats,
 }
 
@@ -99,8 +71,7 @@ impl<S: Simulation> Engine<S> {
         Engine {
             sim,
             now: SimTime::ZERO,
-            seq: 0,
-            heap: BinaryHeap::new(),
+            wheel: EventWheel::new(),
             stats: EngineStats::default(),
         }
     }
@@ -137,7 +108,7 @@ impl<S: Simulation> Engine<S> {
     /// Number of pending events.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Schedules an event `delay_us` after the current time (setup or
@@ -148,31 +119,28 @@ impl<S: Simulation> Engine<S> {
 
     /// Schedules an event at an absolute time.
     pub fn schedule_at(&mut self, at: SimTime, event: S::Event) {
-        let at = at.max(self.now);
-        self.seq += 1;
-        self.heap.push(Scheduled {
-            at,
-            seq: self.seq,
-            event,
-        });
-        self.stats.max_queue = self.stats.max_queue.max(self.heap.len());
+        self.wheel.schedule(at.max(self.now), event);
+        self.stats.max_queue = self.stats.max_queue.max(self.wheel.len());
+    }
+
+    fn dispatch(&mut self, at: SimTime, event: S::Event) {
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        self.stats.processed += 1;
+        let mut sched = Scheduler {
+            now: at,
+            wheel: &mut self.wheel,
+        };
+        self.sim.handle(at, event, &mut sched);
+        self.stats.max_queue = self.stats.max_queue.max(self.wheel.len());
     }
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(next) = self.heap.pop() else {
+        let Some((at, event)) = self.wheel.pop() else {
             return false;
         };
-        debug_assert!(next.at >= self.now, "time went backwards");
-        self.now = next.at;
-        self.stats.processed += 1;
-        let mut sched = Scheduler {
-            now: self.now,
-            seq: &mut self.seq,
-            heap: &mut self.heap,
-        };
-        self.sim.handle(self.now, next.event, &mut sched);
-        self.stats.max_queue = self.stats.max_queue.max(self.heap.len());
+        self.dispatch(at, event);
         true
     }
 
@@ -181,11 +149,8 @@ impl<S: Simulation> Engine<S> {
     /// more precisely it advances to `until` when the simulation outlives
     /// the bound, so periodic sampling of `now()` is monotone.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(next) = self.heap.peek() {
-            if next.at > until {
-                break;
-            }
-            self.step();
+        while let Some((at, event)) = self.wheel.pop_until(until) {
+            self.dispatch(at, event);
         }
         self.now = self.now.max(until);
     }

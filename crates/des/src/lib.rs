@@ -6,9 +6,13 @@
 //!
 //! * [`engine`] — the sequential engine: a single totally-ordered event
 //!   queue; bit-deterministic.
+//! * [`wheel`] — the hierarchical timing wheel backing both engines'
+//!   event queues: O(1) amortised schedule/pop with `(time, FIFO)`
+//!   ordering identical to the binary heap it replaced.
 //! * [`parallel`] — the conservative sharded engine: actors partitioned
-//!   across shards, barrier-synchronised lookahead windows, rayon for the
-//!   intra-window parallelism (threads standing in for ONSP's MPI ranks).
+//!   across shards via a pluggable [`ShardMap`], barrier-synchronised
+//!   lookahead windows, scoped std threads for the intra-window
+//!   parallelism (standing in for ONSP's MPI ranks).
 //! * [`time`] — µs-resolution simulated time.
 //! * [`rng`] — deterministic per-stream random numbers.
 
@@ -19,8 +23,10 @@ pub mod engine;
 pub mod parallel;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use engine::{Engine, EngineStats, Scheduler, Simulation};
-pub use parallel::{Outbox, ParallelEngine, ShardLogic};
+pub use parallel::{ModuloShardMap, Outbox, ParallelEngine, ShardLogic, ShardMap};
 pub use rng::DetRng;
 pub use time::SimTime;
+pub use wheel::EventWheel;

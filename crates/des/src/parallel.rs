@@ -3,13 +3,25 @@
 //! The paper ran its experiments on ONSP, a parallel discrete-event
 //! platform using MPI across a 16-server cluster. This module provides the
 //! shared-memory analogue: actors are partitioned into shards, each shard
-//! owns a private event queue, and execution proceeds in barrier-
-//! synchronised *windows* of length equal to the *lookahead* — the minimum
-//! cross-shard message latency. Within a window every shard processes its
-//! local events independently (in parallel via rayon); messages to other
-//! shards are buffered and merged at the barrier in a canonical order, so
-//! a run is **bit-deterministic for a fixed shard count**, and the *set*
-//! of deliveries is identical across shard counts (asserted by tests).
+//! owns a private event queue (a hierarchical timing wheel, see
+//! [`crate::wheel`]), and execution proceeds in barrier-synchronised
+//! *windows* of length equal to the *lookahead* — the minimum cross-shard
+//! message latency. Within a window every shard processes its local events
+//! independently (on scoped std threads when more than one core is
+//! available); messages to other shards are buffered and merged at the
+//! barrier in a canonical order, so a run is **bit-deterministic for a
+//! fixed shard count**, and the *set* of deliveries is identical across
+//! shard counts (asserted by tests).
+//!
+//! Window processing is allocation-free in steady state: each shard keeps
+//! a persistent outbox and per-destination remote buckets that are filled
+//! during phase 1, and the engine keeps one reusable merge buffer per
+//! destination shard for the phase-2 barrier merge.
+//!
+//! Actor placement is pluggable through [`ShardMap`]; the default
+//! [`ModuloShardMap`] reproduces the historical `actor % shards`
+//! partition, while topology-aware maps (e.g. grouping overlay addresses
+//! by transit-stub domain) can cut cross-shard traffic dramatically.
 //!
 //! Correctness rests on the classic conservative-synchronisation argument:
 //! a message sent during window `[w, w+δ)` to another shard carries a
@@ -17,9 +29,7 @@
 //! message that should have pre-empted work it already did.
 
 use crate::time::SimTime;
-use rayon::prelude::*;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::wheel::EventWheel;
 
 /// Shard-local simulation logic: the state of all actors owned by one
 /// shard, plus the message handler.
@@ -35,6 +45,26 @@ pub trait ShardLogic: Send {
     /// cross-shard-count validation.
     fn fingerprint(&self) -> u64 {
         0
+    }
+}
+
+/// Maps actors to shards. Implementations must be pure functions of
+/// `(actor, shards)` — the partition is consulted on every send, from
+/// worker threads, and must never change during a run.
+pub trait ShardMap: Sync {
+    /// The shard owning `actor` when `shards` shards exist. Must return a
+    /// value in `0..shards`.
+    fn shard_of(&self, actor: u32, shards: usize) -> usize;
+}
+
+/// The default static partition: `actor % shards`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModuloShardMap;
+
+impl ShardMap for ModuloShardMap {
+    #[inline]
+    fn shard_of(&self, actor: u32, shards: usize) -> usize {
+        actor as usize % shards
     }
 }
 
@@ -59,39 +89,18 @@ impl<M> Outbox<M> {
     }
 }
 
-struct Scheduled<M> {
+/// A buffered cross-shard message; the source shard is implicit in which
+/// bucket it sits in during phase 1 and recorded explicitly at the merge.
+struct Remote<M> {
     at: SimTime,
-    seq: u64,
+    src_seq: u64,
     actor: u32,
     msg: M,
 }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-struct Shard<L: ShardLogic> {
-    logic: L,
-    queue: BinaryHeap<Scheduled<L::Msg>>,
-    seq: u64,
-    processed: u64,
-}
-
-/// A buffered cross-shard message with its canonical merge key.
-struct Remote<M> {
+/// A cross-shard message in a destination merge buffer, keyed for the
+/// canonical `(at, src_shard, src_seq)` ordering.
+struct Inbound<M> {
     at: SimTime,
     src_shard: u32,
     src_seq: u64,
@@ -99,35 +108,115 @@ struct Remote<M> {
     msg: M,
 }
 
-/// The parallel engine: `S` shards advancing in lockstep windows.
-pub struct ParallelEngine<L: ShardLogic> {
-    shards: Vec<Shard<L>>,
-    lookahead_us: u64,
-    now: SimTime,
+struct Shard<L: ShardLogic> {
+    logic: L,
+    wheel: EventWheel<(u32, L::Msg)>,
+    /// Orders this shard's cross-shard sends within a window.
+    send_seq: u64,
+    processed: u64,
+    /// Persistent outbox reused across every handled event.
+    outbox: Outbox<L::Msg>,
+    /// Persistent per-destination buckets for cross-shard sends
+    /// (`remote[dest]`), filled during phase 1, drained at the barrier.
+    remote: Vec<Vec<Remote<L::Msg>>>,
 }
 
-impl<L: ShardLogic> ParallelEngine<L> {
-    /// Builds an engine over the given shard logics. `lookahead_us` must be
-    /// a lower bound on every cross-shard message delay (for PeerWindow
-    /// topologies: the minimum link latency, 1 ms).
+/// Runs one shard's share of a window: drain local events below
+/// `window_end`, keeping local follow-ups and bucketing cross-shard sends
+/// by destination.
+fn run_window_shard<L: ShardLogic, M: ShardMap>(
+    shard_idx: usize,
+    shard: &mut Shard<L>,
+    map: &M,
+    shards: usize,
+    window_end: SimTime,
+    lookahead_us: u64,
+) {
+    // `window_end` is exclusive; `pop_until` is inclusive.
+    let limit = SimTime(window_end.as_micros() - 1);
+    while let Some((now, (actor, msg))) = shard.wheel.pop_until(limit) {
+        shard.processed += 1;
+        shard.outbox.now = now;
+        shard.logic.handle(now, actor, msg, &mut shard.outbox);
+        for (at, dst_actor, m) in shard.outbox.sends.drain(..) {
+            let dest = map.shard_of(dst_actor, shards);
+            if dest == shard_idx {
+                shard.wheel.schedule(at, (dst_actor, m));
+            } else {
+                assert!(
+                    at >= window_end || at.as_micros() >= now.as_micros() + lookahead_us,
+                    "cross-shard send violates lookahead: at {at:?}, window ends {window_end:?}"
+                );
+                shard.send_seq += 1;
+                shard.remote[dest].push(Remote {
+                    at,
+                    src_seq: shard.send_seq,
+                    actor: dst_actor,
+                    msg: m,
+                });
+            }
+        }
+    }
+}
+
+/// The parallel engine: `S` shards advancing in lockstep windows, with an
+/// actor partition given by `M`.
+pub struct ParallelEngine<L: ShardLogic, M: ShardMap = ModuloShardMap> {
+    shards: Vec<Shard<L>>,
+    map: M,
+    lookahead_us: u64,
+    now: SimTime,
+    workers: usize,
+    /// Persistent phase-2 merge buffers, one per destination shard.
+    merge: Vec<Vec<Inbound<L::Msg>>>,
+}
+
+impl<L: ShardLogic> ParallelEngine<L, ModuloShardMap> {
+    /// Builds an engine over the given shard logics with the default
+    /// modulo partition. `lookahead_us` must be a lower bound on every
+    /// cross-shard message delay (for PeerWindow topologies: the minimum
+    /// link latency, 1 ms).
     ///
     /// # Panics
     /// Panics if `shards` is empty or `lookahead_us == 0`.
     pub fn new(shards: Vec<L>, lookahead_us: u64) -> Self {
+        Self::with_map(shards, lookahead_us, ModuloShardMap)
+    }
+}
+
+impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
+    /// Builds an engine with an explicit actor-to-shard partition.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or `lookahead_us == 0`.
+    pub fn with_map(shards: Vec<L>, lookahead_us: u64, map: M) -> Self {
         assert!(!shards.is_empty(), "need at least one shard");
         assert!(lookahead_us > 0, "lookahead must be positive");
+        let n = shards.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
         ParallelEngine {
             shards: shards
                 .into_iter()
                 .map(|logic| Shard {
                     logic,
-                    queue: BinaryHeap::new(),
-                    seq: 0,
+                    wheel: EventWheel::new(),
+                    send_seq: 0,
                     processed: 0,
+                    outbox: Outbox {
+                        now: SimTime::ZERO,
+                        sends: Vec::new(),
+                    },
+                    remote: (0..n).map(|_| Vec::new()).collect(),
                 })
                 .collect(),
+            map,
             lookahead_us,
             now: SimTime::ZERO,
+            workers,
+            merge: (0..n).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -137,10 +226,10 @@ impl<L: ShardLogic> ParallelEngine<L> {
         self.shards.len()
     }
 
-    /// The shard owning `actor` (static modulo partition).
+    /// The shard owning `actor` under the engine's partition.
     #[inline]
     pub fn shard_of(&self, actor: u32) -> usize {
-        actor as usize % self.shards.len()
+        self.map.shard_of(actor, self.shards.len())
     }
 
     /// Current window start time.
@@ -167,30 +256,32 @@ impl<L: ShardLogic> ParallelEngine<L> {
     }
 
     /// Schedules an initial message (setup).
+    ///
+    /// `at` is clamped to the engine's current time: scheduling into the
+    /// past would violate the windows already committed, so a past `at`
+    /// is delivered at `now()` instead. Schedule setup events before
+    /// calling [`Self::run_until`] to avoid the clamp.
     pub fn schedule(&mut self, at: SimTime, actor: u32, msg: L::Msg) {
-        let shard = self.shard_of(actor);
-        let s = &mut self.shards[shard];
-        s.seq += 1;
-        let seq = s.seq;
-        s.queue.push(Scheduled {
-            at: at.max(self.now),
-            seq,
-            actor,
-            msg,
-        });
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past (at {at:?} < now {:?}); the event will be clamped to now()",
+            self.now
+        );
+        let shard = self.map.shard_of(actor, self.shards.len());
+        self.shards[shard]
+            .wheel
+            .schedule(at.max(self.now), (actor, msg));
     }
 
     /// Runs windows until simulated time reaches `until` or all queues
     /// drain.
-    pub fn run_until(&mut self, until: SimTime)
-    where
-        L::Msg: Send,
-    {
+    pub fn run_until(&mut self, until: SimTime) {
+        let n = self.shards.len();
         while self.now < until {
             let earliest = self
                 .shards
                 .iter()
-                .filter_map(|s| s.queue.peek().map(|e| e.at))
+                .filter_map(|s| s.wheel.peek_min_at())
                 .min();
             let Some(earliest) = earliest else {
                 break; // all queues empty
@@ -201,78 +292,71 @@ impl<L: ShardLogic> ParallelEngine<L> {
             // Skip idle gaps: jump the window to the earliest pending event.
             let window_start = self.now.max(earliest);
             let window_end = (window_start + self.lookahead_us).min(until);
-            let n = self.shards.len() as u32;
             let lookahead = self.lookahead_us;
-            // Phase 1: parallel local processing; collect cross-shard sends.
-            let outgoing: Vec<Vec<Remote<L::Msg>>> = self
-                .shards
-                .par_iter_mut()
-                .enumerate()
-                .map(|(shard_idx, shard)| {
-                    let mut remote = Vec::new();
-                    let mut out = Outbox {
-                        now: SimTime::ZERO,
-                        sends: Vec::new(),
-                    };
-                    while let Some(head) = shard.queue.peek() {
-                        if head.at >= window_end {
-                            break;
-                        }
-                        let ev = shard.queue.pop().expect("peeked");
-                        shard.processed += 1;
-                        out.now = ev.at;
-                        shard.logic.handle(ev.at, ev.actor, ev.msg, &mut out);
-                        for (at, actor, msg) in out.sends.drain(..) {
-                            if actor % n == shard_idx as u32 {
-                                shard.seq += 1;
-                                let seq = shard.seq;
-                                shard.queue.push(Scheduled {
-                                    at,
-                                    seq,
-                                    actor,
-                                    msg,
-                                });
-                            } else {
-                                assert!(
-                                    at >= window_end || at.as_micros() >= ev.at.as_micros() + lookahead,
-                                    "cross-shard send violates lookahead: at {at:?}, window ends {window_end:?}"
+
+            // Phase 1: independent local processing per shard.
+            if self.workers <= 1 {
+                for (idx, shard) in self.shards.iter_mut().enumerate() {
+                    run_window_shard(idx, shard, &self.map, n, window_end, lookahead);
+                }
+            } else {
+                let map = &self.map;
+                let chunk = n.div_ceil(self.workers);
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(self.workers);
+                    for (c, shards) in self.shards.chunks_mut(chunk).enumerate() {
+                        handles.push(scope.spawn(move || {
+                            for (j, shard) in shards.iter_mut().enumerate() {
+                                run_window_shard(
+                                    c * chunk + j,
+                                    shard,
+                                    map,
+                                    n,
+                                    window_end,
+                                    lookahead,
                                 );
-                                shard.seq += 1;
-                                remote.push(Remote {
-                                    at,
-                                    src_shard: shard_idx as u32,
-                                    src_seq: shard.seq,
-                                    actor,
-                                    msg,
-                                });
                             }
+                        }));
+                    }
+                    // Join explicitly so a panicking shard (e.g. a
+                    // lookahead violation) propagates its own payload
+                    // instead of the scope's generic panic message.
+                    let mut panic = None;
+                    for h in handles {
+                        if let Err(p) = h.join() {
+                            panic.get_or_insert(p);
                         }
                     }
-                    remote
-                })
-                .collect();
-            // Phase 2 (barrier): merge cross-shard messages canonically.
-            let mut inbound: Vec<Vec<Remote<L::Msg>>> =
-                (0..self.shards.len()).map(|_| Vec::new()).collect();
-            for batch in outgoing {
-                for r in batch {
-                    let dest = r.actor as usize % self.shards.len();
-                    inbound[dest].push(r);
+                    if let Some(p) = panic {
+                        std::panic::resume_unwind(p);
+                    }
+                });
+            }
+
+            // Phase 2 (barrier): merge cross-shard messages canonically
+            // into each destination wheel, reusing the merge buffers.
+            for dest in 0..n {
+                let buf = &mut self.merge[dest];
+                debug_assert!(buf.is_empty());
+                for (src, shard) in self.shards.iter_mut().enumerate() {
+                    for r in shard.remote[dest].drain(..) {
+                        buf.push(Inbound {
+                            at: r.at,
+                            src_shard: src as u32,
+                            src_seq: r.src_seq,
+                            actor: r.actor,
+                            msg: r.msg,
+                        });
+                    }
+                }
+                buf.sort_unstable_by_key(|r| (r.at, r.src_shard, r.src_seq));
+                let wheel = &mut self.shards[dest].wheel;
+                for r in buf.drain(..) {
+                    wheel.schedule(r.at, (r.actor, r.msg));
                 }
             }
-            for (dest, mut batch) in inbound.into_iter().enumerate() {
-                batch.sort_by_key(|r| (r.at, r.src_shard, r.src_seq));
-                let shard = &mut self.shards[dest];
-                for r in batch {
-                    shard.seq += 1;
-                    let seq = shard.seq;
-                    shard.queue.push(Scheduled {
-                        at: r.at,
-                        seq,
-                        actor: r.actor,
-                        msg: r.msg,
-                    });
-                }
+            for shard in &mut self.shards {
+                shard.send_seq = 0;
             }
             self.now = window_end;
         }
@@ -327,7 +411,19 @@ mod tests {
         }
     }
 
-    fn run(shards: usize, actors: u32) -> (u64, u64) {
+    /// Groups actors into contiguous blocks, round-robin over shards — a
+    /// stand-in for locality-aware partitions.
+    struct BlockMap {
+        block: u32,
+    }
+
+    impl ShardMap for BlockMap {
+        fn shard_of(&self, actor: u32, shards: usize) -> usize {
+            (actor / self.block) as usize % shards
+        }
+    }
+
+    fn run_with_map<M: ShardMap>(shards: usize, actors: u32, map: M) -> (u64, u64) {
         let logics: Vec<Gossip> = (0..shards)
             .map(|_| Gossip {
                 actors,
@@ -335,13 +431,24 @@ mod tests {
                 deliveries: 0,
             })
             .collect();
-        let mut e = ParallelEngine::new(logics, 1_000);
+        let mut e = ParallelEngine::with_map(logics, 1_000, map);
         for i in 0..4 {
-            e.schedule(SimTime(i as u64 * 13), i, G { hops: 8, token: i as u64 + 1 });
+            e.schedule(
+                SimTime(i as u64 * 13),
+                i,
+                G {
+                    hops: 8,
+                    token: i as u64 + 1,
+                },
+            );
         }
         e.run_until(SimTime::from_secs(10));
         let deliveries: u64 = (0..shards).map(|s| e.logic(s).deliveries).sum();
         (e.fingerprint(), deliveries)
+    }
+
+    fn run(shards: usize, actors: u32) -> (u64, u64) {
+        run_with_map(shards, actors, ModuloShardMap)
     }
 
     #[test]
@@ -361,6 +468,17 @@ mod tests {
         assert_eq!(f1, f8, "digest differs between 1 and 8 shards");
         // The cascade actually ran: 4 roots × (2^9 - 1) deliveries each.
         assert_eq!(d1, 4 * 511);
+    }
+
+    #[test]
+    fn delivery_set_is_invariant_across_shard_maps() {
+        let (f_mod, d_mod) = run(4, 64);
+        let (f_blk, d_blk) = run_with_map(4, 64, BlockMap { block: 16 });
+        let (f_blk3, d_blk3) = run_with_map(3, 64, BlockMap { block: 8 });
+        assert_eq!(d_mod, d_blk);
+        assert_eq!(d_mod, d_blk3);
+        assert_eq!(f_mod, f_blk, "digest differs between modulo and block maps");
+        assert_eq!(f_mod, f_blk3, "digest differs for block map at 3 shards");
     }
 
     #[test]

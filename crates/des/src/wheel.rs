@@ -1,0 +1,430 @@
+//! Hierarchical timing-wheel event queue.
+//!
+//! The engines' hot path is `schedule` / `pop-min`; a binary heap makes
+//! both O(log n) in the pending-event count, which dominates engine time
+//! once simulations hold 10⁴–10⁵ outstanding timers (every PeerWindow node
+//! keeps probe and window timers alive). [`EventWheel`] replaces the heap
+//! with a Tokio/Kafka-style hierarchical timing wheel: six levels of 64
+//! slots, each level covering 64× the span of the one below, with a `u64`
+//! occupancy bitmap per level so the next event is found with a couple of
+//! `trailing_zeros` instructions. `schedule` and `pop` are O(1) amortised;
+//! events further than `64^6` µs (~19 h of simulated time) ahead go to a
+//! small overflow heap and migrate into the wheel as the clock approaches.
+//!
+//! Determinism is identical to the heap it replaces: events are totally
+//! ordered by `(timestamp, insertion sequence)`. The wheel owns the
+//! sequence counter; ties on a tick are served in FIFO insertion order
+//! regardless of which slot, cascade, or overflow path an event travelled.
+//! The clock jumps directly to the next pending event, so sparse schedules
+//! (one timer hours out) cost one cascade, not millions of empty ticks —
+//! the property the parallel engine's idle-gap skipping relies on.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Number of wheel levels.
+const LEVELS: usize = 6;
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Events at `now + delta` with `delta ^ now` at or above this bit go to
+/// the overflow heap.
+const WHEEL_SPAN_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+struct Entry<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+/// Overflow entries, min-ordered by `(at, seq)` under `BinaryHeap`'s
+/// max-heap semantics.
+struct Overflow<E>(Entry<E>);
+
+impl<E> PartialEq for Overflow<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for Overflow<E> {}
+impl<E> PartialOrd for Overflow<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Overflow<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// A deterministic timing-wheel priority queue over `(SimTime, FIFO seq)`.
+///
+/// Drop-in replacement for the engines' former `BinaryHeap` queues; see
+/// the module docs for the level/cascade design.
+pub struct EventWheel<E> {
+    /// All pending events have `at >= now`; events at exactly `now` live
+    /// in `cur`.
+    now: u64,
+    seq: u64,
+    len: usize,
+    /// `slots[level][slot]` holds events whose highest bit-group differing
+    /// from `now` is `level`; a level-0 slot holds exactly one tick.
+    slots: [[Vec<Entry<E>>; SLOTS]; LEVELS],
+    /// Per-level occupancy bitmaps (bit `s` = slot `s` non-empty).
+    occupied: [u64; LEVELS],
+    overflow: BinaryHeap<Overflow<E>>,
+    /// Events at exactly `now` as `(seq, payload)`, sorted by `seq`;
+    /// `cur[..cur_pos]` are already served (payload taken).
+    cur: Vec<(u64, Option<E>)>,
+    cur_pos: usize,
+    /// Reusable buffer for cascading a slot without losing its capacity.
+    scratch: Vec<Entry<E>>,
+}
+
+impl<E> Default for EventWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventWheel<E> {
+    /// An empty wheel at time zero.
+    pub fn new() -> Self {
+        EventWheel {
+            now: 0,
+            seq: 0,
+            len: 0,
+            slots: std::array::from_fn(|_| std::array::from_fn(|_| Vec::new())),
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            cur: Vec::new(),
+            cur_pos: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Time of the most recent pop (events before this are gone).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Level of an event given the xor of its time with `now`
+    /// (`diff != 0`).
+    #[inline]
+    fn level_of(diff: u64) -> usize {
+        ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+    }
+
+    fn insert(&mut self, e: Entry<E>) {
+        debug_assert!(e.at >= self.now);
+        if e.at == self.now {
+            self.cur.push((e.seq, Some(e.event)));
+            return;
+        }
+        let diff = e.at ^ self.now;
+        if diff >> WHEEL_SPAN_BITS != 0 {
+            self.overflow.push(Overflow(e));
+            return;
+        }
+        let level = Self::level_of(diff);
+        let slot = ((e.at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.occupied[level] |= 1 << slot;
+        self.slots[level][slot].push(e);
+    }
+
+    /// Schedules `event` at `at` (clamped to `now`), assigning it the next
+    /// FIFO sequence number.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.as_micros().max(self.now);
+        self.seq += 1;
+        self.len += 1;
+        let seq = self.seq;
+        self.insert(Entry { at, seq, event });
+    }
+
+    /// Earliest time among the wheel levels and the overflow heap,
+    /// ignoring `cur`.
+    fn next_filed_time(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for level in 0..LEVELS {
+            let occ = self.occupied[level];
+            if occ == 0 {
+                continue;
+            }
+            // The lowest non-empty level holds the minimum: a level-g
+            // event's group-g digit exceeds now's, so it is later than
+            // every event filed below g.
+            let slot = occ.trailing_zeros() as usize;
+            if level == 0 {
+                // A level-0 slot is a single tick in now's 64-tick block.
+                best = Some((self.now & !(SLOTS as u64 - 1)) | slot as u64);
+            } else {
+                // Lowest occupied slot has the smallest group digit; scan
+                // its entries for the earliest tick.
+                let m = self.slots[level][slot]
+                    .iter()
+                    .map(|e| e.at)
+                    .min()
+                    .expect("occupied slot is non-empty");
+                best = Some(m);
+            }
+            break;
+        }
+        match (best, self.overflow.peek()) {
+            (Some(w), Some(o)) => Some(w.min(o.0.at)),
+            (Some(w), None) => Some(w),
+            (None, Some(o)) => Some(o.0.at),
+            (None, None) => None,
+        }
+    }
+
+    /// Time of the next pending event without mutating the wheel (the
+    /// parallel engine peeks every shard before committing to a window).
+    pub fn peek_min_at(&self) -> Option<SimTime> {
+        if self.cur_pos < self.cur.len() {
+            return Some(SimTime(self.now));
+        }
+        self.next_filed_time().map(SimTime)
+    }
+
+    /// Jumps the clock to `t` (the minimum pending time) and gathers every
+    /// event at exactly `t` into `cur`, cascading as needed.
+    fn advance_to(&mut self, t: u64) {
+        debug_assert!(t > self.now);
+        let diff = t ^ self.now;
+        let level = if diff >> WHEEL_SPAN_BITS != 0 {
+            LEVELS // beyond the wheel: every level is empty (see below)
+        } else {
+            Self::level_of(diff)
+        };
+        self.now = t;
+        self.cur.clear();
+        self.cur_pos = 0;
+        // Only the slot matching t's digit at the highest differing level
+        // can hold events whose classification changes: `t` is a lower
+        // bound on every pending event, so levels below `level` are empty,
+        // and events elsewhere on `level` or above keep their slot.
+        if level < LEVELS {
+            let slot = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            if self.occupied[level] & (1 << slot) != 0 {
+                self.occupied[level] &= !(1 << slot);
+                let mut batch = std::mem::take(&mut self.scratch);
+                std::mem::swap(&mut batch, &mut self.slots[level][slot]);
+                for e in batch.drain(..) {
+                    self.insert(e);
+                }
+                self.scratch = batch;
+            }
+        } else {
+            debug_assert!(self.occupied.iter().all(|&o| o == 0));
+        }
+        // Overflow events now inside the wheel's span migrate in. The heap
+        // is (at, seq)-ordered, so the in-span events form its prefix.
+        let span_end = t | ((1u64 << WHEEL_SPAN_BITS) - 1);
+        while let Some(top) = self.overflow.peek() {
+            if top.0.at > span_end {
+                break;
+            }
+            let Overflow(e) = self.overflow.pop().expect("peeked");
+            self.insert(e);
+        }
+        // Ties on a tick are FIFO by seq no matter which path (direct
+        // file, cascade, overflow) brought them here.
+        self.cur.sort_unstable_by_key(|&(seq, _)| seq);
+    }
+
+    /// Pops the earliest event if its time is `<= limit`.
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        if self.cur_pos >= self.cur.len() {
+            let t = self.next_filed_time()?;
+            if t > limit.as_micros() {
+                return None;
+            }
+            self.advance_to(t);
+        } else if self.now > limit.as_micros() {
+            return None;
+        }
+        let event = self.cur[self.cur_pos].1.take().expect("unserved cur entry");
+        self.cur_pos += 1;
+        self.len -= 1;
+        Some((SimTime(self.now), event))
+    }
+
+    /// Pops the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_until(SimTime(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Reverse;
+
+    /// The heap the wheel replaced, kept as a reference model: same
+    /// clamping, same FIFO seq assignment.
+    struct HeapRef {
+        now: u64,
+        seq: u64,
+        heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    }
+
+    impl HeapRef {
+        fn new() -> Self {
+            HeapRef {
+                now: 0,
+                seq: 0,
+                heap: BinaryHeap::new(),
+            }
+        }
+        fn schedule(&mut self, at: u64, event: u32) {
+            let at = at.max(self.now);
+            self.seq += 1;
+            self.heap.push(Reverse((at, self.seq, event)));
+        }
+        fn pop_until(&mut self, limit: u64) -> Option<(u64, u32)> {
+            let &Reverse((at, _, ev)) = self.heap.peek()?;
+            if at > limit {
+                return None;
+            }
+            self.heap.pop();
+            self.now = at;
+            Some((at, ev))
+        }
+    }
+
+    #[test]
+    fn ties_pop_in_fifo_order() {
+        let mut w = EventWheel::new();
+        w.schedule(SimTime(50), 1u32);
+        w.schedule(SimTime(10), 2);
+        w.schedule(SimTime(50), 3);
+        w.schedule(SimTime(10), 4);
+        let mut got = Vec::new();
+        while let Some((at, ev)) = w.pop() {
+            got.push((at.as_micros(), ev));
+        }
+        assert_eq!(got, vec![(10, 2), (10, 4), (50, 1), (50, 3)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_survive_overflow() {
+        let mut w = EventWheel::new();
+        let far = 1u64 << 40; // beyond the 2^36 µs wheel span
+        w.schedule(SimTime(far), 1u32);
+        w.schedule(SimTime(5), 2);
+        w.schedule(SimTime(far), 3);
+        w.schedule(SimTime(far + 1), 4);
+        assert_eq!(w.pop(), Some((SimTime(5), 2)));
+        assert_eq!(w.pop(), Some((SimTime(far), 1)));
+        assert_eq!(w.pop(), Some((SimTime(far), 3)));
+        assert_eq!(w.pop(), Some((SimTime(far + 1), 4)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_pop_and_does_not_mutate() {
+        let mut w = EventWheel::new();
+        for i in [900u64, 3, 70, 1 << 37, 70] {
+            w.schedule(SimTime(i), i as u32);
+        }
+        while let Some(t) = w.peek_min_at() {
+            assert_eq!(w.peek_min_at(), Some(t), "peek must be idempotent");
+            let (at, _) = w.pop().expect("peeked, must pop");
+            assert_eq!(at, t);
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut w = EventWheel::new();
+        w.schedule(SimTime(100), 1u32);
+        w.schedule(SimTime(200), 2);
+        assert_eq!(w.pop_until(SimTime(99)), None);
+        assert_eq!(w.pop_until(SimTime(100)), Some((SimTime(100), 1)));
+        assert_eq!(w.pop_until(SimTime(150)), None);
+        assert_eq!(w.len(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Under any interleaving of schedules (including far-future
+        /// overflow deltas and past times that clamp) and bounded pops,
+        /// the wheel pops the byte-identical sequence to the heap.
+        #[test]
+        fn pops_identical_to_heap_reference(ops in proptest::collection::vec(
+            (0u8..8, any::<u64>()), 1..200usize,
+        )) {
+            let mut wheel = EventWheel::new();
+            let mut heap = HeapRef::new();
+            let mut payload = 0u32;
+            for (kind, raw) in ops {
+                match kind {
+                    // Schedule at now + small/medium/large/overflow delta.
+                    0..=4 => {
+                        let delta = match kind {
+                            0 => raw % 4,            // same-tick ties
+                            1 => raw % 64,           // level 0
+                            2 => raw % 100_000,      // mid levels
+                            3 => raw % (1 << 36),    // top level
+                            _ => raw % (1 << 45),    // overflow territory
+                        };
+                        payload += 1;
+                        let at = wheel.now().as_micros().saturating_add(delta);
+                        wheel.schedule(SimTime(at), payload);
+                        heap.schedule(at, payload);
+                    }
+                    // Schedule at an absolute (possibly past) time: clamps.
+                    5 => {
+                        payload += 1;
+                        let at = raw % 200_000;
+                        wheel.schedule(SimTime(at), payload);
+                        heap.schedule(at, payload);
+                    }
+                    // Pop a bounded batch.
+                    _ => {
+                        let limit = heap
+                            .heap
+                            .peek()
+                            .map_or(0, |&Reverse((at, _, _))| at.saturating_add(raw % 5_000));
+                        for _ in 0..(raw % 8 + 1) {
+                            let got = wheel.pop_until(SimTime(limit));
+                            let want = heap.pop_until(limit).map(|(t, e)| (SimTime(t), e));
+                            prop_assert_eq!(got, want);
+                        }
+                    }
+                }
+                prop_assert_eq!(wheel.len(), heap.heap.len());
+            }
+            // Drain: full order must match exactly.
+            loop {
+                let got = wheel.pop();
+                let want = heap.pop_until(u64::MAX).map(|(t, e)| (SimTime(t), e));
+                prop_assert_eq!(got, want);
+                if want.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -11,7 +11,11 @@
 /// row shows the label, the bar, and the numeric value.
 pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {
         let filled = if max > 0.0 {
@@ -159,6 +163,9 @@ mod tests {
 
     #[test]
     fn scatter_empty_is_graceful() {
-        assert_eq!(scatter(&[], 10, 5, Scale::Linear, Scale::Linear), "(no data)\n");
+        assert_eq!(
+            scatter(&[], 10, 5, Scale::Linear, Scale::Linear),
+            "(no data)\n"
+        );
     }
 }

@@ -262,7 +262,9 @@ impl Directory {
                 return Some(NodeId(cand));
             }
         }
-        ids.iter().find(|&&x| x != subject.raw()).map(|&x| NodeId(x))
+        ids.iter()
+            .find(|&&x| x != subject.raw())
+            .map(|&x| NodeId(x))
     }
 
     /// The audience set of `subject`, as `(id, level, slot)` triples sorted

@@ -7,12 +7,19 @@
 //! multicast flows hop by hop with acknowledgements and redirection.
 //! Memory is O(Σ peer-list sizes), so use it for populations up to a few
 //! thousand; the oracle mode covers the 100,000-node experiments.
+//!
+//! Events sit on the sequential engine's hierarchical timing wheel
+//! (`peerwindow_des::EventWheel`), so scheduling cost is O(1) amortised
+//! regardless of how many timers and deliveries are in flight. For
+//! multi-core runs of the same protocol, see [`crate::parallel_full`],
+//! which shards this world across a `ParallelEngine` with a pluggable
+//! `ShardMap`.
 
+use bytes::Bytes;
 use peerwindow_core::prelude::*;
 use peerwindow_des::{DetRng, Engine, Scheduler, SimTime, Simulation};
 use peerwindow_topology::NetworkModel;
 use peerwindow_workload::NodeSpec;
-use bytes::Bytes;
 use std::collections::HashMap;
 
 /// Events of the full-fidelity world.
@@ -126,7 +133,10 @@ impl Simulation for FullWorld {
                     self.dropped += 1;
                     return; // lost in the network
                 }
-                let Some(m) = self.machines.get_mut(to_slot as usize).and_then(Option::as_mut)
+                let Some(m) = self
+                    .machines
+                    .get_mut(to_slot as usize)
+                    .and_then(Option::as_mut)
                 else {
                     return; // crashed or never existed: silent drop
                 };
@@ -141,7 +151,10 @@ impl Simulation for FullWorld {
                 self.process_outputs(now, to_slot, outs, sched);
             }
             FEv::Timer { slot, timer } => {
-                let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut)
+                let Some(m) = self
+                    .machines
+                    .get_mut(slot as usize)
+                    .and_then(Option::as_mut)
                 else {
                     return;
                 };
@@ -154,7 +167,11 @@ impl Simulation for FullWorld {
                 }
             }
             FEv::Graceful { slot } => {
-                if let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut) {
+                if let Some(m) = self
+                    .machines
+                    .get_mut(slot as usize)
+                    .and_then(Option::as_mut)
+                {
                     let outs = m.handle(now.as_micros(), Input::Command(Command::Shutdown));
                     self.process_outputs(now, slot, outs, sched);
                 }
@@ -163,19 +180,32 @@ impl Simulation for FullWorld {
                 }
             }
             FEv::SetInfo { slot, info } => {
-                if let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut) {
+                if let Some(m) = self
+                    .machines
+                    .get_mut(slot as usize)
+                    .and_then(Option::as_mut)
+                {
                     let outs = m.handle(now.as_micros(), Input::Command(Command::ChangeInfo(info)));
                     self.process_outputs(now, slot, outs, sched);
                 }
             }
             FEv::SetThreshold { slot, bps } => {
-                if let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut) {
-                    let outs = m.handle(now.as_micros(), Input::Command(Command::SetThreshold(bps)));
+                if let Some(m) = self
+                    .machines
+                    .get_mut(slot as usize)
+                    .and_then(Option::as_mut)
+                {
+                    let outs =
+                        m.handle(now.as_micros(), Input::Command(Command::SetThreshold(bps)));
                     self.process_outputs(now, slot, outs, sched);
                 }
             }
             FEv::SetLevel { slot, level } => {
-                if let Some(m) = self.machines.get_mut(slot as usize).and_then(Option::as_mut) {
+                if let Some(m) = self
+                    .machines
+                    .get_mut(slot as usize)
+                    .and_then(Option::as_mut)
+                {
                     let outs = m.handle(now.as_micros(), Input::Command(Command::SetLevel(level)));
                     self.process_outputs(now, slot, outs, sched);
                 }
@@ -330,12 +360,14 @@ impl FullSim {
     /// Schedules a bandwidth-threshold change on `slot` after `delay_us`
     /// (the §2 autonomy knob).
     pub fn set_threshold_after(&mut self, slot: u32, delay_us: u64, bps: f64) {
-        self.engine.schedule(delay_us, FEv::SetThreshold { slot, bps });
+        self.engine
+            .schedule(delay_us, FEv::SetThreshold { slot, bps });
     }
 
     /// Schedules an explicit level pin on `slot` after `delay_us`.
     pub fn set_level_after(&mut self, slot: u32, delay_us: u64, level: Level) {
-        self.engine.schedule(delay_us, FEv::SetLevel { slot, level });
+        self.engine
+            .schedule(delay_us, FEv::SetLevel { slot, level });
     }
 
     /// Spawns one node per [`NodeSpec`], seeds first, then runs churn:
@@ -501,7 +533,11 @@ mod tests {
         }
         sim.run_for(30_000_000);
         assert_eq!(sim.live_count(), 30);
-        assert!(sim.log().fatals.is_empty(), "fatals: {:?}", sim.log().fatals);
+        assert!(
+            sim.log().fatals.is_empty(),
+            "fatals: {:?}",
+            sim.log().fatals
+        );
         let (correct, missing, stale) = sim.accuracy();
         assert_eq!(correct, 30 * 29);
         assert_eq!(missing, 0, "missing pointers");

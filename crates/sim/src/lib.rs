@@ -10,6 +10,9 @@
 //!   one ground-truth directory stands in for all correct peer lists, so
 //!   100,000-node runs fit in one machine's memory; multicast trees are
 //!   planned per event and accounted analytically.
+//! * [`parallel_full`] — full fidelity on the *parallel* engine: shards
+//!   of real machines under barrier-synchronised windows, with pluggable
+//!   actor placement (modulo or topology-affine shard maps).
 //! * [`directory`], [`plan`] — the oracle's membership structure and tree
 //!   planner.
 //! * [`report`] — per-level result rows (the columns of figures 5–8).
@@ -26,6 +29,6 @@ pub mod report;
 
 pub use directory::Directory;
 pub use full::{FullLog, FullSim};
-pub use parallel_full::ParallelFullSim;
 pub use oracle::{run_oracle, NetworkConfig, OracleConfig};
+pub use parallel_full::{ParallelFullSim, StubAffineShardMap};
 pub use report::{LevelRow, OracleReport};

@@ -24,7 +24,9 @@ use peerwindow_core::model::ModelParams;
 use peerwindow_core::prelude::{Level, NodeId, ProtocolConfig};
 use peerwindow_des::{DetRng, Engine, Scheduler, SimTime, Simulation};
 use peerwindow_metrics::StreamingStat;
-use peerwindow_topology::{NetworkModel, Topology, TransitStubNetwork, TransitStubParams, UniformNetwork};
+use peerwindow_topology::{
+    NetworkModel, Topology, TransitStubNetwork, TransitStubParams, UniformNetwork,
+};
 use peerwindow_workload::{ChurnConfig, NodeSpec};
 
 /// Which latency model backs the run.
@@ -215,7 +217,9 @@ impl OracleSim {
     /// changed (staleness is measured from here); `report_at_us` when a
     /// top node holds the event (origin + detection + report latency).
     fn multicast(&mut self, subject: NodeId, origin_us: u64, report_at_us: u64, kind: ChangeKind) {
-        let Some(root) = self.dir.random_top_for(subject, |n| self.rng.below(n as u64) as usize)
+        let Some(root) = self
+            .dir
+            .random_top_for(subject, |n| self.rng.below(n as u64) as usize)
         else {
             return; // singleton system: nobody to tell
         };
@@ -268,10 +272,8 @@ impl OracleSim {
             let net = &*self.net;
             // plan_event passes slot ids; addresses were copied into the
             // audience entries, so latency lookups never touch `dir`.
-            let slots_to_addr: std::collections::HashMap<u32, u32> = audience
-                .iter()
-                .map(|e| (e.slot, e.addr))
-                .collect();
+            let slots_to_addr: std::collections::HashMap<u32, u32> =
+                audience.iter().map(|e| (e.slot, e.addr)).collect();
             plan_event(
                 &audience,
                 &mut rmq,
@@ -335,10 +337,7 @@ impl OracleSim {
         let report_at = now.as_micros() + 4 * rtt;
         self.multicast(id, now.as_micros(), report_at, ChangeKind::Join);
         sched.schedule((spec.lifetime_s * 1e6) as u64, Ev::Depart(id));
-        sched.schedule(
-            (spec.info_change_at_s * 1e6) as u64,
-            Ev::InfoChange(id),
-        );
+        sched.schedule((spec.info_change_at_s * 1e6) as u64, Ev::InfoChange(id));
     }
 
     fn handle_depart(&mut self, now: SimTime, id: NodeId) {
@@ -354,8 +353,7 @@ impl OracleSim {
             // probe-phase delay plus the probe retry timeouts, then
             // reports to a top node.
             let phase = self.rng.below(self.cfg.protocol.probe_interval_us);
-            let timeouts =
-                self.cfg.protocol.max_attempts as u64 * self.cfg.protocol.rpc_timeout_us;
+            let timeouts = self.cfg.protocol.max_attempts as u64 * self.cfg.protocol.rpc_timeout_us;
             now.as_micros() + phase + timeouts + report_latency
         };
         self.multicast(id, now.as_micros(), report_at, ChangeKind::Leave);
@@ -387,7 +385,7 @@ impl OracleSim {
         let mut shifts: Vec<(NodeId, Level)> = Vec::new();
         let mut pressures: Vec<(u32, i8)> = Vec::new();
         for (idx, slot) in self.dir.slots().iter().enumerate() {
-            if !slot.alive || (idx as u64 + phase) % 2 != 0 {
+            if !slot.alive || !(idx as u64 + phase).is_multiple_of(2) {
                 continue;
             }
             let bps = slot.rx_window_bits as f64 / window_s;
@@ -424,7 +422,7 @@ impl OracleSim {
             self.dir.slot_mut(idx).pressure = pr;
         }
         if !shifts.is_empty() {
-            let mut per_level: std::collections::BTreeMap<(u8,u8), u32> = Default::default();
+            let mut per_level: std::collections::BTreeMap<(u8, u8), u32> = Default::default();
             for (id, nl) in &shifts {
                 if let Some(sd) = self.dir.get(*id) {
                     *per_level.entry((sd.level.value(), nl.value())).or_default() += 1;
@@ -466,7 +464,10 @@ impl OracleSim {
                 continue;
             }
             // Walk the level's groups (distinct eigenstrings).
-            let ids: Vec<u128> = self.dir.level_prefix_ids(l, peerwindow_core::prelude::Prefix::EMPTY).to_vec();
+            let ids: Vec<u128> = self
+                .dir
+                .level_prefix_ids(l, peerwindow_core::prelude::Prefix::EMPTY)
+                .to_vec();
             let mut i = 0;
             let mut sum = 0.0;
             while i < ids.len() {
@@ -531,11 +532,7 @@ impl OracleSim {
             });
         }
         let total_err: f64 = self.errsec_per_level.iter().sum();
-        let total_list: f64 = self
-            .sum_list_per_level
-            .iter()
-            .map(|s| s / samples)
-            .sum();
+        let total_list: f64 = self.sum_list_per_level.iter().map(|s| s / samples).sum();
         OracleReport {
             rows,
             n_final: self.dir.len(),
@@ -681,10 +678,18 @@ mod tests {
     fn small_run_produces_sane_report() {
         let rep = run_oracle(tiny_cfg(2_000, 1));
         // Population stays near target.
-        assert!((1_800..=2_200).contains(&rep.n_final), "n = {}", rep.n_final);
+        assert!(
+            (1_800..=2_200).contains(&rep.n_final),
+            "n = {}",
+            rep.n_final
+        );
         // Events flowed and were delivered.
         assert!(rep.events > 20, "events = {}", rep.events);
-        assert!(rep.deliveries > rep.events, "deliveries = {}", rep.deliveries);
+        assert!(
+            rep.deliveries > rep.events,
+            "deliveries = {}",
+            rep.deliveries
+        );
         // Rows exist and fractions sum to ≈ 1.
         let frac: f64 = rep.rows.iter().map(|r| r.node_fraction).sum();
         assert!((frac - 1.0).abs() < 0.05, "fractions sum to {frac}");
@@ -697,7 +702,11 @@ mod tests {
         assert!(l0.list_mean > 0.9 * rep.n_final as f64);
         // Error rate is small but nonzero, within an order of magnitude of
         // the paper's back-of-envelope delay/lifetime estimate.
-        assert!(l0.error_rate > 1e-5 && l0.error_rate < 0.05, "err = {}", l0.error_rate);
+        assert!(
+            l0.error_rate > 1e-5 && l0.error_rate < 0.05,
+            "err = {}",
+            l0.error_rate
+        );
         // Tree depth is logarithmic-ish.
         assert!(rep.mean_tree_depth > 2.0 && rep.max_tree_depth < 64);
     }
@@ -759,7 +768,11 @@ mod tests {
         // §5.1: "the input bandwidth is in proportion to the peer list
         // size … about 500 bps per 1000 pointers".
         let rep = run_oracle(tiny_cfg(3_000, 5));
-        for r in rep.rows.iter().filter(|r| r.nodes >= 10.0 && r.list_mean > 100.0) {
+        for r in rep
+            .rows
+            .iter()
+            .filter(|r| r.nodes >= 10.0 && r.list_mean > 100.0)
+        {
             let per_1000 = (r.in_bps - 0.0) / (r.list_mean / 1000.0);
             assert!(
                 per_1000 > 100.0 && per_1000 < 2_000.0,

@@ -15,7 +15,42 @@
 
 use bytes::Bytes;
 use peerwindow_core::prelude::*;
-use peerwindow_des::{Outbox, ParallelEngine, ShardLogic, SimTime};
+use peerwindow_des::{ModuloShardMap, Outbox, ParallelEngine, ShardLogic, ShardMap, SimTime};
+use peerwindow_topology::TransitStubNetwork;
+
+/// Topology-affine actor placement: overlay addresses whose stub nodes
+/// share a transit-stub *domain* land in the same shard, so the bulk of
+/// intra-domain chatter stays shard-local and the barrier merge carries
+/// only inter-domain traffic. Falls back to spreading domains round-robin
+/// when there are more domains than shards.
+///
+/// The map is a pure function of `(actor, shards)` captured from the
+/// network at construction — cheap to copy into worker threads, and the
+/// simulation outcome stays invariant (asserted by tests) because shard
+/// placement never affects delivery timestamps, only where work runs.
+#[derive(Clone, Copy, Debug)]
+pub struct StubAffineShardMap {
+    stub_count: u32,
+    stubs_per_domain: u32,
+}
+
+impl StubAffineShardMap {
+    /// Captures the stub/domain layout of `net`.
+    pub fn new(net: &TransitStubNetwork) -> Self {
+        StubAffineShardMap {
+            stub_count: net.stub_count(),
+            stubs_per_domain: net.stubs_per_domain(),
+        }
+    }
+}
+
+impl ShardMap for StubAffineShardMap {
+    #[inline]
+    fn shard_of(&self, actor: u32, shards: usize) -> usize {
+        let domain = (actor % self.stub_count) / self.stubs_per_domain;
+        domain as usize % shards
+    }
+}
 
 /// Messages between actors (nodes) in the parallel world.
 pub enum PMsg {
@@ -93,14 +128,18 @@ impl ProtocolShard {
             match o {
                 Output::Send { to, msg, delay_us } => {
                     let latency = self.latency_us(actor as u64, to.addr.0);
-                    out.send(delay_us + latency, to.addr.0 as u32, PMsg::Net {
-                        from: self.machines[actor as usize]
-                            .as_ref()
-                            .map(|m| m.id())
-                            .unwrap_or(NodeId(0)),
-                        from_addr: Addr(actor as u64),
-                        msg,
-                    });
+                    out.send(
+                        delay_us + latency,
+                        to.addr.0 as u32,
+                        PMsg::Net {
+                            from: self.machines[actor as usize]
+                                .as_ref()
+                                .map(|m| m.id())
+                                .unwrap_or(NodeId(0)),
+                            from_addr: Addr(actor as u64),
+                            msg,
+                        },
+                    );
                 }
                 Output::SetTimer { delay_us, timer } => {
                     // Self-send: same shard, exempt from lookahead.
@@ -114,7 +153,9 @@ impl ProtocolShard {
     /// Order-insensitive digest of one machine.
     fn machine_digest(m: &NodeMachine) -> u64 {
         let mut h = m.id().raw() as u64 ^ (m.id().raw() >> 64) as u64;
-        h = h.wrapping_mul(31).wrapping_add(m.level().value() as u64 + 1);
+        h = h
+            .wrapping_mul(31)
+            .wrapping_add(m.level().value() as u64 + 1);
         h = h.wrapping_mul(31).wrapping_add(m.peers().len() as u64);
         let peers_sum: u64 = m
             .peers()
@@ -163,11 +204,22 @@ impl ShardLogic for ProtocolShard {
                 self.machines[actor as usize] = Some(m);
                 self.process(actor, outs, out);
             }
-            PMsg::Net { from, from_addr, msg } => {
+            PMsg::Net {
+                from,
+                from_addr,
+                msg,
+            } => {
                 let Some(m) = self.machines[actor as usize].as_mut() else {
                     return;
                 };
-                let outs = m.handle(t, Input::Message { from, from_addr, msg });
+                let outs = m.handle(
+                    t,
+                    Input::Message {
+                        from,
+                        from_addr,
+                        msg,
+                    },
+                );
                 self.process(actor, outs, out);
             }
             PMsg::Timer(timer) => {
@@ -201,14 +253,18 @@ impl ShardLogic for ProtocolShard {
 
 /// A convenience harness: builds a `ParallelEngine` of `shards` shards
 /// able to host `capacity` actors, with the §5.1-ish uniform latency.
-pub struct ParallelFullSim {
-    engine: ParallelEngine<ProtocolShard>,
+/// Actor placement defaults to [`ModuloShardMap`]; pass a
+/// [`StubAffineShardMap`] (or any [`ShardMap`]) via [`Self::with_map`] to
+/// co-locate topologically close actors.
+pub struct ParallelFullSim<M: ShardMap = ModuloShardMap> {
+    engine: ParallelEngine<ProtocolShard, M>,
     capacity: usize,
 }
 
-impl ParallelFullSim {
-    /// Creates the world. `lookahead_us` must lower-bound the network
-    /// latency (it does: latencies are floored at it).
+impl ParallelFullSim<ModuloShardMap> {
+    /// Creates the world with the default `actor % shards` placement.
+    /// `lookahead_us` must lower-bound the network latency (it does:
+    /// latencies are floored at it).
     pub fn new(
         shards: usize,
         capacity: usize,
@@ -217,13 +273,43 @@ impl ParallelFullSim {
         lookahead_us: u64,
         seed: u64,
     ) -> Self {
+        Self::with_map(
+            shards,
+            capacity,
+            protocol,
+            base_latency_us,
+            lookahead_us,
+            seed,
+            ModuloShardMap,
+        )
+    }
+}
+
+impl<M: ShardMap> ParallelFullSim<M> {
+    /// Creates the world with an explicit actor→shard placement.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_map(
+        shards: usize,
+        capacity: usize,
+        protocol: ProtocolConfig,
+        base_latency_us: u64,
+        lookahead_us: u64,
+        seed: u64,
+        map: M,
+    ) -> Self {
         let logics: Vec<ProtocolShard> = (0..shards)
             .map(|_| {
-                ProtocolShard::new(capacity, protocol.clone(), base_latency_us, lookahead_us, seed)
+                ProtocolShard::new(
+                    capacity,
+                    protocol.clone(),
+                    base_latency_us,
+                    lookahead_us,
+                    seed,
+                )
             })
             .collect();
         ParallelFullSim {
-            engine: ParallelEngine::new(logics, lookahead_us),
+            engine: ParallelEngine::with_map(logics, lookahead_us, map),
             capacity,
         }
     }
@@ -282,6 +368,10 @@ mod tests {
     use super::*;
 
     fn scenario(shards: usize) -> (u64, u64) {
+        scenario_with(shards, ModuloShardMap)
+    }
+
+    fn scenario_with<M: ShardMap>(shards: usize, map: M) -> (u64, u64) {
         let protocol = ProtocolConfig {
             probe_interval_us: 2_000_000,
             rpc_timeout_us: 400_000,
@@ -290,7 +380,8 @@ mod tests {
             ..ProtocolConfig::default()
         };
         let n = 48u32;
-        let mut sim = ParallelFullSim::new(shards, n as usize, protocol, 20_000, 1_000, 7);
+        let mut sim =
+            ParallelFullSim::with_map(shards, n as usize, protocol, 20_000, 1_000, 7, map);
         // Seed at actor 0, then staggered joiners bootstrapping off it.
         let seed_id = NodeId(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
         sim.start_node(SimTime::ZERO, 0, seed_id, 1e9, Bytes::new(), None);
@@ -300,7 +391,8 @@ mod tests {
             level: Level::TOP,
         };
         for k in 1..n {
-            let id = NodeId((k as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_0C4A_2B8E_D1A3) | 1);
+            let id =
+                NodeId((k as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_0C4A_2B8E_D1A3) | 1);
             sim.start_node(
                 SimTime::from_millis(400 * k as u64),
                 k,
@@ -336,6 +428,32 @@ mod tests {
         assert_eq!(f1, f7, "world digest differs (1 vs 7 shards)");
     }
 
+    /// The topology-affine placement moves actors between shards but must
+    /// not move the simulation: fingerprints and processed-event counts
+    /// match the modulo layout for every shard count.
+    #[test]
+    fn outcome_is_invariant_under_stub_affine_map() {
+        use peerwindow_topology::{TransitStubNetwork, TransitStubParams};
+        let topo = peerwindow_topology::Topology::generate(TransitStubParams::small(), 11);
+        let net = TransitStubNetwork::build(&topo);
+        let affine = StubAffineShardMap::new(&net);
+        let (f1, p1) = scenario(1);
+        for shards in [2usize, 4, 7] {
+            let (fa, pa) = scenario_with(shards, affine);
+            assert_eq!(p1, pa, "processed counts differ (affine, {shards} shards)");
+            assert_eq!(f1, fa, "world digest differs (affine, {shards} shards)");
+        }
+        // Sanity: the affine map really does group neighbours — actors
+        // attached to the same stub domain share a shard.
+        let spd = net.stubs_per_domain();
+        assert!(spd >= 2, "small topology should have multi-stub domains");
+        assert_eq!(affine.shard_of(0, 4), affine.shard_of(1, 4));
+        assert_ne!(
+            affine.shard_of(0, net.stub_count() as usize / spd as usize),
+            affine.shard_of(spd, net.stub_count() as usize / spd as usize),
+        );
+    }
+
     #[test]
     fn scenario_actually_converges() {
         let protocol = ProtocolConfig {
@@ -356,7 +474,14 @@ mod tests {
         };
         for k in 1..n {
             let id = NodeId((k as u128) << 96 | 0xBEEF);
-            sim.start_node(SimTime::from_millis(500 * k as u64), k, id, 1e9, Bytes::new(), Some(boot));
+            sim.start_node(
+                SimTime::from_millis(500 * k as u64),
+                k,
+                id,
+                1e9,
+                Bytes::new(),
+                Some(boot),
+            );
         }
         sim.run_until(SimTime::from_secs(60));
         // Peek machine states through the fingerprint path: every live

@@ -35,7 +35,11 @@ impl Rmq {
         self.n = n;
         self.levels.clear();
         self.levels.extend(audience.iter().map(|e| e.level));
-        let k_max = if n <= 1 { 1 } else { usize::BITS as usize - (n - 1).leading_zeros() as usize };
+        let k_max = if n <= 1 {
+            1
+        } else {
+            usize::BITS as usize - (n - 1).leading_zeros() as usize
+        };
         if self.table.len() < k_max {
             self.table.resize_with(k_max, Vec::new);
         }
@@ -142,8 +146,7 @@ pub fn plan_event<L, F>(
                 (mid, hi, lo, mid)
             };
             if let Some(child) = rmq.argmin(flip_lo, flip_hi) {
-                let t_child =
-                    t + processing_us + latency(audience[y].slot, audience[child].slot);
+                let t_child = t + processing_us + latency(audience[y].slot, audience[child].slot);
                 let d = Delivery {
                     parent: y,
                     child,
@@ -172,7 +175,8 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(_, &(id, l))| {
-                id != subject && NodeIdentity::new(NodeId(id), Level::new(l)).covers(NodeId(subject))
+                id != subject
+                    && NodeIdentity::new(NodeId(id), Level::new(l)).covers(NodeId(subject))
             })
             .map(|(slot, &(id, l))| AudienceEntry {
                 id,
@@ -252,19 +256,29 @@ mod tests {
             if subject == root {
                 continue;
             }
-            let reference: BTreeSet<(u128, u128, u8)> = plan_tree(&list, NodeId(root), 0, NodeId(subject))
-                .into_iter()
-                .map(|e| (e.from.raw(), e.to.id.raw(), e.step))
-                .collect();
+            let reference: BTreeSet<(u128, u128, u8)> =
+                plan_tree(&list, NodeId(root), 0, NodeId(subject))
+                    .into_iter()
+                    .map(|e| (e.from.raw(), e.to.id.raw(), e.step))
+                    .collect();
             let audience = audience_from(&members, subject);
             let root_idx = audience
                 .binary_search_by_key(&root, |e| e.id)
                 .expect("root in audience");
             let mut rmq = Rmq::new();
             let mut got = BTreeSet::new();
-            plan_event(&audience, &mut rmq, root_idx, 0, 0, 0, |_, _| 0, |d| {
-                got.insert((audience[d.parent].id, audience[d.child].id, d.step));
-            });
+            plan_event(
+                &audience,
+                &mut rmq,
+                root_idx,
+                0,
+                0,
+                0,
+                |_, _| 0,
+                |d| {
+                    got.insert((audience[d.parent].id, audience[d.child].id, d.step));
+                },
+            );
             // Core's plan_tree excludes the subject but includes the root's
             // own deliveries; both reach audience \ {root, subject}.
             assert_eq!(got, reference, "trial {trial}");

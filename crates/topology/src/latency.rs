@@ -3,12 +3,12 @@
 //! The simulator asks one question: *how long does a message take from
 //! overlay node `a` to overlay node `b`?* [`NetworkModel`] abstracts that;
 //! [`TransitStubNetwork`] answers it from a precomputed all-pairs
-//! stub-to-stub matrix (parallel Dijkstra via rayon) plus the paper's 1 ms
-//! host–stub legs, and [`UniformNetwork`] is a constant-latency stand-in
-//! for unit tests and microbenchmarks.
+//! stub-to-stub matrix (one Dijkstra per row, row chunks parallelised
+//! across scoped std threads) plus the paper's 1 ms host–stub legs, and
+//! [`UniformNetwork`] is a constant-latency stand-in for unit tests and
+//! microbenchmarks.
 
 use crate::graph::Topology;
-use rayon::prelude::*;
 
 /// Answers point-to-point latency queries between overlay nodes, addressed
 /// by an opaque `u32` (the simulator hands out addresses densely).
@@ -40,6 +40,7 @@ impl NetworkModel for UniformNetwork {
 /// the paper's ≈20 overlay nodes per stub node at the 100,000-node scale).
 pub struct TransitStubNetwork {
     stub_count: u32,
+    stubs_per_domain: u32,
     node_leg_us: u64,
     /// Row-major `stub_count × stub_count`, milliseconds (fits u16: the
     /// diameter of the paper topology is well under 65 s).
@@ -47,30 +48,46 @@ pub struct TransitStubNetwork {
 }
 
 impl TransitStubNetwork {
-    /// Precomputes the all-pairs stub latency matrix (one Dijkstra per stub
-    /// node, parallelised with rayon).
+    /// Precomputes the all-pairs stub latency matrix: one Dijkstra per stub
+    /// node, with the flat row-major matrix written in place — each worker
+    /// thread fills a contiguous chunk of rows, so no intermediate
+    /// `Vec<Vec<u16>>` is built and copied.
     pub fn build(topo: &Topology) -> Self {
         let stub_count = topo.params().stub_count();
         let node_leg_us = topo.params().node_node_us as u64;
-        let rows: Vec<Vec<u16>> = (0..stub_count)
-            .into_par_iter()
-            .map(|i| {
+        let n = stub_count as usize;
+        let mut matrix_ms = vec![0u16; n * n];
+
+        let fill_rows = |first_row: usize, chunk: &mut [u16]| {
+            for (k, row) in chunk.chunks_mut(n).enumerate() {
+                let i = (first_row + k) as u32;
                 let dist = topo.dijkstra(topo.stub_router(i));
-                (0..stub_count)
-                    .map(|j| {
-                        let us = dist[topo.stub_router(j) as usize];
-                        debug_assert_ne!(us, u32::MAX, "disconnected stub");
-                        ((us + 500) / 1_000).min(u16::MAX as u32) as u16
-                    })
-                    .collect()
-            })
-            .collect();
-        let mut matrix_ms = Vec::with_capacity(stub_count as usize * stub_count as usize);
-        for row in rows {
-            matrix_ms.extend(row);
+                for (j, cell) in row.iter_mut().enumerate() {
+                    let us = dist[topo.stub_router(j as u32) as usize];
+                    debug_assert_ne!(us, u32::MAX, "disconnected stub");
+                    *cell = ((us + 500) / 1_000).min(u16::MAX as u32) as u16;
+                }
+            }
+        };
+
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if workers <= 1 {
+            fill_rows(0, &mut matrix_ms);
+        } else {
+            let rows_per_chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (c, chunk) in matrix_ms.chunks_mut(rows_per_chunk * n).enumerate() {
+                    let fill_rows = &fill_rows;
+                    scope.spawn(move || fill_rows(c * rows_per_chunk, chunk));
+                }
+            });
         }
         TransitStubNetwork {
             stub_count,
+            stubs_per_domain: topo.params().stubs_per_domain,
             node_leg_us,
             matrix_ms,
         }
@@ -81,10 +98,26 @@ impl TransitStubNetwork {
         self.stub_count
     }
 
+    /// Stub nodes per stub domain (the generation-time block size that
+    /// [`Self::stub_domain_of`] divides by).
+    pub fn stubs_per_domain(&self) -> u32 {
+        self.stubs_per_domain
+    }
+
     /// The stub node an overlay address attaches to.
     #[inline]
     pub fn stub_of(&self, addr: u32) -> u32 {
         addr % self.stub_count
+    }
+
+    /// The stub *domain* an overlay address attaches to. Stub nodes are
+    /// numbered domain-by-domain at generation time, so a domain is a
+    /// contiguous block of `stubs_per_domain` stub indices. Hosts of one
+    /// domain are topologically close (intra-domain edges only), which
+    /// makes this the natural unit for topology-affine shard placement.
+    #[inline]
+    pub fn stub_domain_of(&self, addr: u32) -> u32 {
+        self.stub_of(addr) / self.stubs_per_domain
     }
 
     /// Raw stub-to-stub latency, µs.

@@ -27,9 +27,20 @@ fn parse_args() -> RuntimeConfig {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--listen" => listen = it.next().expect("--listen ADDR").parse().expect("ipv4:port"),
+            "--listen" => {
+                listen = it
+                    .next()
+                    .expect("--listen ADDR")
+                    .parse()
+                    .expect("ipv4:port")
+            }
             "--bootstrap" => {
-                bootstrap = Some(it.next().expect("--bootstrap ADDR").parse().expect("ipv4:port"))
+                bootstrap = Some(
+                    it.next()
+                        .expect("--bootstrap ADDR")
+                        .parse()
+                        .expect("ipv4:port"),
+                )
             }
             "--budget" => budget = it.next().expect("--budget BPS").parse().expect("number"),
             "--info" => info = Bytes::from(it.next().expect("--info STRING")),
@@ -69,7 +80,11 @@ fn parse_args() -> RuntimeConfig {
 
 fn main() {
     let cfg = parse_args();
-    let role = if cfg.bootstrap.is_some() { "joining" } else { "seed" };
+    let role = if cfg.bootstrap.is_some() {
+        "joining"
+    } else {
+        "seed"
+    };
     println!("pwnode {} ({role})", cfg.id);
     let handle = match spawn_node(cfg) {
         Ok(h) => h,

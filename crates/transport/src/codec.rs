@@ -365,9 +365,7 @@ pub fn decode(buf: &[u8]) -> Result<Envelope, CodecError> {
             if n > MAX_FIELD / 29 {
                 return Err(CodecError::BadLength);
             }
-            let pointers = (0..n)
-                .map(|_| r.pointer())
-                .collect::<Result<Vec<_>, _>>()?;
+            let pointers = (0..n).map(|_| r.pointer()).collect::<Result<Vec<_>, _>>()?;
             Message::DownloadReply {
                 scope,
                 pointers,
@@ -436,7 +434,9 @@ mod tests {
                 event: sample_event(),
                 step: 17,
             },
-            Message::MulticastAck { key: (NodeId(9), 4) },
+            Message::MulticastAck {
+                key: (NodeId(9), 4),
+            },
             Message::FindTop { joiner: NodeId(3) },
             Message::FindTopReply { tops: vec![t] },
             Message::LevelQuery,

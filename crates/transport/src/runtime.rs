@@ -16,13 +16,19 @@
 
 use crate::codec::{decode, encode};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use peerwindow_core::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::mpsc::{Receiver, SyncSender as Sender, TrySendError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Bounded channel; sends block when full (as crossbeam's `bounded` did
+/// before the workspace moved to the std library's channels).
+fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::sync_channel(cap)
+}
 
 /// Commands the application can send to a running node.
 pub enum Control {
@@ -245,60 +251,66 @@ fn run_loop(
     let mut stopping = false;
 
     let schedule = |heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-                        parked: &mut Vec<Option<Due>>,
-                        seq: &mut u64,
-                        at: u64,
-                        due: Due| {
+                    parked: &mut Vec<Option<Due>>,
+                    seq: &mut u64,
+                    at: u64,
+                    due: Due| {
         *seq += 1;
         parked.push(Some(due));
         heap.push(Reverse((at, *seq, parked.len() - 1)));
     };
 
-    let process =
-        |outs: Vec<Output>,
-         now: u64,
-         socket: &UdpSocket,
-         heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-         parked: &mut Vec<Option<Due>>,
-         seq: &mut u64,
-         stopping: &mut bool| {
-            for o in outs {
-                match o {
-                    Output::Send { to, msg, delay_us } => {
-                        if delay_us == 0 {
-                            let frame = encode(me, my_addr, &msg);
-                            if frame.len() > 65_000 {
-                                eprintln!(
+    let process = |outs: Vec<Output>,
+                   now: u64,
+                   socket: &UdpSocket,
+                   heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+                   parked: &mut Vec<Option<Due>>,
+                   seq: &mut u64,
+                   stopping: &mut bool| {
+        for o in outs {
+            match o {
+                Output::Send { to, msg, delay_us } => {
+                    if delay_us == 0 {
+                        let frame = encode(me, my_addr, &msg);
+                        if frame.len() > 65_000 {
+                            eprintln!(
                                     "pwnode {me}: dropping oversized frame                                      ({} bytes) — see the transport crate                                      docs on UDP download limits",
                                     frame.len()
                                 );
-                            } else {
-                                let _ =
-                                    socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
-                            }
                         } else {
-                            schedule(heap, parked, seq, now + delay_us, Due::Send(to, msg));
+                            let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
                         }
+                    } else {
+                        schedule(heap, parked, seq, now + delay_us, Due::Send(to, msg));
                     }
-                    Output::SetTimer { delay_us, timer } => {
-                        schedule(heap, parked, seq, now + delay_us, Due::Timer(timer));
-                    }
-                    Output::Fatal(reason) => {
-                        eprintln!("pwnode {me}: fatal: {reason}");
-                        *stopping = true;
-                    }
-                    // Joined / FailureDetected / LevelShifted are
-                    // observable through snapshots; real applications
-                    // would hook them here.
-                    _ => {}
                 }
+                Output::SetTimer { delay_us, timer } => {
+                    schedule(heap, parked, seq, now + delay_us, Due::Timer(timer));
+                }
+                Output::Fatal(reason) => {
+                    eprintln!("pwnode {me}: fatal: {reason}");
+                    *stopping = true;
+                }
+                // Joined / FailureDetected / LevelShifted are
+                // observable through snapshots; real applications
+                // would hook them here.
+                _ => {}
             }
-        };
+        }
+    };
 
     let mut outs = initial;
     loop {
         let now = now_us(&start);
-        process(outs, now, &socket, &mut heap, &mut parked, &mut seq, &mut stopping);
+        process(
+            outs,
+            now,
+            &socket,
+            &mut heap,
+            &mut parked,
+            &mut seq,
+            &mut stopping,
+        );
         outs = Vec::new();
         if stopping {
             return;
@@ -314,7 +326,15 @@ fn run_loop(
             match parked[idx].take() {
                 Some(Due::Timer(t)) => {
                     let o = machine.handle(now, Input::Timer(t));
-                    process(o, now, &socket, &mut heap, &mut parked, &mut seq, &mut stopping);
+                    process(
+                        o,
+                        now,
+                        &socket,
+                        &mut heap,
+                        &mut parked,
+                        &mut seq,
+                        &mut stopping,
+                    );
                 }
                 Some(Due::Send(to, msg)) => {
                     let frame = encode(me, my_addr, &msg);
@@ -341,16 +361,34 @@ fn run_loop(
                         stats: machine.stats(),
                     };
                     match reply.try_send(snap) {
-                        Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+                        Ok(())
+                        | Err(TrySendError::Full(_))
+                        | Err(TrySendError::Disconnected(_)) => {}
                     }
                 }
                 Control::ChangeInfo(info) => {
                     let o = machine.handle(now, Input::Command(Command::ChangeInfo(info)));
-                    process(o, now, &socket, &mut heap, &mut parked, &mut seq, &mut stopping);
+                    process(
+                        o,
+                        now,
+                        &socket,
+                        &mut heap,
+                        &mut parked,
+                        &mut seq,
+                        &mut stopping,
+                    );
                 }
                 Control::SetThreshold(bps) => {
                     let o = machine.handle(now, Input::Command(Command::SetThreshold(bps)));
-                    process(o, now, &socket, &mut heap, &mut parked, &mut seq, &mut stopping);
+                    process(
+                        o,
+                        now,
+                        &socket,
+                        &mut heap,
+                        &mut parked,
+                        &mut seq,
+                        &mut stopping,
+                    );
                 }
                 Control::Shutdown => {
                     let o = machine.handle(now, Input::Command(Command::Shutdown));

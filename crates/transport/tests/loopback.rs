@@ -8,11 +8,16 @@ use peerwindow_transport::{spawn_node, Control, RuntimeConfig};
 use std::net::SocketAddrV4;
 use std::time::{Duration, Instant};
 
-fn cfg(id: u128, listen: &str, bootstrap: Option<SocketAddrV4>, info: &'static [u8]) -> RuntimeConfig {
+fn cfg(
+    id: u128,
+    listen: &str,
+    bootstrap: Option<SocketAddrV4>,
+    info: &'static [u8],
+) -> RuntimeConfig {
     RuntimeConfig {
         protocol: ProtocolConfig {
             processing_delay_us: 0,
-            probe_interval_us: 300_000,  // fast cadence for the test
+            probe_interval_us: 300_000, // fast cadence for the test
             rpc_timeout_us: 150_000,
             bandwidth_window_us: 2_000_000,
             ..ProtocolConfig::default()

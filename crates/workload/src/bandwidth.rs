@@ -42,11 +42,31 @@ impl BandwidthDist {
     pub fn gnutella() -> Self {
         BandwidthDist {
             buckets: vec![
-                Bucket { lo: 28_800.0, hi: 128_000.0, p: 0.08 },
-                Bucket { lo: 128_000.0, hi: 1_000_000.0, p: 0.12 },
-                Bucket { lo: 1_000_000.0, hi: 3_500_000.0, p: 0.25 },
-                Bucket { lo: 3_500_000.0, hi: 10_000_000.0, p: 0.35 },
-                Bucket { lo: 10_000_000.0, hi: 100_000_000.0, p: 0.20 },
+                Bucket {
+                    lo: 28_800.0,
+                    hi: 128_000.0,
+                    p: 0.08,
+                },
+                Bucket {
+                    lo: 128_000.0,
+                    hi: 1_000_000.0,
+                    p: 0.12,
+                },
+                Bucket {
+                    lo: 1_000_000.0,
+                    hi: 3_500_000.0,
+                    p: 0.25,
+                },
+                Bucket {
+                    lo: 3_500_000.0,
+                    hi: 10_000_000.0,
+                    p: 0.35,
+                },
+                Bucket {
+                    lo: 10_000_000.0,
+                    hi: 100_000_000.0,
+                    p: 0.20,
+                },
             ],
         }
     }
@@ -55,7 +75,11 @@ impl BandwidthDist {
     /// baselines).
     pub fn constant(bps: f64) -> Self {
         BandwidthDist {
-            buckets: vec![Bucket { lo: bps, hi: bps, p: 1.0 }],
+            buckets: vec![Bucket {
+                lo: bps,
+                hi: bps,
+                p: 1.0,
+            }],
         }
     }
 
@@ -169,6 +193,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "bucket masses")]
     fn from_buckets_validates_mass() {
-        BandwidthDist::from_buckets(vec![Bucket { lo: 1.0, hi: 2.0, p: 0.5 }]);
+        BandwidthDist::from_buckets(vec![Bucket {
+            lo: 1.0,
+            hi: 2.0,
+            p: 0.5,
+        }]);
     }
 }

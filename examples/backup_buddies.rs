@@ -13,12 +13,12 @@
 //! cargo run --release --example backup_buddies
 //! ```
 
+use bytes::Bytes;
 use peerwindow::des::{DetRng, SimTime};
 use peerwindow::metrics::Table;
 use peerwindow::prelude::*;
 use peerwindow::sim::FullSim;
 use peerwindow::topology::UniformNetwork;
-use bytes::Bytes;
 
 const OSES: [&str; 4] = ["linux", "windows", "macos", "bsd"];
 // Skewed popularity, like reality.
@@ -44,11 +44,7 @@ fn main() {
         processing_delay_us: 50_000,
         ..ProtocolConfig::default()
     };
-    let mut sim = FullSim::new(
-        protocol,
-        Box::new(UniformNetwork { latency_us: 40_000 }),
-        3,
-    );
+    let mut sim = FullSim::new(protocol, Box::new(UniformNetwork { latency_us: 40_000 }), 3);
 
     println!("== backup buddies: OS tags in attached info ==\n");
     // 80 nodes: half are strong (level 0), half weak. We emulate weak
@@ -103,12 +99,8 @@ fn main() {
         }
     }
     println!("{}", t.to_markdown());
-    println!(
-        "nodes unable to find BOTH a same-OS and a diff-OS partner locally: {failures}"
-    );
-    println!(
-        "\nWith PeerWindow every node answered from its own peer list — zero"
-    );
+    println!("nodes unable to find BOTH a same-OS and a diff-OS partner locally: {failures}");
+    println!("\nWith PeerWindow every node answered from its own peer list — zero");
     println!("search messages. A 100-entry routing table would have required");
     println!("flooding or random walks for the rarer OSes (weight 5/100).");
 

@@ -35,7 +35,12 @@ fn main() {
             filter.insert(&d.to_le_bytes());
             docs.push(d);
         }
-        list.insert(Pointer::with_info(id, Addr(0), Level::TOP, filter.to_bytes()));
+        list.insert(Pointer::with_info(
+            id,
+            Addr(0),
+            Level::TOP,
+            filter.to_bytes(),
+        ));
         truth.push((id, docs));
     }
     println!(
@@ -45,10 +50,7 @@ fn main() {
     );
 
     // Query 300 documents: local filter scan, then verify against truth.
-    let mut t = Table::new([
-        "metric",
-        "value",
-    ]);
+    let mut t = Table::new(["metric", "value"]);
     let queries = 300u64;
     let mut found = 0usize;
     let mut candidates_total = 0usize;

@@ -13,12 +13,12 @@
 //! cargo run --release --example load_balancing
 //! ```
 
+use bytes::Bytes;
 use peerwindow::des::{DetRng, SimTime};
 use peerwindow::metrics::{fmt_f64, Table};
 use peerwindow::prelude::*;
 use peerwindow::sim::FullSim;
 use peerwindow::topology::UniformNetwork;
-use bytes::Bytes;
 
 fn load_of(info: &[u8]) -> f64 {
     std::str::from_utf8(info)
@@ -36,24 +36,28 @@ fn main() {
         processing_delay_us: 50_000,
         ..ProtocolConfig::default()
     };
-    let mut sim = FullSim::new(
-        protocol,
-        Box::new(UniformNetwork { latency_us: 30_000 }),
-        5,
-    );
+    let mut sim = FullSim::new(protocol, Box::new(UniformNetwork { latency_us: 30_000 }), 5);
 
     println!("== load balancing with live attached info ==\n");
     let n = 70;
     let mut loads: Vec<f64> = Vec::new();
     let l0 = (rng.next_f64() * 100.0 * 100.0).round() / 100.0;
-    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::from(format!("load:{l0}")));
+    sim.spawn_seed(
+        NodeId(rng.next_u128()),
+        1e9,
+        Bytes::from(format!("load:{l0}")),
+    );
     loads.push(l0);
     let mut slots = vec![0u32];
     for _ in 1..n {
         sim.run_for(200_000);
         let l = (rng.next_f64() * 100.0 * 100.0).round() / 100.0;
         let slot = sim
-            .spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::from(format!("load:{l}")))
+            .spawn_joiner(
+                NodeId(rng.next_u128()),
+                1e9,
+                Bytes::from(format!("load:{l}")),
+            )
             .unwrap();
         loads.push(l);
         slots.push(slot);
@@ -76,10 +80,7 @@ fn main() {
         .machines()
         .map(|(_, m)| (m.id(), load_of(m.info())))
         .collect();
-    let global_min = truth
-        .iter()
-        .map(|&(_, l)| l)
-        .fold(f64::INFINITY, f64::min);
+    let global_min = truth.iter().map(|&(_, l)| l).fold(f64::INFINITY, f64::min);
 
     // Every overloaded node (load > 80) picks its transfer target from
     // its own peer list; how close to optimal is the local choice?
@@ -119,7 +120,11 @@ fn main() {
     println!(
         "{} overloaded nodes; mean regret vs global optimum: {:.3} load units",
         count,
-        if count > 0 { regret / count as f64 } else { 0.0 }
+        if count > 0 {
+            regret / count as f64
+        } else {
+            0.0
+        }
     );
     println!("\nAt level 0 the local pick IS the global optimum (the peer list");
     println!("covers everything). Deeper levels trade optimality for bandwidth —");

@@ -9,21 +9,21 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use bytes::Bytes;
 use peerwindow::des::{DetRng, SimTime};
 use peerwindow::metrics::Table;
 use peerwindow::prelude::*;
 use peerwindow::sim::FullSim;
 use peerwindow::topology::{Topology, TransitStubNetwork, TransitStubParams};
-use bytes::Bytes;
 
 fn main() {
     // A small transit-stub internet (the paper's latency constants).
     let topo = Topology::generate(TransitStubParams::small(), 7);
     let net = TransitStubNetwork::build(&topo);
     let protocol = ProtocolConfig {
-        probe_interval_us: 5_000_000,  // probe the ring successor every 5 s
-        rpc_timeout_us: 1_000_000,     // 3 × 1 s to declare a node dead
-        processing_delay_us: 100_000,  // fast hops for a small demo
+        probe_interval_us: 5_000_000, // probe the ring successor every 5 s
+        rpc_timeout_us: 1_000_000,    // 3 × 1 s to declare a node dead
+        processing_delay_us: 100_000, // fast hops for a small demo
         bandwidth_window_us: 20_000_000,
         ..ProtocolConfig::default()
     };
@@ -48,9 +48,7 @@ fn main() {
         sim.log().joined.len()
     );
     let (correct, missing, stale) = sim.accuracy();
-    println!(
-        "peer-list accuracy: {correct} required pointers, {missing} missing, {stale} stale\n"
-    );
+    println!("peer-list accuracy: {correct} required pointers, {missing} missing, {stale} stale\n");
 
     // Crash three nodes silently; §4.1 probing must detect them and the
     // multicast must purge them from every list.

@@ -29,8 +29,10 @@ fn main() {
         "at N = 10,000,000 and 13.5-min lifetimes, a level-0 list costs {:.1} Mbps;",
         model.cost_bps(10_000_000.0) / 1e6
     );
-    println!("even a 100 Mbps node budgeting 1% (1 Mbps) settles at level {}\n",
-        model.stable_level(10_000_000.0, 1_000_000.0));
+    println!(
+        "even a 100 Mbps node budgeting 1% (1 Mbps) settles at level {}\n",
+        model.stable_level(10_000_000.0, 1_000_000.0)
+    );
 
     // Build a membership where the strongest nodes are at level 2: the
     // system splits into (up to) four parts "00", "01", "10", "11".
@@ -42,11 +44,19 @@ fn main() {
         members.push(NodeIdentity::new(id, level));
     }
     let parts = PartMap::from_members(&members);
-    println!("the {}-node membership splits into {} parts:", members.len(), parts.count());
+    println!(
+        "the {}-node membership splits into {} parts:",
+        members.len(),
+        parts.count()
+    );
     let mut t = Table::new(["part prefix", "members", "top nodes"]);
     for &p in parts.parts() {
         let in_part = members.iter().filter(|m| p.contains(m.id)).count();
-        let tops = members.iter().filter(|m| parts.is_top(**m)).filter(|m| p.contains(m.id)).count();
+        let tops = members
+            .iter()
+            .filter(|m| parts.is_top(**m))
+            .filter(|m| p.contains(m.id))
+            .count();
         t.row([format!("\"{p}\""), in_part.to_string(), tops.to_string()]);
     }
     println!("\n{}", t.to_markdown());
@@ -81,7 +91,7 @@ fn main() {
         .count();
     println!(
         "multicast about {} (part \"{}\"): {} receivers, {} part crossings (audience: {})",
-        subject.id.to_string()[..8].to_string(),
+        &subject.id.to_string()[..8],
         subject_part,
         edges.len(),
         crossings,

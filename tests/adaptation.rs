@@ -2,11 +2,11 @@
 //! and shift levels at runtime when their measured cost or their budget
 //! changes.
 
+use bytes::Bytes;
 use peerwindow::des::{DetRng, SimTime};
 use peerwindow::prelude::*;
 use peerwindow::sim::FullSim;
 use peerwindow::topology::UniformNetwork;
-use bytes::Bytes;
 
 fn protocol() -> ProtocolConfig {
     ProtocolConfig {
@@ -63,7 +63,10 @@ fn overloaded_node_lowers_its_level_and_recovers() {
         assert!(m.eigenstring().contains(p.id));
     }
     assert!(
-        sim.log().shifts.iter().any(|&(s, from, to)| s == pauper && to.value() > from.value()),
+        sim.log()
+            .shifts
+            .iter()
+            .any(|&(s, from, to)| s == pauper && to.value() > from.value()),
         "no downward shift recorded: {:?}",
         sim.log().shifts
     );
@@ -73,10 +76,17 @@ fn overloaded_node_lowers_its_level_and_recovers() {
         .filter(|(s, _)| *s != pauper)
         .filter(|(_, m)| m.level().is_top())
         .count();
-    assert!(rich_at_top >= 25, "only {rich_at_top} rich nodes at level 0");
+    assert!(
+        rich_at_top >= 25,
+        "only {rich_at_top} rich nodes at level 0"
+    );
     // Quiet phase: cost collapses, the pauper climbs back (peer list
     // "inflates" as §2 describes), re-downloading from stronger nodes.
-    sim.run_until(SimTime::from_secs(150));
+    // Recovery is deliberately slow: each climb waits out a post-shift
+    // cooldown window plus four consecutive under-budget windows (raising
+    // costs a full download, so the debounce is asymmetric), and the
+    // pauper bottoms out around L3 — three climbs ≈ 40 s each.
+    sim.run_until(SimTime::from_secs(250));
     let m = sim.machine(pauper).unwrap();
     assert!(
         m.level().is_top(),
@@ -113,7 +123,11 @@ fn budget_increase_raises_level_under_load() {
     let slots: Vec<u32> = sim.machines().map(|(s, _)| s).collect();
     for round in 0..450u64 {
         let slot = slots[(round as usize) % slots.len()];
-        sim.set_info_after(slot, 10_000_000 + round * 400_000, Bytes::from(format!("v{round}")));
+        sim.set_info_after(
+            slot,
+            10_000_000 + round * 400_000,
+            Bytes::from(format!("v{round}")),
+        );
     }
     sim.run_until(SimTime::from_secs(90));
     let low = sim.machine(pauper).unwrap().level();
@@ -151,7 +165,11 @@ fn weak_joiner_estimates_low_entry_level() {
     let slots: Vec<u32> = sim.machines().map(|(s, _)| s).collect();
     for round in 0..200u64 {
         let slot = slots[(round as usize) % slots.len()];
-        sim.set_info_after(slot, 10_000_000 + round * 150_000, Bytes::from(format!("x{round}")));
+        sim.set_info_after(
+            slot,
+            10_000_000 + round * 150_000,
+            Bytes::from(format!("x{round}")),
+        );
     }
     sim.run_until(SimTime::from_secs(45));
     // Now a genuinely weak node joins: its level estimate uses l_T and

@@ -1,11 +1,11 @@
 //! Full-fidelity churn: the protocol under continuous joins, crashes, and
 //! graceful departures must keep every survivor's peer list accurate.
 
+use bytes::Bytes;
 use peerwindow::des::{DetRng, SimTime};
 use peerwindow::prelude::*;
 use peerwindow::sim::FullSim;
 use peerwindow::topology::UniformNetwork;
-use bytes::Bytes;
 
 fn protocol() -> ProtocolConfig {
     ProtocolConfig {
@@ -95,7 +95,7 @@ fn mass_failure_is_fully_cleaned_up() {
     // Kill a third of the system within one second — including several
     // consecutive ring neighbors (the §4.1 cascading-detection case).
     for &v in slots.iter().take(10) {
-        sim.crash_after(v, (rng.next_u64() % 1_000_000) as u64);
+        sim.crash_after(v, rng.next_u64() % 1_000_000);
     }
     // Detection handles most victims within seconds; a victim whose ring
     // predecessor had never learned it (a join-window absence) is

@@ -3,13 +3,13 @@
 //! comparable systems must agree on the population-level quantities the
 //! figures report — level distribution and peer-list sizes.
 
+use bytes::Bytes;
 use peerwindow::des::{DetRng, SimTime};
 use peerwindow::prelude::*;
 use peerwindow::sim::oracle::{run_oracle, NetworkConfig, OracleConfig};
 use peerwindow::sim::FullSim;
 use peerwindow::topology::UniformNetwork;
 use peerwindow::workload::{BandwidthDist, ChurnConfig, LifetimeDist};
-use bytes::Bytes;
 
 #[test]
 fn full_and_oracle_agree_on_level_distribution_and_list_sizes() {
@@ -42,8 +42,11 @@ fn full_and_oracle_agree_on_level_distribution_and_list_sizes() {
         sim.run_for(120_000);
         sim.spawn_joiner(NodeId(spec.id_raw), spec.threshold_bps, Bytes::new());
     }
-    sim.run_until(SimTime::from_secs(240));
-    let full = sim.report(240.0);
+    // Settling time: with a 20 s bandwidth window a climb needs a post-
+    // shift cooldown plus four consecutive quiet windows (~100 s), so
+    // nodes that joined mid-storm two levels deep need ~200 s of quiet.
+    sim.run_until(SimTime::from_secs(360));
+    let full = sim.report(360.0);
 
     // --- Oracle: same population target, same threshold policy. ---
     let oracle = run_oracle(OracleConfig {

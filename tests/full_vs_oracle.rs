@@ -79,10 +79,10 @@ fn oracle_planner_equals_reference_planner() {
 /// machines end up holding once a quiet system converges.
 #[test]
 fn converged_full_sim_matches_directory_counts() {
+    use bytes::Bytes;
     use peerwindow::des::DetRng;
     use peerwindow::sim::FullSim;
     use peerwindow::topology::UniformNetwork;
-    use bytes::Bytes;
 
     let protocol = ProtocolConfig {
         probe_interval_us: 5_000_000,
@@ -90,11 +90,7 @@ fn converged_full_sim_matches_directory_counts() {
         processing_delay_us: 20_000,
         ..ProtocolConfig::default()
     };
-    let mut sim = FullSim::new(
-        protocol,
-        Box::new(UniformNetwork { latency_us: 20_000 }),
-        3,
-    );
+    let mut sim = FullSim::new(protocol, Box::new(UniformNetwork { latency_us: 20_000 }), 3);
     let mut rng = DetRng::new(77);
     sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
     for _ in 0..40 {

@@ -20,7 +20,12 @@ fn arb_target() -> impl Strategy<Value = Target> {
 }
 
 fn arb_pointer() -> impl Strategy<Value = Pointer> {
-    (any::<u128>(), any::<u64>(), arb_level(), proptest::collection::vec(any::<u8>(), 0..16))
+    (
+        any::<u128>(),
+        any::<u64>(),
+        arb_level(),
+        proptest::collection::vec(any::<u8>(), 0..16),
+    )
         .prop_map(|(id, addr, level, info)| {
             Pointer::with_info(NodeId(id), Addr(addr), level, Bytes::from(info))
         })
@@ -59,7 +64,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
         Just(Message::Probe),
         Just(Message::ProbeAck),
         arb_event().prop_map(|event| Message::Report { event }),
-        (any::<u128>(), any::<u64>(), proptest::collection::vec(arb_target(), 0..4))
+        (
+            any::<u128>(),
+            any::<u64>(),
+            proptest::collection::vec(arb_target(), 0..4)
+        )
             .prop_map(|(id, seq, tops)| Message::ReportAck {
                 key: (NodeId(id), seq),
                 tops,
@@ -75,10 +84,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec(arb_target(), 0..4)
             .prop_map(|tops| Message::FindTopReply { tops }),
         Just(Message::LevelQuery),
-        (arb_level(), any::<f64>()).prop_map(|(level, cost_bps)| Message::LevelQueryReply {
-            level,
-            cost_bps,
-        }),
+        (arb_level(), any::<f64>())
+            .prop_map(|(level, cost_bps)| Message::LevelQueryReply { level, cost_bps }),
         (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Message::Download {
             scope: Prefix::new(bits, len)
         }),

@@ -14,7 +14,14 @@ fn arb_level() -> impl Strategy<Value = Level> {
 }
 
 fn arb_members(n: usize) -> impl Strategy<Value = Vec<(NodeId, Level)>> {
-    proptest::collection::vec((arb_id(), arb_level()), 2..n)
+    // A membership holds one identity per node: duplicate id draws (the
+    // generator is edge-biased, so collisions happen) collapse to the
+    // first occurrence — two levels for one id is not a valid view.
+    proptest::collection::vec((arb_id(), arb_level()), 2..n).prop_map(|mut v| {
+        let mut seen = BTreeSet::new();
+        v.retain(|(id, _)| seen.insert(*id));
+        v
+    })
 }
 
 /// Ground-truth correct peer list of a member within a membership.

@@ -8,11 +8,11 @@
 //! controller's stability edge, so nodes are pinned to level 1 via the
 //! explicit `Command::SetLevel` API and upward adaptation is disabled.
 
+use bytes::Bytes;
 use peerwindow::des::{DetRng, SimTime};
 use peerwindow::prelude::*;
 use peerwindow::sim::FullSim;
 use peerwindow::topology::UniformNetwork;
-use bytes::Bytes;
 
 fn protocol() -> ProtocolConfig {
     ProtocolConfig {

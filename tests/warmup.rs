@@ -3,11 +3,11 @@
 //! nodes for a larger peer list … it raises its level and reports the
 //! state-changing event."
 
+use bytes::Bytes;
 use peerwindow::des::{DetRng, SimTime};
 use peerwindow::prelude::*;
 use peerwindow::sim::FullSim;
 use peerwindow::topology::UniformNetwork;
-use bytes::Bytes;
 
 fn protocol(warm_up: bool) -> ProtocolConfig {
     ProtocolConfig {

@@ -1,0 +1,221 @@
+//! Offline stub of the `bytes` crate.
+//!
+//! The container image has no crates.io access, so the workspace vendors
+//! the *subset* of `bytes` it actually uses: an immutable, cheaply
+//! clonable byte buffer. Static slices are kept as-is (zero-copy); owned
+//! data is reference-counted. The API is call-compatible with the real
+//! crate for everything PeerWindow touches, so swapping the real `bytes`
+//! back in is a one-line Cargo change.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable contiguous byte buffer.
+#[derive(Clone)]
+pub struct Bytes(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    #[inline]
+    pub const fn new() -> Self {
+        Bytes(Repr::Static(&[]))
+    }
+
+    /// Wraps a static slice without copying.
+    #[inline]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Repr::Static(bytes))
+    }
+
+    /// Copies a slice into a new shared buffer.
+    #[inline]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Repr::Shared(Arc::from(data)))
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// The underlying bytes.
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+
+    /// Copies the contents into a `Vec<u8>`.
+    #[inline]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    #[inline]
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    #[inline]
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Repr::Shared(Arc::from(v.into_boxed_slice())))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    #[inline]
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    #[inline]
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    #[inline]
+    fn from(b: Box<[u8]>) -> Self {
+        Bytes(Repr::Shared(Arc::from(b)))
+    }
+}
+
+impl From<String> for Bytes {
+    #[inline]
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    #[inline]
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    #[inline]
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    #[inline]
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if (0x20..0x7F).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(s.len(), 5);
+        assert_eq!(&s[..], b"hello");
+        let v = Bytes::from(vec![1u8, 2, 3]);
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::copy_from_slice(b"ab"), Bytes::from_static(b"ab"));
+    }
+}

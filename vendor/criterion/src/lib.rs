@@ -1,0 +1,214 @@
+//! Offline mini-criterion.
+//!
+//! The container image has no crates.io access, so this crate implements
+//! the slice of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::bench_with_input`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Behaviour: under `cargo bench` each benchmark is warmed up briefly,
+//! then timed for a short budget and reported as mean ns/iter. Under
+//! `cargo test` (which runs `harness = false` bench targets with the
+//! `--test` flag) each benchmark body runs exactly once, matching real
+//! criterion's test mode. Positional CLI args act as substring filters
+//! on benchmark names.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for a parameterised benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times a routine.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Mean time per iteration from the last `iter` call, if measured.
+    last_mean_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, keeping its return value live via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.settings.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up until the routine has run for ~10% of the budget.
+        let warmup = self.settings.budget / 10;
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let measure_budget = self.settings.budget.as_secs_f64();
+        let iters = ((measure_budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.last_mean_ns = Some(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+struct Settings {
+    test_mode: bool,
+    budget: Duration,
+    filters: Vec<String>,
+}
+
+impl Settings {
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings {
+                test_mode: false,
+                budget: Duration::from_millis(300),
+                filters: Vec::new(),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver configured from the process CLI arguments.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.settings.test_mode = true,
+                // Harness flags cargo may pass through; ignore.
+                s if s.starts_with('-') => {}
+                s => c.settings.filters.push(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn run_one(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if !self.settings.matches(name) {
+            return;
+        }
+        let mut b = Bencher {
+            settings: &self.settings,
+            last_mean_ns: None,
+        };
+        f(&mut b);
+        if self.settings.test_mode {
+            println!("test {name} ... ok");
+        } else if let Some(ns) = b.last_mean_ns {
+            println!("{name:<48} {:>14.1} ns/iter", ns);
+        }
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = id.full.clone();
+        self.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size knob; accepted for API compatibility, not used by the
+    /// stub's fixed-budget measurement.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `group/name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs `group/<id>` with an input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.full);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $(
+                $target(c);
+            )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $(
+                $group(&mut c);
+            )+
+        }
+    };
+}

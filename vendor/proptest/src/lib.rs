@@ -1,0 +1,186 @@
+//! Offline mini-proptest.
+//!
+//! The container image has no crates.io access, so this crate reimplements
+//! the slice of the proptest API the workspace uses: the `proptest!` macro
+//! with `pattern in strategy` parameters, `any::<T>()`, numeric-range and
+//! string-pattern strategies, tuples, `prop_map`, `prop_oneof!`, `Just`,
+//! `proptest::collection::vec`, `prop_assert*`, `prop_assume!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//! * **No shrinking** — a failing case reports its values (via the
+//!   pattern bindings' `Debug` where the test formats them) and the case
+//!   number, but is not minimized.
+//! * **Deterministic seeding** — each test derives its RNG seed from the
+//!   test name and case index, so runs are reproducible without a
+//!   `proptest-regressions` file (existing regression files are ignored).
+//! * `any::<f64>()` generates finite values only (like real proptest's
+//!   default float strategy, which excludes NaN and infinities).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// One-stop import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Binds one `pat in strategy` parameter list entry after another.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_bind {
+    ($rng:ident; ()) => {};
+    ($rng:ident; ($pat:pat in $strat:expr)) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+    };
+    ($rng:ident; ($pat:pat in $strat:expr, $($rest:tt)*)) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $crate::__pt_bind!($rng; ($($rest)*));
+    };
+}
+
+/// Expands the test functions inside a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_tests {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr) $(#[$meta:meta])* fn $name:ident $params:tt $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __base = $crate::test_runner::fnv1a(stringify!($name));
+            let mut __case: u32 = 0;
+            let mut __attempt: u64 = 0;
+            let __max_attempts = (__cfg.cases as u64) * 16 + 256;
+            while __case < __cfg.cases {
+                if __attempt >= __max_attempts {
+                    panic!(
+                        "proptest stub: too many rejected cases in `{}` ({} accepted of {} wanted)",
+                        stringify!($name), __case, __cfg.cases
+                    );
+                }
+                let mut __rng =
+                    $crate::test_runner::TestRng::new(__base ^ (__attempt.wrapping_mul(0x9E3779B97F4A7C15)));
+                __attempt += 1;
+                let __rng = &mut __rng;
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $crate::__pt_bind!(__rng; $params);
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    Ok(()) => __case += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} of `{}` failed (seed attempt {}): {}",
+                            __case, stringify!($name), __attempt - 1, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__pt_tests!{ @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// The `proptest!` block macro: runs each contained `#[test]` function
+/// over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__pt_tests!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__pt_tests!{ @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: {:?} != {:?}", __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("{}: {:?} != {:?}", format!($($fmt)+), __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: {:?} == {:?}", __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is regenerated, not counted as a run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::union_of(vec![$($crate::strategy::boxed($s)),+])
+    };
+}

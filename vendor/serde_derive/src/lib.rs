@@ -1,0 +1,72 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container image has no crates.io access, so serde support is
+//! vendored as *marker traits* (see the sibling `serde` stub). This
+//! derive macro emits an empty `impl` of the marker trait for the
+//! annotated type — enough for `#[derive(Serialize, Deserialize)]` to
+//! compile everywhere. Real serialization in this repo is hand-rolled
+//! (see `peerwindow-transport::codec` and the bench JSON writer).
+//!
+//! Limitation: generic types are not supported (nothing in the workspace
+//! derives serde traits on a generic type). The macro panics with a clear
+//! message if it meets one, so the gap is loud, not silent.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a type name in the input");
+}
+
+/// Panics if the type is generic (unsupported by the stub).
+fn reject_generics(input: &TokenStream, name: &str) {
+    let mut saw_name = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == name => saw_name = true,
+            TokenTree::Punct(p) if saw_name => {
+                if p.as_char() == '<' {
+                    panic!(
+                        "serde_derive stub: generic type `{name}` is unsupported; \
+                         write the marker impl by hand"
+                    );
+                }
+                break;
+            }
+            TokenTree::Group(_) if saw_name => break,
+            _ => {}
+        }
+    }
+}
+
+fn empty_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let name = type_name(&input);
+    reject_generics(&input, &name);
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .expect("stub impl must parse")
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize")
+}

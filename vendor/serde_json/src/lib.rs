@@ -1,0 +1,32 @@
+//! Offline stub of `serde_json`.
+//!
+//! No code in the workspace calls serde_json today — JSON output (e.g.
+//! `BENCH_*.json`) is written by the small hand-rolled writer in
+//! `peerwindow-bench`. This stub only exists so `Cargo.toml` dependency
+//! edges resolve without network access. If a future PR needs real JSON
+//! (de)serialization, either extend this stub or restore the real crate.
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn escapes() {
+        assert_eq!(super::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}
