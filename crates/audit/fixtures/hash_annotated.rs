@@ -1,0 +1,12 @@
+// Fixture: hash collections with the `audit: ordered` annotation —
+// the holder proves the map is only used for key lookups.
+use std::collections::HashMap; // audit: ordered — key lookups only, never iterated
+
+struct Index {
+    // audit: ordered — addressed by key, never iterated
+    slots: HashMap<u128, u32>,
+}
+
+fn lookup(idx: &Index, id: u128) -> Option<u32> {
+    idx.slots.get(&id).copied()
+}

@@ -1,0 +1,12 @@
+// Fixture: unannotated std hash collections in a protocol crate.
+// Iteration order depends on each instance's RandomState, so two
+// identically-seeded runs diverge the first time anyone iterates.
+use std::collections::{HashMap, HashSet};
+
+fn pick_first(live: &HashMap<u128, u32>) -> Option<u32> {
+    live.values().next().copied()
+}
+
+fn union(a: &HashSet<u128>, b: &HashSet<u128>) -> Vec<u128> {
+    a.union(b).copied().collect()
+}

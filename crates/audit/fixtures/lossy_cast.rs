@@ -1,0 +1,15 @@
+// Fixture: identifier-algebra casts. The narrowing `as u32` silently
+// truncates a 128-bit identifier; the widening and annotated sites are
+// exempt.
+fn truncating(id: u128) -> u32 {
+    id as u32
+}
+
+fn widening(len: u8) -> u128 {
+    u128::from(len) << 100
+}
+
+fn annotated(len: u8) -> u32 {
+    // audit: cast-ok — u8 → u32 is widening, never lossy.
+    len as u32
+}

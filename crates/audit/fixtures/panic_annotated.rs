@@ -1,0 +1,22 @@
+// Fixture: exempted panic sites — an `audit: panic-ok` annotation with a
+// reason, and anything below the `#[cfg(test)]` marker (test modules sit
+// at the bottom of every file in this repository).
+fn checked(index: usize, table: &[u64]) -> u64 {
+    // audit: panic-ok — index was bounds-checked by the caller's loop.
+    table.get(index).copied().unwrap()
+}
+
+fn inline_annotated(v: Option<u64>) -> u64 {
+    v.unwrap() // audit: panic-ok — constructed Some(_) two lines up.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u64> = Some(7);
+        assert_eq!(v.unwrap(), 7);
+        let r: Result<u64, ()> = Ok(9);
+        assert_eq!(r.expect("ok"), 9);
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: panics on the message path. A malformed or late message must
+// map to a typed ProtocolError, never crash the machine.
+fn on_reply(pending: Option<u64>, level: Option<u8>) -> (u64, u8) {
+    let token = pending.unwrap();
+    let level = level.expect("level reply implies a known top");
+    (token, level)
+}

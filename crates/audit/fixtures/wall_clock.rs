@@ -1,0 +1,17 @@
+// Fixture: wall-clock and ambient-randomness reads in simulation code.
+// Protocol and simulator crates must use simulated time and seeded
+// streams; each of the three tokens below is a separate finding.
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+fn jitter() -> u64 {
+    rand::thread_rng().gen()
+}

@@ -1,0 +1,58 @@
+//! Command-line entry point: `cargo run -p peerwindow-audit -- lint`.
+//!
+//! Exits 0 when the workspace is clean, 1 when any rule fires, 2 on
+//! usage or I/O errors. CI runs this next to the test suite; the
+//! `workspace_at_head_is_lint_clean` unit test enforces the same
+//! guarantee from `cargo test`.
+
+#![forbid(unsafe_code)]
+
+use peerwindow_audit::{lint_workspace, AuditConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprintln!("usage: peerwindow-audit lint [--root <workspace-root>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = match args {
+        [] => peerwindow_audit::default_root(),
+        [flag, path] if flag == "--root" => PathBuf::from(path),
+        _ => {
+            eprintln!("usage: peerwindow-audit lint [--root <workspace-root>]");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match AuditConfig::load(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match lint_workspace(&root, &cfg) {
+        Ok(findings) if findings.is_empty() => {
+            println!("audit: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("audit: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -73,7 +73,9 @@ impl NodeId {
     /// Length (in bits) of the longest common prefix of `self` and `other`.
     #[inline]
     pub fn common_prefix_len(self, other: NodeId) -> u8 {
-        (self.0 ^ other.0).leading_zeros() as u8
+        // leading_zeros of a u128 is at most 128, so the conversion is
+        // total; the fallback keeps the expression cast-free.
+        u8::try_from((self.0 ^ other.0).leading_zeros()).unwrap_or(ID_BITS)
     }
 
     /// The first `len` bits of this id, as a [`Prefix`].
@@ -173,7 +175,7 @@ impl Prefix {
         }
         Some(Prefix {
             bits,
-            len: s.len() as u8,
+            len: u8::try_from(s.len()).ok()?,
         })
     }
 
@@ -266,6 +268,7 @@ impl Prefix {
     pub fn range_end(self) -> NodeId {
         // checked_shr: a full-length prefix (len = 128) matches exactly
         // one identifier, and `u128::MAX >> 128` would overflow the shift.
+        // audit: cast-ok — u8 → u32 is widening, never lossy.
         NodeId(self.bits | u128::MAX.checked_shr(self.len as u32).unwrap_or(0))
     }
 

@@ -1,0 +1,822 @@
+//! Runtime protocol invariant checking and an exhaustive state-space
+//! sweep, in the spirit of FSM model-checking harnesses (polestar-style).
+//!
+//! Two layers:
+//!
+//! * **Local invariants** — [`NodeMachine::check_invariants`]: properties
+//!   of a single machine that must hold after *every* handled event, in
+//!   every phase (scope ≡ eigenstring, every held pointer inside the
+//!   audience the identifier algebra assigns us, no self-pointer, no
+//!   duplicate entries, top-list within capacity).
+//! * **System invariants** — [`check_system`]: cross-node properties that
+//!   only hold at *quiescence*, once all in-flight multicasts have been
+//!   applied (membership symmetry `A.covers(B) ⇔ B ∈ A.peers`, level
+//!   agreement, in-scope top-list entries present in the peer list).
+//!   Mid-multicast these are legitimately violated — a piggybacked top
+//!   can be known before the subject's join event arrives — which is why
+//!   they are not part of `check_invariants`.
+//!
+//! [`exhaustive_sweep`] drives both: a breadth-first enumeration of all
+//! join/leave/crash/shift interleavings of a small id table up to a depth
+//! bound, running each interleaving on real [`NodeMachine`]s over a
+//! deterministic mini event loop, checking local invariants after every
+//! handled event and system invariants at every quiescent state.
+//!
+//! The module is compiled under `cfg(test)` and behind the `invariants`
+//! feature so production builds pay nothing for it.
+
+use crate::config::ProtocolConfig;
+use crate::id::{NodeId, Prefix};
+use crate::level::{Level, NodeIdentity};
+use crate::node::{Command, Input, NodeMachine, Output};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+
+// ----------------------------------------------------------------------
+// Violations
+// ----------------------------------------------------------------------
+
+/// A protocol invariant that failed to hold, with enough context to
+/// localise the offending machine and entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// An active node's peer-list scope differs from its eigenstring
+    /// (the first `l` bits of its id at level `l`, §2).
+    ScopeMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// The peer list's scope.
+        scope: Prefix,
+        /// The eigenstring implied by (id, level).
+        eigenstring: Prefix,
+    },
+    /// A node holds a pointer the identifier algebra says it must not:
+    /// its audience membership (`covers`) does not include the entry.
+    OutOfScopePointer {
+        /// The holder.
+        node: NodeId,
+        /// The out-of-scope entry.
+        pointer: NodeId,
+    },
+    /// A node's peer list contains the node itself.
+    SelfPointer {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The top-node list contains the node itself. A self-entry is never
+    /// level-synced (nodes do not apply their own events) and a level
+    /// raise that picks it downloads from an empty mirror of itself.
+    SelfTopEntry {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The top-node list contains the same id twice.
+    DuplicateTopEntry {
+        /// The holder.
+        node: NodeId,
+        /// The duplicated id.
+        dup: NodeId,
+    },
+    /// The top-node list exceeds its configured capacity `t` (§2).
+    TopListOverCapacity {
+        /// The holder.
+        node: NodeId,
+        /// Entries present.
+        len: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// Two live machines share one NodeId.
+    DuplicateNodeId {
+        /// The id present twice.
+        id: NodeId,
+    },
+    /// Quiescent check: `A.covers(B)` but B is absent from A's peer list
+    /// (a member of B's audience never learned of B).
+    MissingPeer {
+        /// The node whose list is incomplete.
+        node: NodeId,
+        /// The absent member.
+        missing: NodeId,
+    },
+    /// Quiescent check: a peer-list entry references a node that is no
+    /// longer live (departed but never cleaned up).
+    StalePeer {
+        /// The holder.
+        node: NodeId,
+        /// The departed entry.
+        stale: NodeId,
+    },
+    /// Quiescent check: a held entry records a different level than the
+    /// subject actually runs at.
+    LevelMismatch {
+        /// The holder.
+        node: NodeId,
+        /// The entry.
+        peer: NodeId,
+        /// Level recorded in the holder's list.
+        recorded: Level,
+        /// The subject's actual level.
+        actual: Level,
+    },
+    /// Quiescent check: an in-scope top-list entry is missing from the
+    /// peer list (top-node-list ⊆ peer-list, for ids the scope covers).
+    TopNotInPeerList {
+        /// The holder.
+        node: NodeId,
+        /// The top entry absent from the peer list.
+        top: NodeId,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            InvariantViolation::ScopeMismatch {
+                node,
+                scope,
+                eigenstring,
+            } => write!(
+                f,
+                "{node:?}: peer-list scope {scope:?} != eigenstring {eigenstring:?}"
+            ),
+            InvariantViolation::OutOfScopePointer { node, pointer } => {
+                write!(f, "{node:?}: holds {pointer:?} outside its audience")
+            }
+            InvariantViolation::SelfPointer { node } => {
+                write!(f, "{node:?}: peer list contains the node itself")
+            }
+            InvariantViolation::SelfTopEntry { node } => {
+                write!(f, "{node:?}: top list contains the node itself")
+            }
+            InvariantViolation::DuplicateTopEntry { node, dup } => {
+                write!(f, "{node:?}: top list contains {dup:?} twice")
+            }
+            InvariantViolation::TopListOverCapacity {
+                node,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "{node:?}: top list has {len} entries, capacity {capacity}"
+            ),
+            InvariantViolation::DuplicateNodeId { id } => {
+                write!(f, "two live machines share id {id:?}")
+            }
+            InvariantViolation::MissingPeer { node, missing } => {
+                write!(f, "{node:?}: covers {missing:?} but does not hold it")
+            }
+            InvariantViolation::StalePeer { node, stale } => {
+                write!(f, "{node:?}: holds departed node {stale:?}")
+            }
+            InvariantViolation::LevelMismatch {
+                node,
+                peer,
+                recorded,
+                actual,
+            } => write!(
+                f,
+                "{node:?}: records {peer:?} at {recorded:?}, actual {actual:?}"
+            ),
+            InvariantViolation::TopNotInPeerList { node, top } => {
+                write!(f, "{node:?}: in-scope top {top:?} absent from peer list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+// ----------------------------------------------------------------------
+// Local invariants
+// ----------------------------------------------------------------------
+
+impl NodeMachine {
+    /// Checks every *local* invariant — properties of this machine alone
+    /// that must hold after every handled event, in every phase.
+    ///
+    /// Cross-node properties (membership symmetry, level agreement) are
+    /// only meaningful at quiescence and live in [`check_system`].
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let me = self.id();
+        let ident = NodeIdentity::new(me, self.level());
+
+        // An active node's list scope is exactly its eigenstring (§2).
+        // While joining the machine provisionally holds wider scopes, so
+        // the equality is only required once active.
+        if self.is_active() && self.peers().scope() != ident.eigenstring() {
+            return Err(InvariantViolation::ScopeMismatch {
+                node: me,
+                scope: self.peers().scope(),
+                eigenstring: ident.eigenstring(),
+            });
+        }
+
+        // Every held pointer lies inside the declared scope — the
+        // audience-set rule: we hold X iff we cover X. (Audience
+        // *symmetry* — everyone who covers us holds us — is the
+        // quiescent half, checked in `check_system`.)
+        let scope = self.peers().scope();
+        let mut prev: Option<NodeId> = None;
+        for p in self.peers().iter() {
+            if p.id == me {
+                return Err(InvariantViolation::SelfPointer { node: me });
+            }
+            if !scope.contains(p.id) {
+                return Err(InvariantViolation::OutOfScopePointer {
+                    node: me,
+                    pointer: p.id,
+                });
+            }
+            // The list is keyed by id; iteration must be strictly
+            // ascending (duplicates are structurally impossible, but the
+            // sweep asserts it rather than assuming it).
+            if let Some(prev) = prev {
+                if p.id <= prev {
+                    return Err(InvariantViolation::OutOfScopePointer {
+                        node: me,
+                        pointer: p.id,
+                    });
+                }
+            }
+            prev = Some(p.id);
+        }
+
+        // Top-node list: bounded by t, no duplicate ids.
+        let tops = self.tops();
+        if tops.capacity() > 0 && tops.len() > tops.capacity() {
+            return Err(InvariantViolation::TopListOverCapacity {
+                node: me,
+                len: tops.len(),
+                capacity: tops.capacity(),
+            });
+        }
+        let mut seen: Vec<NodeId> = Vec::with_capacity(tops.len());
+        for t in tops.entries() {
+            if t.id == me {
+                return Err(InvariantViolation::SelfTopEntry { node: me });
+            }
+            if seen.contains(&t.id) {
+                return Err(InvariantViolation::DuplicateTopEntry {
+                    node: me,
+                    dup: t.id,
+                });
+            }
+            seen.push(t.id);
+        }
+
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// System (quiescent) invariants
+// ----------------------------------------------------------------------
+
+/// Checks cross-node invariants over a set of live machines. Only valid
+/// at quiescence — when no multicast, join, or failure-detection traffic
+/// is still in flight — because dissemination is asynchronous by design.
+///
+/// * no duplicate NodeIds;
+/// * membership symmetry: for active A ≠ B, `A.covers(B) ⇔ B ∈ A.peers`
+///   (the audience-set rule of §2, both directions);
+/// * level agreement: recorded pointer levels match the subject's level;
+/// * top-list containment: in-scope top entries appear in the peer list.
+pub fn check_system<'a, I>(machines: I) -> Result<(), InvariantViolation>
+where
+    I: IntoIterator<Item = &'a NodeMachine>,
+{
+    let live: Vec<&NodeMachine> = machines.into_iter().filter(|m| m.is_active()).collect();
+
+    for (i, a) in live.iter().enumerate() {
+        for b in live.iter().skip(i + 1) {
+            if a.id() == b.id() {
+                return Err(InvariantViolation::DuplicateNodeId { id: a.id() });
+            }
+        }
+    }
+
+    for a in &live {
+        let ident = NodeIdentity::new(a.id(), a.level());
+        for b in &live {
+            if a.id() == b.id() {
+                continue;
+            }
+            let held = a.peers().contains(b.id());
+            if ident.covers(b.id()) && !held {
+                return Err(InvariantViolation::MissingPeer {
+                    node: a.id(),
+                    missing: b.id(),
+                });
+            }
+            if held {
+                // Holding implies covering (the other audience direction).
+                if !ident.covers(b.id()) {
+                    return Err(InvariantViolation::OutOfScopePointer {
+                        node: a.id(),
+                        pointer: b.id(),
+                    });
+                }
+                let recorded = a.peers().get(b.id()).map(|p| p.level);
+                if let Some(recorded) = recorded {
+                    if recorded != b.level() {
+                        return Err(InvariantViolation::LevelMismatch {
+                            node: a.id(),
+                            peer: b.id(),
+                            recorded,
+                            actual: b.level(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Every peer entry references a live machine.
+        for p in a.peers().iter() {
+            if !live.iter().any(|m| m.id() == p.id) {
+                return Err(InvariantViolation::StalePeer {
+                    node: a.id(),
+                    stale: p.id,
+                });
+            }
+        }
+
+        // Top-node-list ⊆ peer-list, restricted to ids the scope covers
+        // (tops of other parts are legitimately outside the list).
+        for t in a.tops().entries() {
+            if t.id != a.id() && ident.covers(t.id) && !a.peers().contains(t.id) {
+                return Err(InvariantViolation::TopNotInPeerList {
+                    node: a.id(),
+                    top: t.id,
+                });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Exhaustive interleaving sweep
+// ----------------------------------------------------------------------
+
+/// One membership operation applied between quiescent states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepOp {
+    /// Spawn node `k` of the id table, bootstrapping off the
+    /// lowest-indexed live node.
+    Join(usize),
+    /// Graceful shutdown of node `k`.
+    Leave(usize),
+    /// Silent crash of node `k` (failure detection must clean up).
+    Crash(usize),
+    /// Pin node `k` to the given level (§4.3 runtime shifting).
+    Shift(usize, u8),
+}
+
+/// Parameters for [`exhaustive_sweep`].
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Raw 128-bit ids; index 0 is the seed node, present from the start.
+    pub ids: Vec<u128>,
+    /// Maximum number of operations per interleaving (search depth).
+    pub max_ops: usize,
+    /// Simulated time to run after each operation before declaring
+    /// quiescence. Must comfortably exceed join round-trips and
+    /// probe-based failure detection under [`sweep_protocol_config`].
+    pub settle_us: u64,
+    /// Levels `Shift` may pin nodes to.
+    pub levels: Vec<u8>,
+    /// Whether to enumerate silent crashes in addition to graceful leaves.
+    pub allow_crash: bool,
+}
+
+/// Counters describing how much state space a sweep covered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Quiescent states visited (including the initial seed state).
+    pub states: usize,
+    /// Operations applied across all interleavings.
+    pub transitions: usize,
+    /// Individual machine events after which local invariants held.
+    pub events_checked: u64,
+    /// Distinct quiescent membership fingerprints observed.
+    pub distinct_states: usize,
+}
+
+/// A sweep counterexample: the operation trace that led to the violation.
+#[derive(Clone, Debug)]
+pub struct SweepFailure {
+    /// Operations applied, in order, from the initial seed state.
+    pub trace: Vec<SweepOp>,
+    /// The violated invariant.
+    pub violation: InvariantViolation,
+}
+
+impl fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "after {:?}: {}", self.trace, self.violation)
+    }
+}
+
+impl std::error::Error for SweepFailure {}
+
+/// The fast-timer configuration the sweep runs under: probing every 1 s,
+/// 300 ms RPC timeouts, so a crash is detected and disseminated well
+/// inside a 10 s settle window.
+pub fn sweep_protocol_config() -> ProtocolConfig {
+    ProtocolConfig {
+        probe_interval_us: 1_000_000,
+        rpc_timeout_us: 300_000,
+        processing_delay_us: 1_000,
+        bandwidth_window_us: 5_000_000,
+        ..ProtocolConfig::default()
+    }
+}
+
+/// A small deterministic event loop over real machines, cloneable so the
+/// breadth-first sweep can branch from any quiescent state.
+#[derive(Clone)]
+struct SweepNet {
+    /// One slot per id-table entry; `None` until spawned.
+    slots: Vec<Option<NodeMachine>>,
+    /// Crashed slots silently drop all delivery.
+    dead: Vec<bool>,
+    /// Pending deliveries keyed by `(time, seq)` — a BTreeMap so clones
+    /// iterate identically. Values carry the destination slot.
+    queue: BTreeMap<(u64, u64), (usize, Input)>,
+    seq: u64,
+    now: u64,
+    latency_us: u64,
+    events_checked: u64,
+}
+
+/// A violation or unexpected machine death observed while driving the net.
+enum SweepErr {
+    Violation(InvariantViolation),
+    /// A machine died with [`Output::Fatal`]; the sweep only applies
+    /// well-formed operations, so any fatal is a protocol bug.
+    Fatal(NodeId, &'static str),
+}
+
+impl SweepNet {
+    fn new(ids: &[u128]) -> Self {
+        let mut net = SweepNet {
+            slots: vec![None; ids.len()],
+            dead: vec![false; ids.len()],
+            queue: BTreeMap::new(),
+            seq: 0,
+            now: 0,
+            latency_us: 10_000,
+            events_checked: 0,
+        };
+        let (m, outs) = NodeMachine::new_seed(
+            sweep_protocol_config(),
+            NodeId(ids[0]),
+            crate::pointer::Addr(0),
+            Bytes::new(),
+            1e9,
+            1,
+        );
+        net.slots[0] = Some(m);
+        // Seed start-up outputs are timers only; `Fatal` is impossible.
+        let _ = net.enqueue(0, outs);
+        net
+    }
+
+    fn machine(&self, slot: usize) -> Option<&NodeMachine> {
+        match &self.slots[slot] {
+            Some(m) if !self.dead[slot] => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Live, fully-joined machines.
+    fn active(&self) -> impl Iterator<Item = &NodeMachine> + '_ {
+        (0..self.slots.len()).filter_map(|s| self.machine(s).filter(|m| m.is_active()))
+    }
+
+    fn enqueue(&mut self, from: usize, outs: Vec<Output>) -> Result<(), SweepErr> {
+        for o in outs {
+            match o {
+                Output::Send { to, msg, delay_us } => {
+                    let dest = to.addr.0 as usize;
+                    let sender = self.slots[from].as_ref();
+                    let (id, addr) = match sender {
+                        Some(m) => (m.id(), m.addr()),
+                        None => continue,
+                    };
+                    self.seq += 1;
+                    let at = self.now + delay_us + self.latency_us;
+                    self.queue.insert(
+                        (at, self.seq),
+                        (
+                            dest,
+                            Input::Message {
+                                from: id,
+                                from_addr: addr,
+                                msg,
+                            },
+                        ),
+                    );
+                }
+                Output::SetTimer { delay_us, timer } => {
+                    self.seq += 1;
+                    self.queue
+                        .insert((self.now + delay_us, self.seq), (from, Input::Timer(timer)));
+                }
+                Output::Fatal(reason) => {
+                    let id = self.slots[from].as_ref().map(NodeMachine::id);
+                    return Err(SweepErr::Fatal(id.unwrap_or(NodeId(0)), reason));
+                }
+                Output::Joined | Output::FailureDetected { .. } | Output::LevelShifted { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives one input into `slot`, checking local invariants afterwards.
+    fn step(&mut self, slot: usize, input: Input) -> Result<(), SweepErr> {
+        let Some(m) = self.slots[slot].as_mut() else {
+            return Ok(());
+        };
+        let outs = m.handle(self.now, input);
+        m.check_invariants().map_err(SweepErr::Violation)?;
+        self.events_checked += 1;
+        self.enqueue(slot, outs)
+    }
+
+    fn run_until(&mut self, t_us: u64) -> Result<(), SweepErr> {
+        while let Some((&(at, _), _)) = self.queue.first_key_value() {
+            if at > t_us {
+                break;
+            }
+            let Some(((at, _), (dest, input))) = self.queue.pop_first() else {
+                break;
+            };
+            self.now = at;
+            if self.dead[dest] {
+                continue;
+            }
+            self.step(dest, input)?;
+        }
+        self.now = t_us;
+        Ok(())
+    }
+
+    /// Order-insensitive digest of the quiescent membership view, for
+    /// counting distinct states (FNV-1a over sorted machine summaries).
+    fn membership_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for s in 0..self.slots.len() {
+            match self.machine(s) {
+                Some(m) if m.is_active() => {
+                    mix(&m.id().raw().to_le_bytes());
+                    mix(&[m.level().value()]);
+                    for p in m.peers().iter() {
+                        mix(&p.id.raw().to_le_bytes());
+                        mix(&[p.level.value()]);
+                    }
+                    mix(&[0xfe]);
+                }
+                _ => mix(&[0xff]),
+            }
+        }
+        h
+    }
+}
+
+/// Runs the exhaustive breadth-first sweep: from a single seed node,
+/// applies every legal sequence of at most `cfg.max_ops` operations,
+/// settling and checking system invariants after each, and checking
+/// local invariants after every individual machine event along the way.
+///
+/// Legality keeps the system well-formed (these are environment
+/// constraints, not protocol assumptions): each id joins at most once,
+/// at least one live node always remains, and the last active top-level
+/// node can neither depart nor shift down (a partition with no top is
+/// outside the protocol's §4 operating envelope).
+pub fn exhaustive_sweep(cfg: &SweepConfig) -> Result<SweepStats, Box<SweepFailure>> {
+    assert!(!cfg.ids.is_empty(), "sweep needs at least a seed id");
+    let mut stats = SweepStats::default();
+    let mut fingerprints = std::collections::BTreeSet::new();
+
+    let mut net0 = SweepNet::new(&cfg.ids);
+    net0.run_until(cfg.settle_us)
+        .map_err(|e| to_failure(e, &[]))?;
+    check_state(&net0, &[])?;
+    stats.states = 1;
+    stats.events_checked = net0.events_checked;
+    fingerprints.insert(net0.membership_fingerprint());
+
+    // Frontier of (state, trace, joined-mask).
+    let mut frontier: Vec<(SweepNet, Vec<SweepOp>, Vec<bool>)> = Vec::new();
+    let mut joined0 = vec![false; cfg.ids.len()];
+    joined0[0] = true;
+    frontier.push((net0, Vec::new(), joined0));
+
+    for _depth in 0..cfg.max_ops {
+        let mut next = Vec::new();
+        for (net, trace, joined) in &frontier {
+            for op in legal_ops(net, joined, cfg) {
+                let mut n = net.clone();
+                let mut t = trace.clone();
+                t.push(op);
+                let mut j = joined.clone();
+                if let SweepOp::Join(k) = op {
+                    j[k] = true;
+                }
+                let before = n.events_checked;
+                apply_op(&mut n, op, cfg).map_err(|e| to_failure(e, &t))?;
+                stats.transitions += 1;
+                stats.states += 1;
+                stats.events_checked += n.events_checked - before;
+                check_state(&n, &t)?;
+                fingerprints.insert(n.membership_fingerprint());
+                next.push((n, t, j));
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+
+    stats.distinct_states = fingerprints.len();
+    Ok(stats)
+}
+
+/// Applies one operation and settles; `Join` resolves its id from the
+/// table (`SweepNet` itself is table-free so clones stay cheap).
+fn apply_op(net: &mut SweepNet, op: SweepOp, cfg: &SweepConfig) -> Result<(), SweepErr> {
+    match op {
+        SweepOp::Join(k) => {
+            let boot = net.active().next().map(|m| m.as_target());
+            // Op legality (enforced by `legal_ops`) guarantees a live
+            // bootstrap exists.
+            let Some(boot) = boot else {
+                return Ok(());
+            };
+            let (m, outs) = NodeMachine::new_joining(
+                sweep_protocol_config(),
+                NodeId(cfg.ids[k]),
+                crate::pointer::Addr(k as u64),
+                Bytes::new(),
+                1e9,
+                boot,
+                k as u64 + 1,
+            );
+            net.slots[k] = Some(m);
+            net.enqueue(k, outs)?;
+        }
+        SweepOp::Leave(k) => {
+            net.step(k, Input::Command(Command::Shutdown))?;
+        }
+        SweepOp::Crash(k) => {
+            net.dead[k] = true;
+        }
+        SweepOp::Shift(k, l) => {
+            net.step(k, Input::Command(Command::SetLevel(Level::new(l))))?;
+        }
+    }
+    let deadline = net.now + cfg.settle_us;
+    net.run_until(deadline)
+}
+
+/// Enumerates the well-formed operations available from a quiescent state.
+fn legal_ops(net: &SweepNet, joined: &[bool], cfg: &SweepConfig) -> Vec<SweepOp> {
+    let mut ops = Vec::new();
+    let live: Vec<usize> = (0..net.slots.len())
+        .filter(|&s| net.machine(s).is_some_and(NodeMachine::is_active))
+        .collect();
+    let tops: Vec<usize> = live
+        .iter()
+        .copied()
+        .filter(|&s| net.machine(s).is_some_and(|m| m.level().is_top()))
+        .collect();
+
+    // Joins: any id not yet spawned, while a bootstrap exists.
+    if !live.is_empty() {
+        for (k, &already) in joined.iter().enumerate() {
+            if !already {
+                ops.push(SweepOp::Join(k));
+            }
+        }
+    }
+
+    for &k in &live {
+        let is_last_top = tops.len() == 1 && tops[0] == k;
+        // Departures: keep at least one live node, and never remove the
+        // last top-level node (no-top systems are outside §4's envelope).
+        if live.len() > 1 && !is_last_top {
+            ops.push(SweepOp::Leave(k));
+            if cfg.allow_crash {
+                ops.push(SweepOp::Crash(k));
+            }
+        }
+        // Shifts: to any configured level other than the current one;
+        // the last top may not shift off level 0.
+        let cur = net.machine(k).map(|m| m.level().value()).unwrap_or(u8::MAX);
+        for &l in &cfg.levels {
+            if l != cur && !(is_last_top && l != 0) {
+                ops.push(SweepOp::Shift(k, l));
+            }
+        }
+    }
+    ops
+}
+
+// The failure side is boxed: a `SweepFailure` carries a whole operation
+// trace, and the success path should not pay its size on every return
+// (clippy: result_large_err).
+fn check_state(net: &SweepNet, trace: &[SweepOp]) -> Result<(), Box<SweepFailure>> {
+    check_system(net.active()).map_err(|violation| {
+        Box::new(SweepFailure {
+            trace: trace.to_vec(),
+            violation,
+        })
+    })
+}
+
+fn to_failure(e: SweepErr, trace: &[SweepOp]) -> Box<SweepFailure> {
+    match e {
+        SweepErr::Violation(violation) => Box::new(SweepFailure {
+            trace: trace.to_vec(),
+            violation,
+        }),
+        SweepErr::Fatal(node, _reason) => Box::new(SweepFailure {
+            trace: trace.to_vec(),
+            // A fatal during a well-formed trace means the node lost its
+            // part's top — surface it as the nearest structural violation.
+            violation: InvariantViolation::MissingPeer {
+                node,
+                missing: node,
+            },
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: u128 = 0x2000_0000_0000_0000_0000_0000_0000_0000; // 001…
+    const B: u128 = 0x6000_0000_0000_0000_0000_0000_0000_0000; // 011…
+    const C: u128 = 0xa000_0000_0000_0000_0000_0000_0000_0000; // 101…
+    const D: u128 = 0xe000_0000_0000_0000_0000_0000_0000_0000; // 111…
+
+    #[test]
+    fn seed_machine_passes_local_invariants() {
+        let (m, _outs) = NodeMachine::new_seed(
+            sweep_protocol_config(),
+            NodeId(A),
+            crate::pointer::Addr(0),
+            Bytes::new(),
+            1e9,
+            1,
+        );
+        m.check_invariants().unwrap();
+        check_system([&m]).unwrap();
+    }
+
+    #[test]
+    fn sweep_three_nodes_joins_and_leaves() {
+        let cfg = SweepConfig {
+            ids: vec![A, B, C],
+            max_ops: 3,
+            settle_us: 10_000_000,
+            levels: vec![],
+            allow_crash: true,
+        };
+        let stats = exhaustive_sweep(&cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert!(stats.states > 10, "explored only {} states", stats.states);
+        assert!(stats.events_checked > 0);
+        assert!(stats.distinct_states > 1);
+    }
+
+    #[test]
+    fn sweep_four_nodes_with_shifts() {
+        let cfg = SweepConfig {
+            ids: vec![A, B, C, D],
+            max_ops: 2,
+            settle_us: 10_000_000,
+            levels: vec![0, 1],
+            allow_crash: false,
+        };
+        let stats = exhaustive_sweep(&cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert!(stats.states > 10);
+    }
+
+    #[test]
+    fn violations_display_mentions_node() {
+        let v = InvariantViolation::SelfPointer { node: NodeId(A) };
+        assert!(format!("{v}").contains("itself"));
+    }
+}

@@ -31,6 +31,8 @@
 //! * [`node`] — the full sans-IO protocol state machine (§4).
 //! * [`config`] — protocol constants (paper defaults).
 //! * [`model`] — the §2 analytic performance model.
+//! * [`error`] — typed protocol errors (no panics in handling paths).
+//! * [`invariants`] — runtime consistency checker (feature `invariants`).
 //!
 //! ## Quick example
 //!
@@ -47,12 +49,16 @@
 //! assert!(node.covers(other)); // "10" is a prefix of other's id
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod error;
 pub mod event;
 pub mod id;
+#[cfg(any(test, feature = "invariants"))]
+pub mod invariants;
 pub mod level;
 pub mod messages;
 pub mod model;
@@ -66,6 +72,7 @@ pub mod top_list;
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::config::{ProbeScope, ProtocolConfig};
+    pub use crate::error::ProtocolError;
     pub use crate::event::{EventKind, StateEvent};
     pub use crate::id::{NodeId, Prefix, ID_BITS};
     pub use crate::level::{Level, NodeIdentity};

@@ -198,8 +198,8 @@ pub struct TreeStats {
 
 /// Computes [`TreeStats`] for a planned tree rooted at `root`.
 pub fn tree_stats(edges: &[TreeEdge], root: NodeId) -> TreeStats {
-    use std::collections::HashMap;
-    let mut out: HashMap<NodeId, usize> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut out: BTreeMap<NodeId, usize> = BTreeMap::new();
     let mut max_depth = 0;
     for e in edges {
         *out.entry(e.from).or_default() += 1;

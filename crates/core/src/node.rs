@@ -10,8 +10,9 @@
 //! This makes every protocol decision deterministic and unit-testable.
 
 use crate::config::{ProbeScope, ProtocolConfig};
+use crate::error::ProtocolError;
 use crate::event::{EventKind, StateEvent};
-use crate::id::{NodeId, Prefix};
+use crate::id::{NodeId, Prefix, ID_BITS};
 use crate::level::Level;
 use crate::messages::Message;
 use crate::model::ModelParams;
@@ -20,7 +21,11 @@ use crate::peer_list::PeerList;
 use crate::pointer::{Addr, Pointer};
 use crate::top_list::TopList;
 use bytes::Bytes;
-use std::collections::HashMap;
+// Protocol state lives in ordered collections only: iteration order must
+// be a pure function of the contents, never of a hasher seed, or two
+// identically-seeded simulations diverge (see DESIGN.md, "Determinism &
+// invariant contract").
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Sequence number used for leave events (reported by detectors who do not
 /// know the subject's own counter; terminal, so "largest wins" is safe).
@@ -134,6 +139,10 @@ enum Phase {
     Downloading,
     /// Steady state.
     Active,
+    /// Announced a graceful departure and now draining the announcement:
+    /// only the Leave multicast's RPC plumbing (acks, retries,
+    /// redirects) is still processed, until nothing is pending.
+    Leaving,
     /// Departed (gracefully or by command); ignores further input.
     Left,
 }
@@ -297,8 +306,8 @@ pub struct NodeMachine {
     /// event is fresh when its seq OR its origin time exceeds the
     /// horizon; the origin clause lets a live node's later refresh
     /// override a false leave (whose seq is `LEAVE_SEQ` = max).
-    seen: HashMap<NodeId, (u64, u64)>,
-    pending: HashMap<u64, PendingRpc>,
+    seen: BTreeMap<NodeId, (u64, u64)>,
+    pending: BTreeMap<u64, PendingRpc>,
     next_token: u64,
     meter: BandwidthMeter,
     lifetimes: LifetimeStats,
@@ -314,10 +323,12 @@ pub struct NodeMachine {
     /// traffic from the old level, and acting on it overshoots.
     last_shift_us: u64,
     /// Event keys whose reports we already forwarded (cycle guard).
-    forwarded_reports: std::collections::HashSet<(NodeId, u64)>,
+    forwarded_reports: BTreeSet<(NodeId, u64)>,
     /// Adaptation debounce (see `adapt_level`): consecutive over-budget
     /// (+) or raise-eligible (−) windows.
     adapt_pressure: i8,
+    /// The error that terminated the machine, if any (see [`ProtocolError`]).
+    fatal_error: Option<ProtocolError>,
 }
 
 impl NodeMachine {
@@ -380,8 +391,8 @@ impl NodeMachine {
             threshold_bps,
             phase: Phase::FindingTop,
             seq: 0,
-            seen: HashMap::new(),
-            pending: HashMap::new(),
+            seen: BTreeMap::new(),
+            pending: BTreeMap::new(),
             next_token: 1,
             meter: BandwidthMeter::new(window),
             lifetimes: LifetimeStats::default(),
@@ -390,9 +401,18 @@ impl NodeMachine {
             report_dead: Vec::new(),
             last_self_refresh_us: 0,
             last_shift_us: 0,
-            forwarded_reports: std::collections::HashSet::new(),
+            forwarded_reports: BTreeSet::new(),
             adapt_pressure: 0,
+            fatal_error: None,
         }
+    }
+
+    /// Terminates the machine with a typed error: records it, emits
+    /// [`Output::Fatal`], and stops accepting input.
+    fn fail(&mut self, outs: &mut Vec<Output>, err: ProtocolError) {
+        self.fatal_error = Some(err);
+        outs.push(Output::Fatal(err.as_str()));
+        self.phase = Phase::Left;
     }
 
     // ------------------------------------------------------------------
@@ -434,6 +454,18 @@ impl NodeMachine {
         self.phase == Phase::Active
     }
 
+    /// Whether the node has left the system (gracefully, after draining
+    /// its departure announcement, or terminally on a fatal error). A
+    /// left machine ignores all further input; harnesses may reap it.
+    pub fn has_left(&self) -> bool {
+        self.phase == Phase::Left
+    }
+
+    /// The typed error that terminated the machine, if it died on one.
+    pub fn fatal_error(&self) -> Option<ProtocolError> {
+        self.fatal_error
+    }
+
     /// Whether the node believes it is a top node of its part: no
     /// *covering* entry of its top list (one whose eigenstring prefixes
     /// our id) is stronger than us. Non-covering entries belong to other
@@ -459,6 +491,11 @@ impl NodeMachine {
     /// Current bandwidth threshold (bps).
     pub fn threshold_bps(&self) -> f64 {
         self.threshold_bps
+    }
+
+    /// Number of outstanding RPCs (diagnostics / quiescence detection).
+    pub fn pending_rpc_count(&self) -> usize {
+        self.pending.len()
     }
 
     /// The target of the outstanding ring probe, if any (diagnostics).
@@ -487,6 +524,9 @@ impl NodeMachine {
         if self.phase == Phase::Left {
             return Vec::new();
         }
+        if self.phase == Phase::Leaving && !self.drains(&input) {
+            return Vec::new();
+        }
         let mut outs = Vec::new();
         match input {
             Input::Message {
@@ -509,7 +549,29 @@ impl NodeMachine {
             Input::Timer(t) => self.on_timer(now_us, t, &mut outs),
             Input::Command(c) => self.on_command(now_us, c, &mut outs),
         }
+        if self.phase == Phase::Leaving && self.pending.is_empty() {
+            self.phase = Phase::Left;
+        }
         outs
+    }
+
+    /// Inputs a gracefully-leaving node still processes: the RPC plumbing
+    /// that carries its own departure announcement to completion —
+    /// replies that resolve pending calls, and the timeouts that retry or
+    /// redirect them. Everything else (new probes, commands, serving
+    /// queries) is refused; the node has already announced it is gone.
+    fn drains(&self, input: &Input) -> bool {
+        match input {
+            Input::Timer(t) => matches!(t, Timer::RpcTimeout(_)),
+            Input::Message { msg, .. } => matches!(
+                msg,
+                Message::MulticastAck { .. }
+                    | Message::ReportAck { .. }
+                    | Message::ProbeAck
+                    | Message::TopListReply { .. }
+            ),
+            Input::Command(_) => false,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -543,7 +605,17 @@ impl NodeMachine {
                 // entries are unverifiable any other way).
                 let key = event.key();
                 let covers = self.eigenstring().contains(event.subject);
-                if covers && self.believes_top() {
+                if event.subject == self.me
+                    && event.kind.is_removal()
+                    && self.phase == Phase::Active
+                {
+                    // Someone reported our death to us. We are the living
+                    // proof it is false: ack (so the reporter stops
+                    // retrying) and refute instead of rooting it.
+                    let tops = self.piggyback_tops();
+                    self.send(outs, reply_to, Message::ReportAck { key, tops }, 0);
+                    self.refute_false_obituary(now_us, &event, outs);
+                } else if covers && self.believes_top() {
                     let tops = self.piggyback_tops();
                     self.send(outs, reply_to, Message::ReportAck { key, tops }, 0);
                     self.start_multicast(now_us, event, outs);
@@ -582,7 +654,7 @@ impl NodeMachine {
                 }
             }
             Message::ReportAck { key, tops } => {
-                self.tops.refresh(tops);
+                self.refresh_tops(tops);
                 self.report_dead.clear();
                 self.resolve_rpc(
                     |p| matches!(&p.kind, RpcKind::Report { event } if event.key() == key),
@@ -592,7 +664,12 @@ impl NodeMachine {
                 let key = event.key();
                 self.send(outs, reply_to, Message::MulticastAck { key }, 0);
                 if self.apply_event(now_us, &event) {
-                    self.forward_event(now_us, &event, step, outs);
+                    if self.refute_false_obituary(now_us, &event, outs) {
+                        // Our own false obituary: refuted, not forwarded —
+                        // the subtree assigned to us keeps us instead.
+                    } else {
+                        self.forward_event(now_us, &event, step, outs);
+                    }
                 }
             }
             Message::MulticastAck { key } => {
@@ -662,7 +739,7 @@ impl NodeMachine {
                 self.send(outs, reply_to, Message::TopListReply { tops }, 0);
             }
             Message::TopListReply { tops } => {
-                self.tops.refresh(tops);
+                self.refresh_tops(tops);
                 let resumed = self.take_rpc(|p| matches!(p.kind, RpcKind::TopListFetch { .. }));
                 if let Some(p) = resumed {
                     if let RpcKind::TopListFetch {
@@ -683,7 +760,7 @@ impl NodeMachine {
     fn on_find_top_reply(&mut self, _now_us: u64, tops: Vec<Target>, outs: &mut Vec<Output>) {
         if self.phase != Phase::FindingTop {
             // Late duplicate; top list refresh is still useful.
-            self.tops.refresh(tops);
+            self.refresh_tops(tops);
             return;
         }
         self.take_rpc(|p| matches!(p.kind, RpcKind::JoinFindTop));
@@ -693,7 +770,7 @@ impl NodeMachine {
             .filter(|t| t.id.prefix(t.level.value()).contains(self.me))
             .collect();
         if let Some(&top) = covering.first() {
-            self.tops.refresh(covering.iter().copied());
+            self.refresh_tops(covering.iter().copied());
             self.phase = Phase::EstimatingLevel;
             self.send_rpc(outs, top, Message::LevelQuery, RpcKind::JoinLevelQuery, 0);
         } else if let Some(&hop) = tops.first() {
@@ -710,8 +787,7 @@ impl NodeMachine {
             // The bootstrap knew no top at all: it must be a seed node
             // itself (it would have answered with covering tops
             // otherwise). Treat the sender as our top-of-part.
-            outs.push(Output::Fatal("bootstrap returned no top nodes"));
-            self.phase = Phase::Left;
+            self.fail(outs, ProtocolError::BootstrapReturnedNoTops);
         }
     }
 
@@ -740,10 +816,16 @@ impl NodeMachine {
         self.level = level;
         self.phase = Phase::Downloading;
         let scope = self.eigenstring();
+        // A level reply normally implies a known top (the one we queried),
+        // but a maliciously early or duplicated reply could arrive after
+        // the top list was purged — fail the join rather than panic.
         let target = queried
             .map(|p| p.target)
-            .or_else(|| self.tops.choose(&[], |n| self.rand_below(n)))
-            .expect("level reply implies a known top");
+            .or_else(|| self.tops.choose(&[], |n| self.rand_below(n)));
+        let Some(target) = target else {
+            self.fail(outs, ProtocolError::LevelReplyWithoutKnownTop);
+            return;
+        };
         self.send_rpc(
             outs,
             target,
@@ -762,7 +844,7 @@ impl NodeMachine {
         tops: Vec<Target>,
         outs: &mut Vec<Output>,
     ) {
-        self.tops.refresh(tops);
+        self.refresh_tops(tops);
         match self.phase {
             Phase::Downloading => {
                 if scope != self.eigenstring() {
@@ -969,10 +1051,17 @@ impl NodeMachine {
 
     fn probe_successor(&mut self, outs: &mut Vec<Output>) {
         let succ = match self.cfg.probe_scope {
-            ProbeScope::Group => {
-                self.peers
-                    .ring_successor_in_group(self.me, self.eigenstring(), self.level)
-            }
+            ProbeScope::Group => self
+                .peers
+                .ring_successor_in_group(self.me, self.eigenstring(), self.level)
+                // §4.1 probes within the same-level eigenstring group, but
+                // heterogeneous levels can leave that group a singleton: after
+                // a neighbor shifts level it is no longer anyone's group
+                // successor, and its crash would go undetected forever. Found
+                // by the invariants sweep (trace [Join, Shift, Crash] ends
+                // with a permanently stale peer entry). Fall back to the
+                // whole-peer-list ring — same one-probe-per-interval cost.
+                .or_else(|| self.peers.ring_successor(self.me)),
             ProbeScope::PeerList => self.peers.ring_successor(self.me),
         };
         let Some(succ) = succ else { return };
@@ -1006,7 +1095,25 @@ impl NodeMachine {
             origin_us: now_us,
             info: Bytes::new(),
         };
-        self.report_event(now_us, event, outs);
+        self.report_event(now_us, event.clone(), outs);
+        // Courtesy copy straight to the condemned node. The §4.2
+        // dissection excludes the changing node from its own audience,
+        // so a false positive (three lost probe acks, §4.1) would
+        // otherwise stay invisible until its next periodic refresh —
+        // past the horizon of anyone who expires it first. Truly dead
+        // nodes ignore the datagram; live ones refute immediately (see
+        // `refute_false_obituary`). `ID_BITS` as the step makes the
+        // copy a leaf: a non-Active receiver that still processes it
+        // computes zero forwards.
+        self.send(
+            outs,
+            dead,
+            Message::Multicast {
+                event,
+                step: ID_BITS,
+            },
+            0,
+        );
         // §4.1: "redirects its probing to the next neighbor, and then
         // immediately detects C's failure" — probe the new successor now.
         self.probe_successor(outs);
@@ -1032,6 +1139,30 @@ impl NodeMachine {
         }
     }
 
+    /// §4.6 false-obituary refutation: we just heard our own departure
+    /// announced while very much alive (three lost probe acks suffice at
+    /// Internet loss rates, §4.1). Re-announce immediately — the
+    /// refresh's later origin re-admits us everywhere and demotes
+    /// lingering obituary copies to duplicates (see [`Self::dedup_admit`]).
+    /// Waiting for the periodic §4.6 refresh instead would leave us
+    /// invisible for up to a full refresh period. Returns whether the
+    /// event was such an obituary (and was refuted).
+    fn refute_false_obituary(
+        &mut self,
+        now_us: u64,
+        event: &StateEvent,
+        outs: &mut Vec<Output>,
+    ) -> bool {
+        if event.subject != self.me || !event.kind.is_removal() || self.phase != Phase::Active {
+            return false;
+        }
+        self.last_self_refresh_us = now_us;
+        self.seq += 1;
+        let refute = self.self_event(now_us, EventKind::Refresh);
+        self.report_event(now_us, refute, outs);
+        true
+    }
+
     /// Routes an event towards a top node (or multicasts directly when we
     /// are a top node ourselves).
     fn report_event(&mut self, now_us: u64, event: StateEvent, outs: &mut Vec<Output>) {
@@ -1039,7 +1170,14 @@ impl NodeMachine {
             self.start_multicast(now_us, event, outs);
             return;
         }
-        let dead = self.report_dead.clone();
+        let mut dead = self.report_dead.clone();
+        // Never report to ourselves: a node able to root this multicast
+        // would have taken the believes_top branch above. Our own
+        // top-list entry goes stale the instant we shift off level 0 —
+        // picking it would root the multicast at our new (narrower)
+        // level and the rest of the id space would never hear the event.
+        // (Found by the invariants sweep: [Join, Shift(seed, 1)].)
+        dead.push(self.me);
         // Prefer top-list entries that actually cover the subject (their
         // eigenstring prefixes its id); in a split system the others
         // belong to foreign parts and cannot root this multicast.
@@ -1071,6 +1209,34 @@ impl NodeMachine {
             },
             0,
         );
+    }
+
+    /// Announces a downward level shift (`old` → the already-updated
+    /// `self.level`), then narrows the peer-list scope.
+    ///
+    /// Ordering is load-bearing. A node that *was* top is the only
+    /// guaranteed root for its own shift event — its top list can be just
+    /// itself (a seed), and every other entry may belong to a foreign
+    /// part — so it must multicast from the old step over the still-wide
+    /// peer list *before* dropping the out-of-scope entries. Found by the
+    /// invariants sweep: trace `[Join, Shift(seed, 1)]` left the joiner
+    /// permanently recording the seed at level 0.
+    fn announce_lowered(&mut self, now_us: u64, old: Level, outs: &mut Vec<Output>) {
+        outs.push(Output::LevelShifted {
+            from: old,
+            to: self.level,
+        });
+        self.seq += 1;
+        let event = self.self_event_with(now_us, EventKind::LevelShift { from: old });
+        if old.is_top() && self.phase == Phase::Active {
+            if self.apply_event(now_us, &event) {
+                self.forward_event(now_us, &event, old.value(), outs);
+            }
+            self.peers.set_scope(self.eigenstring());
+        } else {
+            self.peers.set_scope(self.eigenstring());
+            self.report_event(now_us, event, outs);
+        }
     }
 
     /// Applies an event locally and forwards it from `step = our level`
@@ -1129,7 +1295,19 @@ impl NodeMachine {
     /// Whether `event` is fresh w.r.t. the dedup horizon, updating it.
     fn dedup_admit(&mut self, event: &StateEvent) -> bool {
         let e = self.seen.entry(event.subject).or_insert((0, 0));
-        if event.seq <= e.0 && event.origin_us <= e.1 {
+        // Removals carry the sentinel seq, so ordering falls entirely to
+        // the origin timestamp: a removal that originated no later than
+        // the subject's newest known announcement is stale information —
+        // the subject has demonstrably outlived it. Without this, a
+        // lingering copy of a refuted false obituary (§4.1 probe
+        // misfire) re-kills the entry on arrival, since the sentinel
+        // always wins the seq comparison.
+        let stale = if event.kind.is_removal() {
+            event.origin_us <= e.1
+        } else {
+            event.seq <= e.0 && event.origin_us <= e.1
+        };
+        if stale {
             self.stats.events_duped += 1;
             return false;
         }
@@ -1154,6 +1332,20 @@ impl NodeMachine {
         // there misroute reports and break the believes_top judgement).
         if event.kind.is_removal() {
             self.tops.remove(subject);
+        } else if event.level.is_top() {
+            // A level-0 subject IS a top node: admit it, don't just sync
+            // an existing entry. Piggyback alone never seeds the list of
+            // a node that was born top (its own FindTop replies are
+            // self-only), and an empty list leaves believes_top()
+            // vacuously true after that node later lowers itself — it
+            // then answers FindTop with itself and roots joins below
+            // step 0, so part of the id space never hears them. Found by
+            // the invariants sweep: [Join, Shift(seed, 1), Join].
+            self.refresh_tops([Target {
+                id: subject,
+                addr: event.addr,
+                level: event.level,
+            }]);
         } else {
             self.tops.note_level(subject, event.level);
         }
@@ -1226,14 +1418,7 @@ impl NodeMachine {
             self.last_shift_us = now_us;
             let old = self.level;
             self.level = self.level.lowered();
-            self.peers.set_scope(self.eigenstring());
-            outs.push(Output::LevelShifted {
-                from: old,
-                to: self.level,
-            });
-            self.seq += 1;
-            let event = self.self_event_with(now_us, EventKind::LevelShift { from: old });
-            self.report_event(now_us, event, outs);
+            self.announce_lowered(now_us, old, outs);
         } else if self.adapt_pressure <= -4 && !self.level.is_top() {
             self.adapt_pressure = 0;
             // Under budget: try to grow, if our part allows it.
@@ -1293,14 +1478,7 @@ impl NodeMachine {
                     // Weaker: shrink in place and announce.
                     let old = self.level;
                     self.level = target;
-                    self.peers.set_scope(self.eigenstring());
-                    outs.push(Output::LevelShifted {
-                        from: old,
-                        to: target,
-                    });
-                    self.seq += 1;
-                    let event = self.self_event_with(now_us, EventKind::LevelShift { from: old });
-                    self.report_event(now_us, event, outs);
+                    self.announce_lowered(now_us, old, outs);
                 } else {
                     // Stronger: download the wider list first (§4.3).
                     let scope = target.eigenstring(self.me);
@@ -1327,6 +1505,16 @@ impl NodeMachine {
                         info: Bytes::new(),
                     };
                     self.report_event(now_us, event, outs);
+                    // §4.3: drain the announcement (retries and redirects
+                    // included) before going silent. Going Left at once
+                    // abandons the multicast's RPC state — a forward
+                    // addressed to a not-yet-detected crash then dies
+                    // with no redirect, hiding the leave from an entire
+                    // subtree until §4.6 expiry. Found by the invariant
+                    // checker's full-sim companion test (crash 1.5 s
+                    // before a graceful leave).
+                    self.phase = Phase::Leaving;
+                    return;
                 }
                 self.phase = Phase::Left;
             }
@@ -1468,8 +1656,7 @@ impl NodeMachine {
                     let kind = p.kind;
                     self.send_rpc(outs, top, p.msg, kind, 0);
                 } else {
-                    outs.push(Output::Fatal("joining failed: no reachable top node"));
-                    self.phase = Phase::Left;
+                    self.fail(outs, ProtocolError::NoReachableTop);
                 }
             }
             RpcKind::RaiseDownload { .. } => {
@@ -1514,6 +1701,18 @@ impl NodeMachine {
             RpcKind::TopListFetch { resume },
             0,
         );
+    }
+
+    /// Merges piggybacked top-node pointers, dropping any entry for
+    /// ourselves. Peers legitimately list us among the tops of the part,
+    /// but storing a self-entry is poison: it is never level-synced (we
+    /// do not apply our own events), and a later level raise can pick it
+    /// and "download" from ourselves — an empty list — leaving the shift
+    /// announced to nobody. Found by the invariants sweep:
+    /// [Join, Shift(1), Shift(0)].
+    fn refresh_tops(&mut self, fresh: impl IntoIterator<Item = Target>) {
+        let me = self.me;
+        self.tops.refresh(fresh.into_iter().filter(|t| t.id != me));
     }
 
     fn piggyback_tops(&self) -> Vec<Target> {

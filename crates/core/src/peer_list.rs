@@ -130,7 +130,9 @@ impl PeerList {
         if old != level {
             self.unindex(id, old);
             self.index(id, level);
-            self.entries.get_mut(&id).expect("entry present").level = level;
+            if let Some(p) = self.entries.get_mut(&id) {
+                p.level = level;
+            }
         }
         true
     }

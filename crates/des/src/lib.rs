@@ -16,6 +16,7 @@
 //! * [`time`] — µs-resolution simulated time.
 //! * [`rng`] — deterministic per-stream random numbers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -10,7 +10,7 @@
 //! searches instead of per-node state.
 
 use peerwindow_core::prelude::{Level, NodeId, Prefix};
-use std::collections::HashMap;
+use std::collections::HashMap; // audit: ordered — key lookups only, never iterated
 
 /// Per-node simulation state (traffic accounting and workload schedule).
 #[derive(Clone, Debug)]
@@ -50,7 +50,7 @@ pub struct Directory {
     /// Live ids per level, each sorted.
     levels: Vec<Vec<u128>>,
     /// id → slot index.
-    index: HashMap<u128, u32>,
+    index: HashMap<u128, u32>, // audit: ordered — key lookups only, never iterated
     /// Slot storage (never shrinks; `alive` distinguishes).
     slots: Vec<SlotData>,
     /// Live count per level (kept in sync with `levels`).

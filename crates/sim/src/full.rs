@@ -20,7 +20,10 @@ use peerwindow_core::prelude::*;
 use peerwindow_des::{DetRng, Engine, Scheduler, SimTime, Simulation};
 use peerwindow_topology::NetworkModel;
 use peerwindow_workload::NodeSpec;
-use std::collections::HashMap;
+// BTreeMap, not HashMap: `spawn_joiner` picks a bootstrap by *iterating*
+// this map, so its order must be a pure function of the membership or two
+// identically-seeded runs bootstrap off different nodes and diverge.
+use std::collections::BTreeMap;
 
 /// Events of the full-fidelity world.
 enum FEv {
@@ -56,6 +59,10 @@ pub struct FullLog {
     pub fatals: Vec<(u32, &'static str)>,
     /// Level shifts `(slot, from, to)`.
     pub shifts: Vec<(u32, Level, Level)>,
+    /// Local invariant violations `(slot, description)` — only populated
+    /// when the `invariants` feature is on (every machine is checked
+    /// after every handled event).
+    pub invariant_violations: Vec<(u32, String)>,
 }
 
 struct FullWorld {
@@ -64,7 +71,7 @@ struct FullWorld {
     machines: Vec<Option<NodeMachine>>,
     /// Ground truth: id → slot for *live* nodes (crashed nodes removed at
     /// crash time; gracefully-left at shutdown time).
-    live: HashMap<NodeId, u32>,
+    live: BTreeMap<NodeId, u32>,
     log: FullLog,
     rng: DetRng,
     /// Probability a datagram is silently dropped ("Internet asynchrony",
@@ -85,6 +92,12 @@ impl FullWorld {
         let Some(machine) = self.machines[slot as usize].as_ref() else {
             return;
         };
+        // `process_outputs` runs directly after every `m.handle(..)`, so
+        // checking here covers each machine after each event it absorbs.
+        #[cfg(feature = "invariants")]
+        if let Err(v) = machine.check_invariants() {
+            self.log.invariant_violations.push((slot, v.to_string()));
+        }
         let from = machine.id();
         let from_addr = machine.addr();
         for o in outs {
@@ -114,6 +127,16 @@ impl FullWorld {
                     }
                 }
             }
+        }
+        // A graceful leaver stays in its slot while it drains its
+        // departure announcement (see `FEv::Graceful`); once the machine
+        // reports Left the drain is over and the slot is reaped, so
+        // `machines()` never yields a departed node's stale state.
+        if self.machines[slot as usize]
+            .as_ref()
+            .is_some_and(NodeMachine::has_left)
+        {
+            self.machines[slot as usize] = None;
         }
         let _ = now;
     }
@@ -167,16 +190,21 @@ impl Simulation for FullWorld {
                 }
             }
             FEv::Graceful { slot } => {
+                // The machine stays in its slot: it drains its departure
+                // announcement (retries, redirects) and silences itself.
+                // Taking it out here would abandon the Leave multicast's
+                // RPC state mid-flight. It leaves `live` at once, though —
+                // it has announced departure, so ground truth no longer
+                // counts it.
                 if let Some(m) = self
                     .machines
                     .get_mut(slot as usize)
                     .and_then(Option::as_mut)
                 {
+                    let id = m.id();
                     let outs = m.handle(now.as_micros(), Input::Command(Command::Shutdown));
+                    self.live.remove(&id);
                     self.process_outputs(now, slot, outs, sched);
-                }
-                if let Some(m) = self.machines[slot as usize].take() {
-                    self.live.remove(&m.id());
                 }
             }
             FEv::SetInfo { slot, info } => {
@@ -227,7 +255,7 @@ impl FullSim {
                 protocol,
                 net,
                 machines: Vec::new(),
-                live: HashMap::new(),
+                live: BTreeMap::new(),
                 log: FullLog::default(),
                 rng: DetRng::for_stream(seed, 0xF00D),
                 loss: 0.0,
@@ -411,6 +439,17 @@ impl FullSim {
         self.engine.sim().machines.get(slot as usize)?.as_ref()
     }
 
+    /// Runs the full invariant suite right now: local checks on every
+    /// live machine plus the cross-node quiescent checks. Call at a
+    /// settled point — mid-multicast the system checks legitimately fail.
+    #[cfg(feature = "invariants")]
+    pub fn check_invariants(&self) -> Result<(), peerwindow_core::invariants::InvariantViolation> {
+        for (_, m) in self.machines() {
+            m.check_invariants()?;
+        }
+        peerwindow_core::invariants::check_system(self.machines().map(|(_, m)| m))
+    }
+
     /// Iterates `(slot, machine)` over live machines.
     pub fn machines(&self) -> impl Iterator<Item = (u32, &NodeMachine)> + '_ {
         self.engine
@@ -470,13 +509,63 @@ impl FullSim {
         }
     }
 
+    /// Order-sensitive digest of the complete simulation state: every
+    /// slot's machine identity, level, activity, traffic counters, peer
+    /// list (ids, levels, refresh stamps, in id order) and top list, plus
+    /// the log lengths and the engine clock. Two runs of the same seeded
+    /// scenario must produce bit-identical fingerprints — the determinism
+    /// regression tests assert exactly that.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical serialisation of the state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.engine.now().as_micros());
+        let world = self.engine.sim();
+        for (slot, m) in world.machines.iter().enumerate() {
+            mix(slot as u64);
+            let Some(m) = m else {
+                mix(u64::MAX);
+                continue;
+            };
+            mix(m.id().raw() as u64);
+            mix((m.id().raw() >> 64) as u64);
+            mix(m.level().value() as u64);
+            mix(m.is_active() as u64);
+            let s = m.stats();
+            mix(s.rx_msgs);
+            mix(s.tx_msgs);
+            mix(s.events_applied);
+            mix(s.events_duped);
+            for p in m.peers().iter() {
+                mix(p.id.raw() as u64);
+                mix((p.id.raw() >> 64) as u64);
+                mix(p.level.value() as u64);
+                mix(p.last_refresh_us);
+            }
+            for t in m.tops().entries() {
+                mix(t.id.raw() as u64);
+                mix(t.level.value() as u64);
+            }
+        }
+        mix(world.log.joined.len() as u64);
+        mix(world.log.failures.len() as u64);
+        mix(world.log.shifts.len() as u64);
+        mix(world.dropped);
+        h
+    }
+
     /// Peer-list accuracy of every active machine against ground truth:
     /// returns `(total_correct_entries, missing, stale)` summed over
     /// machines. `missing` = live in-scope nodes absent from the list;
     /// `stale` = listed nodes that are no longer live.
     pub fn accuracy(&self) -> (usize, usize, usize) {
         let truth = self.ground_truth();
-        let live: std::collections::HashSet<NodeId> = truth.iter().map(|n| n.id).collect();
+        let live: std::collections::BTreeSet<NodeId> = truth.iter().map(|n| n.id).collect();
         let mut correct = 0;
         let mut missing = 0;
         let mut stale = 0;

@@ -17,6 +17,7 @@
 //!   planner.
 //! * [`report`] — per-level result rows (the columns of figures 5–8).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

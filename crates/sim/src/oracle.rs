@@ -272,6 +272,7 @@ impl OracleSim {
             let net = &*self.net;
             // plan_event passes slot ids; addresses were copied into the
             // audience entries, so latency lookups never touch `dir`.
+            // audit: ordered — key lookups only, never iterated
             let slots_to_addr: std::collections::HashMap<u32, u32> =
                 audience.iter().map(|e| (e.slot, e.addr)).collect();
             plan_event(

@@ -5,6 +5,7 @@
 //! (120 transit domains × 4 transit nodes, 5 stub domains per transit node
 //! × 2 stub nodes = 4800 stub nodes; 100/20/5/1 ms latency constants).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

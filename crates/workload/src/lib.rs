@@ -7,6 +7,7 @@
 //! departure rate, the §5.1 bandwidth-threshold policy, and the §5.3
 //! `Lifetime_Rate` scaling knob.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,113 @@
+//! Determinism regression: identically-seeded simulations must produce
+//! byte-identical state fingerprints — run-to-run, and (for the parallel
+//! engine) across shard counts. This is the workspace's "no HashMap
+//! iteration, no wall clock" contract made executable; the lint side of
+//! the same contract lives in `peerwindow-audit`.
+
+use bytes::Bytes;
+use peerwindow::des::{DetRng, SimTime};
+use peerwindow::prelude::*;
+use peerwindow::sim::{FullSim, ParallelFullSim};
+use peerwindow::topology::UniformNetwork;
+
+fn protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        probe_interval_us: 3_000_000,
+        rpc_timeout_us: 500_000,
+        processing_delay_us: 20_000,
+        bandwidth_window_us: 12_000_000,
+        ..ProtocolConfig::default()
+    }
+}
+
+/// A busy little system: joins, a level pin, silent crashes, graceful
+/// departures, and (optionally) datagram loss — every nondeterminism
+/// hazard the protocol stack has, in one scenario.
+fn full_sim_fingerprint(engine_seed: u64, loss: f64) -> u64 {
+    let mut sim = FullSim::new(
+        protocol(),
+        Box::new(UniformNetwork { latency_us: 25_000 }),
+        engine_seed,
+    );
+    sim.set_loss(loss);
+    let mut rng = DetRng::new(77);
+    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    let mut slots = Vec::new();
+    for _ in 0..24 {
+        sim.run_for(700_000);
+        if let Some(s) = sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new()) {
+            slots.push(s);
+        }
+    }
+    sim.run_for(20_000_000);
+    sim.set_level_after(slots[3], 100_000, Level::new(1));
+    sim.crash_after(slots[7], 2_000_000);
+    sim.crash_after(slots[8], 2_100_000);
+    sim.leave_after(slots[11], 5_000_000);
+    sim.run_for(60_000_000);
+    sim.fingerprint()
+}
+
+#[test]
+fn same_seed_same_fingerprint() {
+    assert_eq!(
+        full_sim_fingerprint(42, 0.0),
+        full_sim_fingerprint(42, 0.0),
+        "identically-seeded runs diverged on a reliable network"
+    );
+}
+
+#[test]
+fn same_seed_same_fingerprint_under_loss() {
+    // Datagram loss is drawn from the seeded engine RNG, so it must not
+    // break reproducibility either.
+    assert_eq!(
+        full_sim_fingerprint(42, 0.05),
+        full_sim_fingerprint(42, 0.05),
+        "identically-seeded runs diverged under 5 % loss"
+    );
+}
+
+#[test]
+fn fingerprint_is_seed_sensitive() {
+    // Canary for a degenerate digest: different engine seeds must not
+    // collapse to one value.
+    assert_ne!(full_sim_fingerprint(42, 0.0), full_sim_fingerprint(43, 0.0));
+}
+
+/// The parallel engine's pitch (and ONSP's): shard count is a pure
+/// speedup, never a different simulation.
+fn parallel_fingerprint(shards: usize) -> (u64, u64) {
+    let n = 24u32;
+    let mut sim = ParallelFullSim::new(shards, n as usize, protocol(), 20_000, 1_000, 7);
+    let seed_id = NodeId(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+    sim.start_node(SimTime::ZERO, 0, seed_id, 1e9, Bytes::new(), None);
+    let boot = Target {
+        id: seed_id,
+        addr: Addr(0),
+        level: Level::TOP,
+    };
+    for k in 1..n {
+        let id = NodeId((k as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_0C4A_2B8E_D1A3) | 1);
+        sim.start_node(
+            SimTime::from_millis(500 * k as u64),
+            k,
+            id,
+            1e9,
+            Bytes::new(),
+            Some(boot),
+        );
+    }
+    sim.crash(SimTime::from_secs(25), 5);
+    sim.command(SimTime::from_secs(30), 2, Command::Shutdown);
+    sim.run_until(SimTime::from_secs(60));
+    (sim.fingerprint(), sim.processed())
+}
+
+#[test]
+fn one_and_four_shards_agree() {
+    let (f1, p1) = parallel_fingerprint(1);
+    let (f4, p4) = parallel_fingerprint(4);
+    assert_eq!(p1, p4, "processed-event counts differ (1 vs 4 shards)");
+    assert_eq!(f1, f4, "world digest differs (1 vs 4 shards)");
+}
