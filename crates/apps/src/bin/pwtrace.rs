@@ -1,0 +1,288 @@
+//! `pwtrace` — record and query PeerWindow structured trace logs.
+//!
+//! Subcommands:
+//!
+//! * `record`    — run a deterministic traced simulation, write JSONL
+//! * `filter`    — select records by node / time range / kind / class
+//! * `tree`      — reconstruct a multicast dissemination tree
+//! * `chrome`    — convert a JSONL log to Chrome `trace_event` JSON
+//! * `bandwidth` — per-message-class traffic table
+//! * `diff`      — compare two logs (exit 1 when they differ)
+//!
+//! The `record` scenario is seeded and runs on the deterministic
+//! parallel engine, so the same arguments always produce a byte-identical
+//! log — including across `--shards` values.
+
+use bytes::Bytes;
+use peerwindow_core::prelude::*;
+use peerwindow_des::SimTime;
+use peerwindow_sim::ParallelFullSim;
+use peerwindow_trace::{chrome, jsonl, query, CauseId, TraceRecord};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pwtrace <subcommand>\n\
+         \n\
+         pwtrace record [--out FILE] [--shards N] [--nodes N] [--until-s S] [--seed N] [--chrome FILE]\n\
+         pwtrace filter FILE [--node HEX] [--from-us N] [--to-us N] [--kind NAME] [--class NAME]\n\
+         pwtrace tree FILE [--cause HEX#SEQ]\n\
+         pwtrace chrome FILE --out FILE\n\
+         pwtrace bandwidth FILE\n\
+         pwtrace diff FILE_A FILE_B"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "record" => cmd_record(&args[1..]),
+        "filter" => cmd_filter(&args[1..]),
+        "tree" => cmd_tree(&args[1..]),
+        "chrome" => cmd_chrome(&args[1..]),
+        "bandwidth" => cmd_bandwidth(&args[1..]),
+        "diff" => cmd_diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
+    let Some(v) = v else {
+        eprintln!("{flag} needs a value");
+        usage()
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {v:?}");
+        exit(2)
+    })
+}
+
+fn load(path: &str) -> Vec<TraceRecord> {
+    let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1)
+    });
+    jsonl::parse_string(&doc).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1)
+    })
+}
+
+/// Parses `HEX#SEQ` (the `cause` wire form, e.g. `0123…4455#1`).
+fn parse_cause(s: &str) -> CauseId {
+    let bad = || -> ! {
+        eprintln!("--cause wants HEX#SEQ, got {s:?}");
+        exit(2)
+    };
+    let Some((hex, seq)) = s.split_once('#') else {
+        bad()
+    };
+    let subject = u128::from_str_radix(hex, 16).unwrap_or_else(|_| bad());
+    let seq = seq.parse().unwrap_or_else(|_| bad());
+    CauseId { subject, seq }
+}
+
+/// The recording scenario: one seed node, staggered joiners bootstrapping
+/// off it, two crashes and an info change mid-run (the same shape as the
+/// sim crate's determinism tests).
+fn cmd_record(args: &[String]) {
+    let mut out = "trace.jsonl".to_string();
+    let mut chrome_out: Option<String> = None;
+    let mut shards = 1usize;
+    let mut nodes = 48u32;
+    let mut until_s = 80u64;
+    let mut seed = 7u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
+            "--chrome" => chrome_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--shards" => shards = parse_num("--shards", it.next()),
+            "--nodes" => nodes = parse_num("--nodes", it.next()),
+            "--until-s" => until_s = parse_num("--until-s", it.next()),
+            "--seed" => seed = parse_num("--seed", it.next()),
+            _ => usage(),
+        }
+    }
+    if shards == 0 || nodes < 2 {
+        eprintln!("need --shards >= 1 and --nodes >= 2");
+        exit(2);
+    }
+    let protocol = ProtocolConfig {
+        probe_interval_us: 2_000_000,
+        rpc_timeout_us: 400_000,
+        processing_delay_us: 10_000,
+        bandwidth_window_us: 8_000_000,
+        ..ProtocolConfig::default()
+    };
+    let mut sim = ParallelFullSim::new(shards, nodes as usize, protocol, 20_000, 1_000, seed);
+    sim.enable_tracing(true);
+    let seed_id = NodeId(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+    sim.start_node(SimTime::ZERO, 0, seed_id, 1e9, Bytes::new(), None);
+    let boot = Target {
+        id: seed_id,
+        addr: Addr(0),
+        level: Level::TOP,
+    };
+    for k in 1..nodes {
+        let id = NodeId((k as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_0C4A_2B8E_D1A3) | 1);
+        sim.start_node(
+            SimTime::from_millis(400 * k as u64),
+            k,
+            id,
+            1e9,
+            Bytes::new(),
+            Some(boot),
+        );
+    }
+    if nodes > 10 {
+        sim.crash(SimTime::from_secs(30), 5);
+        sim.crash(SimTime::from_secs(31), 9);
+        sim.command(
+            SimTime::from_secs(35),
+            3,
+            Command::ChangeInfo(Bytes::from_static(b"v2")),
+        );
+    }
+    sim.run_until(SimTime::from_secs(until_s));
+    let log = sim.take_trace();
+    std::fs::write(&out, jsonl::to_string(&log)).unwrap_or_else(|e| {
+        eprintln!("{out}: {e}");
+        exit(1)
+    });
+    println!(
+        "{}: {} records from {} nodes over {}s ({} shards, fingerprint {:016x})",
+        out,
+        log.len(),
+        nodes,
+        until_s,
+        shards,
+        sim.fingerprint()
+    );
+    let mut reg = peerwindow_trace::CounterRegistry::new();
+    sim.sample_metrics(&mut reg);
+    print!("{}", peerwindow_metrics::counter_table(&reg).to_markdown());
+    print!("{}", peerwindow_metrics::gauge_table(&reg).to_markdown());
+    let bw = query::bandwidth_by_class(&log);
+    print!("{}", peerwindow_metrics::bandwidth_table(&bw).to_markdown());
+    if let Some(path) = chrome_out {
+        std::fs::write(&path, chrome::export(&log)).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1)
+        });
+        println!("{path}: chrome trace written (open in chrome://tracing)");
+    }
+}
+
+fn cmd_filter(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let mut f = query::Filter::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--node" => {
+                let v: &String = it.next().unwrap_or_else(|| usage());
+                f.node = Some(u128::from_str_radix(v, 16).unwrap_or_else(|_| {
+                    eprintln!("--node wants a hex id, got {v:?}");
+                    exit(2)
+                }));
+            }
+            "--from-us" => f.from_us = Some(parse_num("--from-us", it.next())),
+            "--to-us" => f.to_us = Some(parse_num("--to-us", it.next())),
+            "--kind" => f.kind = it.next().cloned(),
+            "--class" => f.class = it.next().cloned(),
+            "--cause" => f.cause = Some(parse_cause(it.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+    let records = load(path);
+    let kept = query::filter(&records, &f);
+    print!("{}", jsonl::to_string(&kept));
+    eprintln!("{} of {} records", kept.len(), records.len());
+}
+
+fn cmd_tree(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let mut cause = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cause" => cause = Some(parse_cause(it.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+    let records = load(path);
+    let cause = cause.unwrap_or_else(|| {
+        // Default to the busiest multicast in the log.
+        let ranked = query::causes_by_hops(&records);
+        let Some((c, _)) = ranked.first() else {
+            eprintln!("no multicast hops in {path}");
+            exit(1)
+        };
+        *c
+    });
+    let tree = query::reconstruct_tree(&records, cause);
+    println!("cause     {:032x}#{}", tree.cause.subject, tree.cause.seq);
+    match tree.root {
+        Some(r) => println!("root      {r:032x}"),
+        None => println!("root      (not in log)"),
+    }
+    println!("receivers {}", tree.receivers());
+    println!("depth     {}", tree.max_depth());
+    println!("root-deg  {}", tree.root_out_degree());
+    println!("redirects {}", tree.redirects);
+    for h in &tree.hops {
+        println!(
+            "  {:>10}us  {:032x} -> {:032x}  step {}",
+            h.at_us, h.parent, h.child, h.step
+        );
+    }
+}
+
+fn cmd_chrome(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let mut out = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().cloned(),
+            _ => usage(),
+        }
+    }
+    let Some(out) = out else { usage() };
+    let records = load(path);
+    std::fs::write(&out, chrome::export(&records)).unwrap_or_else(|e| {
+        eprintln!("{out}: {e}");
+        exit(1)
+    });
+    println!("{out}: {} events (open in chrome://tracing)", records.len());
+}
+
+fn cmd_bandwidth(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let records = load(path);
+    let bw = query::bandwidth_by_class(&records);
+    print!("{}", peerwindow_metrics::bandwidth_table(&bw).to_markdown());
+}
+
+fn cmd_diff(args: &[String]) {
+    let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let ra = load(a);
+    let rb = load(b);
+    let diffs = query::diff(&ra, &rb);
+    if diffs.is_empty() {
+        println!("identical: {} records", ra.len());
+        return;
+    }
+    for line in diffs.iter().take(20) {
+        println!("{line}");
+    }
+    if diffs.len() > 20 {
+        println!("... and {} more", diffs.len() - 20);
+    }
+    exit(1)
+}

@@ -1,0 +1,14 @@
+// Fixture: annotated sites and test-tail prints are exempt.
+fn banner() {
+    // audit: print-ok — one-shot startup banner requested by ops
+    println!("starting");
+    eprintln!("ready"); // audit: print-ok — paired with the banner above
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("debugging output");
+    }
+}

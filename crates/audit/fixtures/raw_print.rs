@@ -1,0 +1,7 @@
+// Fixture: the raw-print rule must fire on each macro form.
+fn report(count: usize) {
+    println!("processed {count}");
+    eprintln!("warning: {count} drops");
+    print!("partial");
+    eprint!("partial err");
+}

@@ -20,6 +20,11 @@
 //!   message/event-handling modules: malformed or late input must map to
 //!   typed `ProtocolError`s, never a crash. Provably unreachable sites
 //!   annotate `// audit: panic-ok <why>`.
+//! * **raw-print** — `println!`/`eprintln!` (and their non-newline
+//!   forms) in library sources outside the `apps` and `bench` crates and
+//!   outside `src/bin/` entry points: protocol code reports through the
+//!   trace layer's structured records and counters, never the terminal.
+//!   Deliberate sites annotate `// audit: print-ok <why>`.
 //! * **lossy-casts** — narrowing `as` casts in the NodeId/eigenstring
 //!   algebra (`id.rs`, `level.rs`, `parts.rs`): 128-bit identifier math
 //!   silently truncated to 32 bits is the classic split-brain bug.
@@ -122,6 +127,16 @@ fn in_panic_scope(path: &str) -> bool {
     PANIC_SCOPED.contains(&path)
 }
 
+/// Library sources of every crate except `apps` and `bench` (whose whole
+/// purpose is terminal output), and never binaries (`src/bin/…`).
+fn in_print_scope(path: &str) -> bool {
+    path.starts_with("crates/")
+        && !path.starts_with("crates/apps/")
+        && !path.starts_with("crates/bench/")
+        && !path.contains("/bin/")
+        && path.contains("/src/")
+}
+
 fn in_cast_scope(path: &str) -> bool {
     CAST_SCOPED.contains(&path)
 }
@@ -144,6 +159,12 @@ const RULES: &[TokenRule] = &[
         tokens: &[".unwrap()", ".expect("],
         annotation: "audit: panic-ok",
         applies: in_panic_scope,
+    },
+    TokenRule {
+        name: "raw-print",
+        tokens: &["println!", "eprintln!", "print!(", "eprint!("],
+        annotation: "audit: print-ok",
+        applies: in_print_scope,
     },
     TokenRule {
         name: "lossy-casts",
@@ -479,6 +500,39 @@ mod tests {
         assert!(
             f.is_empty(),
             "annotated/test-tail sites must not fire: {f:?}"
+        );
+    }
+
+    #[test]
+    fn raw_print_fires_on_fixture() {
+        let src = include_str!("../fixtures/raw_print.rs");
+        let f = scan_source("crates/core/src/node.rs", src, &no_cfg());
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "raw-print").count(),
+            4,
+            "all four print macro forms must fire: {f:?}"
+        );
+    }
+
+    #[test]
+    fn raw_print_scoped_to_library_sources() {
+        let src = include_str!("../fixtures/raw_print.rs");
+        // Binaries and the terminal-output crates are out of scope.
+        assert!(scan_source("crates/transport/src/bin/pwnode.rs", src, &no_cfg()).is_empty());
+        assert!(scan_source("crates/apps/src/bin/pwtrace.rs", src, &no_cfg()).is_empty());
+        assert!(scan_source("crates/bench/src/lib.rs", src, &no_cfg()).is_empty());
+        // Library sources of protocol crates are in scope.
+        assert!(!scan_source("crates/transport/src/runtime.rs", src, &no_cfg()).is_empty());
+        assert!(!scan_source("crates/metrics/src/table.rs", src, &no_cfg()).is_empty());
+    }
+
+    #[test]
+    fn print_ok_annotation_and_test_tail_are_exempt() {
+        let src = include_str!("../fixtures/print_annotated.rs");
+        let f = scan_source("crates/core/src/node.rs", src, &no_cfg());
+        assert!(
+            f.is_empty(),
+            "annotated/test-tail prints must not fire: {f:?}"
         );
     }
 

@@ -15,6 +15,10 @@
 //! * `seq_resident_1m` — 1M events with 100,000 resident periodic timers
 //!   (the queue shape of a 100k-node protocol run, where every node holds
 //!   probe/refresh timers): wheel vs. heap, and the headline speedup.
+//! * `trace_resident_1m` — the same resident-timer workload with a
+//!   per-event `NodeTrace` emit, sink disabled vs. enabled: the cost of
+//!   carrying the tracing layer (off must be noise-level; a root test
+//!   asserts it).
 //! * `parallel_fanout` — the sharded engine at 1/2/4/8 shards under both
 //!   the modulo and the topology-affine shard maps.
 //! * `oracle_plan_100k` — oracle-mode multicast planning over a 100k-node
@@ -28,6 +32,7 @@ use peerwindow_des::{
 };
 use peerwindow_sim::StubAffineShardMap;
 use peerwindow_topology::{NetworkModel, Topology, TransitStubNetwork, TransitStubParams};
+use peerwindow_trace::{CauseId, NodeTrace, TraceEventKind, TraceRecord};
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -159,6 +164,59 @@ fn heap_ping(events: u64) -> f64 {
     let secs = t.elapsed().as_secs_f64();
     assert_eq!(processed, events + 1);
     processed as f64 / secs
+}
+
+/// Resident-timer workload with a per-event trace emit: the sink either
+/// disabled (the configuration every untraced run pays once the layer is
+/// compiled in) or enabled with harness-style periodic drains.
+struct TracedResident {
+    left: u64,
+    trace: NodeTrace,
+    drained: Vec<TraceRecord>,
+}
+
+impl Simulation for TracedResident {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, actor: u32, sched: &mut Scheduler<'_, u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.schedule(period_us(actor), actor);
+        }
+        // Guard like the protocol machines do (NodeMachine::tr): one branch
+        // on the enabled flag is the whole disabled-path cost.
+        if self.trace.is_enabled() {
+            self.trace.set_now(now.as_micros());
+            self.trace.emit(
+                0,
+                TraceEventKind::ProbeSent {
+                    target: actor as u128,
+                },
+                CauseId::NONE,
+            );
+            self.trace.drain_into(&mut self.drained);
+            if self.drained.len() >= 65_536 {
+                self.drained.clear();
+            }
+        }
+    }
+}
+
+fn traced_resident(resident: u32, events: u64, enabled: bool) -> f64 {
+    let mut trace = NodeTrace::new(1);
+    trace.set_enabled(enabled);
+    let mut e = Engine::new(TracedResident {
+        left: events,
+        trace,
+        drained: Vec::new(),
+    });
+    for a in 0..resident {
+        e.schedule(period_us(a), a);
+    }
+    let t = Instant::now();
+    e.run_to_completion();
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(e.stats().processed, events + resident as u64);
+    e.stats().processed as f64 / secs
 }
 
 fn heap_resident(resident: u32, events: u64) -> f64 {
@@ -341,7 +399,7 @@ impl Json {
 // ----------------------------------------------------------------------- main
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR1.json");
+    let mut out_path = String::from("BENCH_PR3.json");
     let mut quick = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -373,7 +431,7 @@ fn main() {
     let mut j = Json::new();
     j.open(None);
     j.str("generated_by", "perfbaseline");
-    j.int("pr", 1);
+    j.int("pr", 3);
     j.str("mode", if quick { "quick" } else { "full" });
     j.open(Some("host"));
     j.int("parallelism", parallelism);
@@ -406,6 +464,22 @@ fn main() {
     j.num("wheel_events_per_sec", w);
     j.num("heap_events_per_sec", h);
     j.num3("speedup", w / h);
+    j.close();
+
+    // Tracing overhead on the same resident-timer shape.
+    let off = traced_resident(resident, events, false);
+    let on = traced_resident(resident, events, true);
+    eprintln!(
+        "trace_resident_1m  off   {off:>12.0} ev/s   on   {on:>12.0} ev/s   off-overhead {:+.2}%",
+        (w / off - 1.0) * 100.0
+    );
+    j.open(Some("trace_resident_1m"));
+    j.int("events", events);
+    j.int("resident_timers", resident as u64);
+    j.num("off_events_per_sec", off);
+    j.num("on_events_per_sec", on);
+    j.num3("off_overhead_pct", (w / off - 1.0) * 100.0);
+    j.num3("on_overhead_pct", (w / on - 1.0) * 100.0);
     j.close();
 
     // Parallel fanout under both shard maps.

@@ -1,0 +1,131 @@
+//! Asserts the tracing layer's disabled-path cost on the resident-timer
+//! workload is noise-level: perfbaseline's `trace_resident_1m` shape,
+//! scaled down so it finishes quickly under the debug profile.
+//!
+//! The handler guards every trace call behind `NodeTrace::is_enabled`,
+//! exactly like `NodeMachine::tr` in `crates/core`, so the disabled path
+//! is one predictable branch per event. We measure the plain workload
+//! twice to estimate run-to-run noise, take best-of-N for each
+//! configuration, and require the traced-but-disabled run to stay within
+//! `1% + observed noise` of the plain one.
+
+use peerwindow_des::{Engine, Scheduler, SimTime, Simulation};
+use peerwindow_trace::{CauseId, NodeTrace, TraceEventKind, TraceRecord};
+use std::time::Instant;
+
+const RESIDENT: u32 = 5_000;
+const EVENTS: u64 = 300_000;
+const TRIES: usize = 3;
+
+fn period_us(actor: u32) -> u64 {
+    500 + (actor as u64).wrapping_mul(7919) % 10_000
+}
+
+struct Resident {
+    left: u64,
+    trace: Option<NodeTrace>,
+    drained: Vec<TraceRecord>,
+}
+
+impl Simulation for Resident {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, actor: u32, sched: &mut Scheduler<'_, u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.schedule(period_us(actor), actor);
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            if trace.is_enabled() {
+                trace.set_now(now.as_micros());
+                trace.emit(
+                    0,
+                    TraceEventKind::ProbeSent {
+                        target: actor as u128,
+                    },
+                    CauseId::NONE,
+                );
+                trace.drain_into(&mut self.drained);
+                if self.drained.len() >= 65_536 {
+                    self.drained.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Events per second for one run; `trace` of `None` is the plain
+/// workload, `Some(false)` carries a disabled sink, `Some(true)` an
+/// enabled one.
+fn run(trace: Option<bool>) -> f64 {
+    let trace = trace.map(|on| {
+        let mut t = NodeTrace::new(1);
+        t.set_enabled(on);
+        t
+    });
+    let mut e = Engine::new(Resident {
+        left: EVENTS,
+        trace,
+        drained: Vec::new(),
+    });
+    for a in 0..RESIDENT {
+        e.schedule(period_us(a), a);
+    }
+    let t = Instant::now();
+    e.run_to_completion();
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(e.stats().processed, EVENTS + RESIDENT as u64);
+    e.stats().processed as f64 / secs
+}
+
+fn best_of(n: usize, trace: Option<bool>) -> f64 {
+    (0..n).map(|_| run(trace)).fold(0.0, f64::max)
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "timing assertion needs the release profile: without inlining \
+              the is_enabled guard costs ~5% here; run with cargo test --release"
+)]
+fn disabled_tracing_costs_under_one_percent_plus_noise() {
+    // Warm up caches and the allocator before any measured run.
+    run(None);
+
+    let plain_a = best_of(TRIES, None);
+    let plain_b = best_of(TRIES, None);
+    let off = best_of(TRIES, Some(false));
+
+    let plain = plain_a.max(plain_b);
+    let noise = (plain_a - plain_b).abs() / plain;
+    let overhead = plain / off - 1.0;
+    let allowed = 0.01 + noise;
+    assert!(
+        overhead <= allowed,
+        "disabled-trace overhead {:.2}% exceeds allowance {:.2}% \
+         (plain {:.0} / {:.0} ev/s, off {:.0} ev/s, noise {:.2}%)",
+        overhead * 100.0,
+        allowed * 100.0,
+        plain_a,
+        plain_b,
+        off,
+        noise * 100.0,
+    );
+}
+
+#[test]
+fn enabled_tracing_still_drains_every_event() {
+    let mut trace = NodeTrace::new(1);
+    trace.set_enabled(true);
+    let mut e = Engine::new(Resident {
+        left: 1_000,
+        trace: Some(trace),
+        drained: Vec::new(),
+    });
+    for a in 0..16 {
+        e.schedule(period_us(a), a);
+    }
+    e.run_to_completion();
+    let sim = e.sim();
+    assert_eq!(sim.drained.len() as u64, 1_000 + 16);
+    assert!(sim.trace.as_ref().is_some_and(NodeTrace::is_empty));
+}

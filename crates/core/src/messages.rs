@@ -118,6 +118,28 @@ impl Message {
         }
     }
 
+    /// The message's trace class, for bandwidth accounting by class.
+    #[cfg(feature = "trace")]
+    pub fn trace_class(&self) -> peerwindow_trace::MsgClass {
+        use peerwindow_trace::MsgClass;
+        match self {
+            Message::Probe => MsgClass::Probe,
+            Message::ProbeAck => MsgClass::ProbeAck,
+            Message::Report { .. } => MsgClass::Report,
+            Message::ReportAck { .. } => MsgClass::ReportAck,
+            Message::Multicast { .. } => MsgClass::Multicast,
+            Message::MulticastAck { .. } => MsgClass::MulticastAck,
+            Message::FindTop { .. } => MsgClass::FindTop,
+            Message::FindTopReply { .. } => MsgClass::FindTopReply,
+            Message::LevelQuery => MsgClass::LevelQuery,
+            Message::LevelQueryReply { .. } => MsgClass::LevelQueryReply,
+            Message::Download { .. } => MsgClass::Download,
+            Message::DownloadReply { .. } => MsgClass::DownloadReply,
+            Message::TopListRequest => MsgClass::TopListRequest,
+            Message::TopListReply { .. } => MsgClass::TopListReply,
+        }
+    }
+
     /// Whether this message expects an acknowledgement / reply.
     pub fn expects_reply(&self) -> bool {
         matches!(

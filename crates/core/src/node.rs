@@ -27,6 +27,9 @@ use bytes::Bytes;
 // invariant contract").
 use std::collections::{BTreeMap, BTreeSet};
 
+#[cfg(feature = "trace")]
+use peerwindow_trace::{CauseId, EventClass, JoinPhase, NodeTrace, TraceEventKind};
+
 /// Sequence number used for leave events (reported by detectors who do not
 /// know the subject's own counter; terminal, so "largest wins" is safe).
 pub const LEAVE_SEQ: u64 = u64::MAX;
@@ -210,6 +213,8 @@ pub struct NodeStats {
     pub stale_dropped: u64,
     /// Pointers dropped by §4.6 expiry.
     pub expired: u64,
+    /// RPC re-sends after an unanswered attempt (not counting give-ups).
+    pub rpc_retries: u64,
 }
 
 /// Per-level observed lifetime accumulators (for `LT_l`, §4.6).
@@ -329,6 +334,10 @@ pub struct NodeMachine {
     adapt_pressure: i8,
     /// The error that terminated the machine, if any (see [`ProtocolError`]).
     fatal_error: Option<ProtocolError>,
+    /// Structured event sink; the embedder drains it via
+    /// [`NodeMachine::take_trace`] after every handled input.
+    #[cfg(feature = "trace")]
+    trace: NodeTrace,
 }
 
 impl NodeMachine {
@@ -404,6 +413,56 @@ impl NodeMachine {
             forwarded_reports: BTreeSet::new(),
             adapt_pressure: 0,
             fatal_error: None,
+            #[cfg(feature = "trace")]
+            trace: NodeTrace::new(me.0),
+        }
+    }
+
+    /// Turns structured tracing on or off. Machines start with tracing
+    /// off so embedders that never drain don't grow the buffer.
+    #[cfg(feature = "trace")]
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Drains buffered trace records into `out`.
+    #[cfg(feature = "trace")]
+    pub fn take_trace(&mut self, out: &mut Vec<peerwindow_trace::TraceRecord>) {
+        self.trace.drain_into(out);
+    }
+
+    /// Emits one trace record at the machine's current level.
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn tr(&mut self, cause: CauseId, kind: TraceEventKind) {
+        if self.trace.is_enabled() {
+            self.trace.emit(self.level.0, kind, cause);
+        }
+    }
+
+    /// The causality id carried by an event-bearing message, if any.
+    #[cfg(feature = "trace")]
+    fn trace_cause(msg: &Message) -> CauseId {
+        match msg {
+            Message::Report { event } | Message::Multicast { event, .. } => {
+                CauseId::new(event.subject.0, event.seq)
+            }
+            Message::ReportAck { key, .. } | Message::MulticastAck { key } => {
+                CauseId::new(key.0 .0, key.1)
+            }
+            _ => CauseId::NONE,
+        }
+    }
+
+    /// The trace class of a state-event kind.
+    #[cfg(feature = "trace")]
+    fn trace_event_class(kind: &EventKind) -> EventClass {
+        match kind {
+            EventKind::Join => EventClass::Join,
+            EventKind::Leave => EventClass::Leave,
+            EventKind::LevelShift { .. } => EventClass::LevelShift,
+            EventKind::InfoChange => EventClass::InfoChange,
+            EventKind::Refresh => EventClass::Refresh,
         }
     }
 
@@ -527,6 +586,8 @@ impl NodeMachine {
         if self.phase == Phase::Leaving && !self.drains(&input) {
             return Vec::new();
         }
+        #[cfg(feature = "trace")]
+        self.trace.set_now(now_us);
         let mut outs = Vec::new();
         match input {
             Input::Message {
@@ -537,6 +598,15 @@ impl NodeMachine {
                 self.stats.rx_msgs += 1;
                 let bits = msg.wire_bits(&self.cfg);
                 self.stats.rx_bits += bits;
+                #[cfg(feature = "trace")]
+                self.tr(
+                    Self::trace_cause(&msg),
+                    TraceEventKind::MsgRecv {
+                        from: from.0,
+                        class: msg.trace_class(),
+                        bits,
+                    },
+                );
                 // The adaptation meter tracks the *steady* maintenance
                 // flow the level controls (§2's W). One-off bulk
                 // transfers (peer-list downloads) would spike the window
@@ -772,6 +842,13 @@ impl NodeMachine {
         if let Some(&top) = covering.first() {
             self.refresh_tops(covering.iter().copied());
             self.phase = Phase::EstimatingLevel;
+            #[cfg(feature = "trace")]
+            self.tr(
+                CauseId::NONE,
+                TraceEventKind::JoinStep {
+                    phase: JoinPhase::LevelQuery,
+                },
+            );
             self.send_rpc(outs, top, Message::LevelQuery, RpcKind::JoinLevelQuery, 0);
         } else if let Some(&hop) = tops.first() {
             // Cross-part bootstrap (§4.4): ask a top of the bootstrap's
@@ -815,6 +892,13 @@ impl NodeMachine {
         }
         self.level = level;
         self.phase = Phase::Downloading;
+        #[cfg(feature = "trace")]
+        self.tr(
+            CauseId::NONE,
+            TraceEventKind::JoinStep {
+                phase: JoinPhase::Download,
+            },
+        );
         let scope = self.eigenstring();
         // A level reply normally implies a known top (the one we queried),
         // but a maliciously early or duplicated reply could arrive after
@@ -867,6 +951,13 @@ impl NodeMachine {
                 });
                 // §4.3 step 4: multicast our joining around our audience set.
                 self.seq += 1;
+                #[cfg(feature = "trace")]
+                self.tr(
+                    CauseId::new(self.me.0, self.seq),
+                    TraceEventKind::JoinStep {
+                        phase: JoinPhase::Active,
+                    },
+                );
                 let event = self.self_event(now_us, EventKind::Join);
                 self.report_event(now_us, event, outs);
             }
@@ -907,6 +998,14 @@ impl NodeMachine {
                     to: new_level,
                 });
                 self.seq += 1;
+                #[cfg(feature = "trace")]
+                self.tr(
+                    CauseId::new(self.me.0, self.seq),
+                    TraceEventKind::LevelShift {
+                        from: old.0,
+                        to: new_level.0,
+                    },
+                );
                 let event = self.self_event_with(now_us, EventKind::LevelShift { from: old });
                 self.report_event(now_us, event, outs);
             }
@@ -1043,6 +1142,15 @@ impl NodeMachine {
             }
         });
         self.stats.expired += removed.len() as u64;
+        #[cfg(feature = "trace")]
+        if !removed.is_empty() {
+            self.tr(
+                CauseId::NONE,
+                TraceEventKind::PeersExpired {
+                    count: removed.len() as u32,
+                },
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1079,6 +1187,11 @@ impl NodeMachine {
             level: succ.level,
         };
         self.stats.probes_sent += 1;
+        #[cfg(feature = "trace")]
+        self.tr(
+            CauseId::NONE,
+            TraceEventKind::ProbeSent { target: succ.id.0 },
+        );
         self.send_rpc(outs, target, Message::Probe, RpcKind::Probe, 0);
     }
 
@@ -1086,6 +1199,11 @@ impl NodeMachine {
         self.stats.failures_detected += 1;
         self.peers.remove(dead.id);
         outs.push(Output::FailureDetected { dead: dead.id });
+        #[cfg(feature = "trace")]
+        self.tr(
+            CauseId::new(dead.id.0, LEAVE_SEQ),
+            TraceEventKind::Obituary { subject: dead.id.0 },
+        );
         let event = StateEvent {
             subject: dead.id,
             addr: dead.addr,
@@ -1158,6 +1276,11 @@ impl NodeMachine {
         }
         self.last_self_refresh_us = now_us;
         self.seq += 1;
+        #[cfg(feature = "trace")]
+        self.tr(
+            CauseId::new(self.me.0, self.seq),
+            TraceEventKind::Refutation,
+        );
         let refute = self.self_event(now_us, EventKind::Refresh);
         self.report_event(now_us, refute, outs);
         true
@@ -1227,6 +1350,14 @@ impl NodeMachine {
             to: self.level,
         });
         self.seq += 1;
+        #[cfg(feature = "trace")]
+        self.tr(
+            CauseId::new(self.me.0, self.seq),
+            TraceEventKind::LevelShift {
+                from: old.0,
+                to: self.level.0,
+            },
+        );
         let event = self.self_event_with(now_us, EventKind::LevelShift { from: old });
         if old.is_top() && self.phase == Phase::Active {
             if self.apply_event(now_us, &event) {
@@ -1244,6 +1375,14 @@ impl NodeMachine {
     fn start_multicast(&mut self, now_us: u64, event: StateEvent, outs: &mut Vec<Output>) {
         if self.apply_event(now_us, &event) {
             let step = self.level.value();
+            #[cfg(feature = "trace")]
+            self.tr(
+                CauseId::new(event.subject.0, event.seq),
+                TraceEventKind::McastRoot {
+                    class: Self::trace_event_class(&event.kind),
+                    step,
+                },
+            );
             self.forward_event(now_us, &event, step, outs);
         }
     }
@@ -1260,6 +1399,15 @@ impl NodeMachine {
         let forwards = forward_steps(&self.peers, self.me, step, event.subject);
         for f in forwards {
             self.stats.forwards += 1;
+            #[cfg(feature = "trace")]
+            self.tr(
+                CauseId::new(event.subject.0, event.seq),
+                TraceEventKind::McastHop {
+                    class: Self::trace_event_class(&event.kind),
+                    child: f.target.id.0,
+                    step: f.next_step,
+                },
+            );
             let range = self
                 .me
                 .prefix(f.next_step - 1)
@@ -1527,7 +1675,17 @@ impl NodeMachine {
 
     fn send(&mut self, outs: &mut Vec<Output>, to: Target, msg: Message, delay_us: u64) {
         self.stats.tx_msgs += 1;
-        self.stats.tx_bits += msg.wire_bits(&self.cfg);
+        let bits = msg.wire_bits(&self.cfg);
+        self.stats.tx_bits += bits;
+        #[cfg(feature = "trace")]
+        self.tr(
+            Self::trace_cause(&msg),
+            TraceEventKind::MsgSend {
+                to: to.id.0,
+                class: msg.trace_class(),
+                bits,
+            },
+        );
         outs.push(Output::Send { to, msg, delay_us });
     }
 
@@ -1587,6 +1745,7 @@ impl NodeMachine {
         };
         if p.attempts < self.cfg.max_attempts {
             p.attempts += 1;
+            self.stats.rpc_retries += 1;
             let new_token = self.next_token;
             self.next_token += 1;
             self.send(outs, p.target, p.msg.clone(), 0);
@@ -1631,6 +1790,16 @@ impl NodeMachine {
                     &[],
                 ) {
                     let step = range.len();
+                    #[cfg(feature = "trace")]
+                    self.tr(
+                        CauseId::new(event.subject.0, event.seq),
+                        TraceEventKind::McastRedirect {
+                            class: Self::trace_event_class(&event.kind),
+                            old: p.target.id.0,
+                            new: next.id.0,
+                            step,
+                        },
+                    );
                     self.send_rpc(
                         outs,
                         next,
@@ -2070,5 +2239,58 @@ mod tests {
         assert_eq!(lt.mean_us(Level::new(2)), Some(500));
         // Levels without samples fall back to the overall mean.
         assert_eq!(lt.mean_us(Level::new(1)), Some(300));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_records_join_dissection_and_sends() {
+        use peerwindow_trace::TraceEventKind as K;
+        let mut net = MiniNet::new();
+        let seed = net.add_seed(0x1111_u128 << 64);
+        net.run_until(1_000_000);
+        let joiner = net.add_joiner(0x9999_u128 << 64, seed, 1e9);
+        for m in &mut net.machines {
+            m.set_tracing(true);
+        }
+        net.run_until(10_000_000);
+        assert!(net.machines[joiner].is_active());
+        let mut log = Vec::new();
+        for m in &mut net.machines {
+            m.take_trace(&mut log);
+        }
+        let kinds: Vec<&str> = log.iter().map(|r| r.kind.name()).collect();
+        // The joiner walked the §4.3 dissection (step 1 completed before
+        // tracing was enabled in add_joiner's constructor, steps 2–4 are
+        // recorded), probes fired, and message traffic was classified.
+        assert!(kinds.contains(&"join_step"));
+        assert!(kinds.contains(&"probe"));
+        assert!(kinds.contains(&"msg_send"));
+        assert!(kinds.contains(&"msg_recv"));
+        let phases: Vec<JoinPhase> = log
+            .iter()
+            .filter_map(|r| match r.kind {
+                K::JoinStep { phase } if r.node == net.machines[joiner].id().0 => Some(phase),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            phases,
+            vec![
+                JoinPhase::LevelQuery,
+                JoinPhase::Download,
+                JoinPhase::Active
+            ]
+        );
+        // The join multicast is causally keyed by the joiner's Join event.
+        let join_cause = CauseId::new(net.machines[joiner].id().0, 1);
+        assert!(log
+            .iter()
+            .any(|r| r.cause == join_cause && matches!(r.kind, K::MsgSend { .. })));
+        // Untraced machines emit nothing once drained.
+        let mut rest = Vec::new();
+        net.machines[seed].set_tracing(false);
+        net.run_until(12_000_000);
+        net.machines[joiner].take_trace(&mut rest);
+        assert!(!rest.is_empty());
     }
 }

@@ -111,6 +111,14 @@ impl<S: Simulation> Engine<S> {
         self.wheel.len()
     }
 
+    /// Samples engine-level counters into a trace registry.
+    #[cfg(feature = "trace")]
+    pub fn sample_into(&self, reg: &mut peerwindow_trace::CounterRegistry) {
+        reg.set("engine.processed", self.stats.processed);
+        reg.set("engine.max_queue", self.stats.max_queue as u64);
+        reg.set_gauge("engine.pending", self.wheel.len() as f64);
+    }
+
     /// Schedules an event `delay_us` after the current time (setup or
     /// external stimulus).
     pub fn schedule(&mut self, delay_us: u64, event: S::Event) {

@@ -248,6 +248,23 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
         &self.shards[shard].logic
     }
 
+    /// Mutable access to a shard's logic (harness configuration between
+    /// windows — e.g. toggling tracing — never during a window).
+    pub fn logic_mut(&mut self, shard: usize) -> &mut L {
+        &mut self.shards[shard].logic
+    }
+
+    /// Samples engine-level counters into a trace registry.
+    #[cfg(feature = "trace")]
+    pub fn sample_into(&self, reg: &mut peerwindow_trace::CounterRegistry) {
+        reg.set("engine.processed", self.processed());
+        reg.set_gauge("engine.shards", self.shards.len() as f64);
+        reg.set_gauge(
+            "engine.pending",
+            self.shards.iter().map(|s| s.wheel.len()).sum::<usize>() as f64,
+        );
+    }
+
     /// Combined order-insensitive fingerprint of all shards.
     pub fn fingerprint(&self) -> u64 {
         self.shards

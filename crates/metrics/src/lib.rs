@@ -2,7 +2,8 @@
 //!
 //! Statistics and reporting utilities shared by the PeerWindow simulator,
 //! baselines, and the figure-reproduction harness: streaming accumulators,
-//! per-level tables, histograms, and markdown/CSV rendering.
+//! per-level tables, histograms, terminal plots, markdown/CSV rendering,
+//! and table views over the trace layer's counter registry.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -11,8 +12,10 @@ pub mod histogram;
 pub mod plot;
 pub mod stream;
 pub mod table;
+pub mod trace_tables;
 
 pub use histogram::{CountHistogram, LogHistogram};
 pub use plot::{bar_chart, scatter};
 pub use stream::{PerLevel, StreamingStat};
 pub use table::{fmt_f64, Table};
+pub use trace_tables::{bandwidth_table, counter_table, gauge_table, series_table};

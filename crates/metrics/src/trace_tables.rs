@@ -1,0 +1,98 @@
+//! Table rendering for the trace layer's counter registry, sampled
+//! series, and per-class bandwidth accounting.
+//!
+//! `peerwindow-trace` stays dependency-free and presentation-agnostic;
+//! this module is where its aggregates meet the workspace's markdown/CSV
+//! [`Table`] machinery.
+
+use crate::table::{fmt_f64, Table};
+use peerwindow_trace::{BandwidthRow, CounterRegistry, SampleSeries};
+
+/// Renders a registry's counters as a `counter | value` table,
+/// name-ascending.
+pub fn counter_table(reg: &CounterRegistry) -> Table {
+    let mut t = Table::new(["counter", "value"]);
+    for (name, value) in reg.counters() {
+        t.row([name.to_string(), value.to_string()]);
+    }
+    t
+}
+
+/// Renders a registry's gauges as a `gauge | value` table,
+/// name-ascending.
+pub fn gauge_table(reg: &CounterRegistry) -> Table {
+    let mut t = Table::new(["gauge", "value"]);
+    for (name, value) in reg.gauges() {
+        t.row([name.to_string(), fmt_f64(value)]);
+    }
+    t
+}
+
+/// Renders a sim-time sample series as `at_us | metric | value` rows in
+/// sampling order.
+pub fn series_table(series: &SampleSeries) -> Table {
+    let mut t = Table::new(["at_us", "metric", "value"]);
+    for (at_us, name, value) in series.rows() {
+        t.row([at_us.to_string(), name.clone(), fmt_f64(*value)]);
+    }
+    t
+}
+
+/// Renders per-message-class bandwidth rows (from
+/// [`peerwindow_trace::bandwidth_by_class`]) as a
+/// `class | msgs | bits` table.
+pub fn bandwidth_table(rows: &[BandwidthRow]) -> Table {
+    let mut t = Table::new(["class", "msgs", "bits"]);
+    for r in rows {
+        t.row([
+            r.class.name().to_string(),
+            r.msgs.to_string(),
+            r.bits.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_tables_render_sorted() {
+        let mut reg = CounterRegistry::new();
+        reg.add("msgs.probe", 3);
+        reg.add("bits.probe", 384);
+        reg.set_gauge("peers.mean", 12.5);
+        let c = counter_table(&reg).to_markdown();
+        let bits_at = c.find("bits.probe").unwrap();
+        let msgs_at = c.find("msgs.probe").unwrap();
+        assert!(bits_at < msgs_at, "counters are name-ascending");
+        let g = gauge_table(&reg).to_markdown();
+        assert!(g.contains("peers.mean") && g.contains("12.50"));
+    }
+
+    #[test]
+    fn series_table_keeps_sampling_order() {
+        let mut reg = CounterRegistry::new();
+        reg.add("events", 1);
+        let mut s = SampleSeries::new();
+        s.sample(1_000, &reg);
+        reg.add("events", 1);
+        s.sample(2_000, &reg);
+        let t = series_table(&s);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.contains("1000,events,1") && csv.contains("2000,events,2"));
+    }
+
+    #[test]
+    fn bandwidth_table_uses_class_names() {
+        let rows = vec![BandwidthRow {
+            class: peerwindow_trace::MsgClass::Probe,
+            msgs: 7,
+            bits: 896,
+        }];
+        let md = bandwidth_table(&rows).to_markdown();
+        assert!(md.contains("probe") && md.contains("896"));
+    }
+}

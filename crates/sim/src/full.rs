@@ -79,9 +79,44 @@ struct FullWorld {
     loss: f64,
     /// Datagrams dropped so far.
     dropped: u64,
+    /// Whether structured tracing is on (applied to existing machines and
+    /// inherited by later spawns).
+    #[cfg(feature = "trace")]
+    tracing: bool,
+    /// Collected trace records (drained from machines after every event).
+    #[cfg(feature = "trace")]
+    trace_log: Vec<peerwindow_trace::TraceRecord>,
+    /// Message counters by class, updated as records drain; gauges are
+    /// refreshed by [`FullSim::sample_metrics`].
+    #[cfg(feature = "trace")]
+    registry: peerwindow_trace::CounterRegistry,
 }
 
 impl FullWorld {
+    /// Drains one machine's trace buffer into the world log, folding the
+    /// message records into the counter registry as they pass.
+    #[cfg(feature = "trace")]
+    fn drain_trace(&mut self, slot: u32) {
+        if !self.tracing {
+            return;
+        }
+        let Some(m) = self
+            .machines
+            .get_mut(slot as usize)
+            .and_then(Option::as_mut)
+        else {
+            return;
+        };
+        let start = self.trace_log.len();
+        m.take_trace(&mut self.trace_log);
+        for r in &self.trace_log[start..] {
+            if let peerwindow_trace::TraceEventKind::MsgSend { class, bits, .. } = r.kind {
+                self.registry.add(&format!("msgs.{}", class.name()), 1);
+                self.registry.add(&format!("bits.{}", class.name()), bits);
+            }
+        }
+    }
+
     fn process_outputs(
         &mut self,
         now: SimTime,
@@ -89,6 +124,11 @@ impl FullWorld {
         outs: Vec<Output>,
         sched: &mut Scheduler<'_, FEv>,
     ) {
+        // Drain before anything can take the machine out of its slot
+        // (fatal, leave-reap below): the records of its last handled
+        // event must survive it.
+        #[cfg(feature = "trace")]
+        self.drain_trace(slot);
         let Some(machine) = self.machines[slot as usize].as_ref() else {
             return;
         };
@@ -260,8 +300,75 @@ impl FullSim {
                 rng: DetRng::for_stream(seed, 0xF00D),
                 loss: 0.0,
                 dropped: 0,
+                #[cfg(feature = "trace")]
+                tracing: false,
+                #[cfg(feature = "trace")]
+                trace_log: Vec::new(),
+                #[cfg(feature = "trace")]
+                registry: peerwindow_trace::CounterRegistry::new(),
             }),
         }
+    }
+
+    /// Turns structured tracing on for every current and future machine.
+    /// Records emitted by a joiner's *constructor* (its initial FindTop)
+    /// predate the machine entering the world and are not captured.
+    #[cfg(feature = "trace")]
+    pub fn enable_tracing(&mut self, on: bool) {
+        let world = self.engine.sim_mut();
+        world.tracing = on;
+        for m in world.machines.iter_mut().flatten() {
+            m.set_tracing(on);
+        }
+    }
+
+    /// Flushes every machine's buffer and returns the collected records
+    /// in canonical `(at_us, node, seq)` order, clearing the world log.
+    #[cfg(feature = "trace")]
+    pub fn take_trace(&mut self) -> Vec<peerwindow_trace::TraceRecord> {
+        let world = self.engine.sim_mut();
+        for slot in 0..world.machines.len() as u32 {
+            world.drain_trace(slot);
+        }
+        let mut log = std::mem::take(&mut world.trace_log);
+        peerwindow_trace::canonical_sort(&mut log);
+        log
+    }
+
+    /// Refreshes the gauge side of the registry (live nodes, mean
+    /// peer-list size, RPC retries, engine depth) and returns it for
+    /// sampling into a [`peerwindow_trace::SampleSeries`].
+    #[cfg(feature = "trace")]
+    pub fn sample_metrics(&mut self) -> &peerwindow_trace::CounterRegistry {
+        let processed = self.engine.stats().processed;
+        let pending = self.engine.pending() as f64;
+        let world = self.engine.sim_mut();
+        for slot in 0..world.machines.len() as u32 {
+            world.drain_trace(slot);
+        }
+        let (count, peer_sum, retries) = world
+            .machines
+            .iter()
+            .flatten()
+            .filter(|m| m.is_active())
+            .fold((0u64, 0u64, 0u64), |(c, p, r), m| {
+                (c + 1, p + m.peers().len() as u64, r + m.stats().rpc_retries)
+            });
+        world
+            .registry
+            .set_gauge("nodes.live", world.live.len() as f64);
+        world.registry.set_gauge(
+            "peers.mean",
+            if count > 0 {
+                peer_sum as f64 / count as f64
+            } else {
+                0.0
+            },
+        );
+        world.registry.set("rpc.retries", retries);
+        world.registry.set("engine.processed", processed);
+        world.registry.set_gauge("engine.pending", pending);
+        &self.engine.sim().registry
     }
 
     /// Sets the per-datagram loss probability (0.0 = reliable network).
@@ -300,6 +407,12 @@ impl FullSim {
         );
         world.live.insert(id, slot);
         world.machines.push(Some(m));
+        #[cfg(feature = "trace")]
+        if world.tracing {
+            if let Some(m) = world.machines[slot as usize].as_mut() {
+                m.set_tracing(true);
+            }
+        }
         self.drain_initial(slot, outs);
         slot
     }
@@ -328,6 +441,12 @@ impl FullSim {
         );
         world.live.insert(id, slot);
         world.machines.push(Some(m));
+        #[cfg(feature = "trace")]
+        if world.tracing {
+            if let Some(m) = world.machines[slot as usize].as_mut() {
+                m.set_tracing(true);
+            }
+        }
         self.drain_initial(slot, outs);
         Some(slot)
     }

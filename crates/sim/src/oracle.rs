@@ -178,6 +178,8 @@ struct OracleSim {
     nodes_per_level: Vec<f64>,
     list_stats: Vec<StreamingStat>,
     sum_list_per_level: Vec<f64>,
+    /// Level-shift transition counts, `oracle.shift.{from}->{to}`.
+    shift_registry: peerwindow_trace::CounterRegistry,
 }
 
 impl OracleSim {
@@ -422,15 +424,14 @@ impl OracleSim {
         for (idx, pr) in pressures {
             self.dir.slot_mut(idx).pressure = pr;
         }
-        if !shifts.is_empty() {
-            let mut per_level: std::collections::BTreeMap<(u8, u8), u32> = Default::default();
-            for (id, nl) in &shifts {
-                if let Some(sd) = self.dir.get(*id) {
-                    *per_level.entry((sd.level.value(), nl.value())).or_default() += 1;
-                }
-            }
-            if std::env::var("PW_DEBUG_SHIFTS").is_ok() {
-                eprintln!("t={} shifts: {:?}", now.as_secs_f64(), per_level);
+        // Shift transitions feed the counter registry instead of a debug
+        // print; the report carries them out for rendering.
+        for (id, nl) in &shifts {
+            if let Some(sd) = self.dir.get(*id) {
+                self.shift_registry.add(
+                    &format!("oracle.shift.{}->{}", sd.level.value(), nl.value()),
+                    1,
+                );
             }
         }
         for (id, new_level) in shifts {
@@ -549,6 +550,11 @@ impl OracleSim {
             mean_multicast_delay_s: self.delay_stat.mean(),
             level_shifts: self.level_shifts,
             measure_s,
+            shift_counters: self
+                .shift_registry
+                .counters()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
         }
     }
 }
@@ -601,6 +607,7 @@ pub fn run_oracle(cfg: OracleConfig) -> OracleReport {
         nodes_per_level: Vec::new(),
         list_stats: Vec::new(),
         sum_list_per_level: Vec::new(),
+        shift_registry: peerwindow_trace::CounterRegistry::new(),
         dir: Directory::new(),
         cfg,
     };

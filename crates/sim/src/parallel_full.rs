@@ -90,6 +90,14 @@ pub struct ProtocolShard {
     base_latency_us: u64,
     lookahead_us: u64,
     seed: u64,
+    /// Whether machines of this shard record trace events.
+    #[cfg(feature = "trace")]
+    tracing: bool,
+    /// This shard's record buffer. Only the shard's own worker thread
+    /// touches it (lock-free by construction); the harness concatenates
+    /// and canonically sorts the per-shard buffers at collection time.
+    #[cfg(feature = "trace")]
+    trace_buf: Vec<peerwindow_trace::TraceRecord>,
 }
 
 impl ProtocolShard {
@@ -107,6 +115,21 @@ impl ProtocolShard {
             base_latency_us,
             lookahead_us,
             seed,
+            #[cfg(feature = "trace")]
+            tracing: false,
+            #[cfg(feature = "trace")]
+            trace_buf: Vec::new(),
+        }
+    }
+
+    /// Moves `actor`'s buffered records into the shard buffer.
+    #[cfg(feature = "trace")]
+    fn drain_trace(&mut self, actor: u32) {
+        if !self.tracing {
+            return;
+        }
+        if let Some(m) = self.machines[actor as usize].as_mut() {
+            m.take_trace(&mut self.trace_buf);
         }
     }
 
@@ -202,6 +225,12 @@ impl ShardLogic for ProtocolShard {
                     ),
                 };
                 self.machines[actor as usize] = Some(m);
+                #[cfg(feature = "trace")]
+                if self.tracing {
+                    if let Some(m) = self.machines[actor as usize].as_mut() {
+                        m.set_tracing(true);
+                    }
+                }
                 self.process(actor, outs, out);
             }
             PMsg::Net {
@@ -220,6 +249,8 @@ impl ShardLogic for ProtocolShard {
                         msg,
                     },
                 );
+                #[cfg(feature = "trace")]
+                self.drain_trace(actor);
                 self.process(actor, outs, out);
             }
             PMsg::Timer(timer) => {
@@ -227,9 +258,13 @@ impl ShardLogic for ProtocolShard {
                     return;
                 };
                 let outs = m.handle(t, Input::Timer(timer));
+                #[cfg(feature = "trace")]
+                self.drain_trace(actor);
                 self.process(actor, outs, out);
             }
             PMsg::Crash => {
+                #[cfg(feature = "trace")]
+                self.drain_trace(actor);
                 self.machines[actor as usize] = None;
             }
             PMsg::Cmd(c) => {
@@ -237,6 +272,8 @@ impl ShardLogic for ProtocolShard {
                     return;
                 };
                 let outs = m.handle(t, Input::Command(c));
+                #[cfg(feature = "trace")]
+                self.drain_trace(actor);
                 self.process(actor, outs, out);
             }
         }
@@ -360,6 +397,59 @@ impl<M: ShardMap> ParallelFullSim<M> {
     /// Total events processed (speedup accounting).
     pub fn processed(&self) -> u64 {
         self.engine.processed()
+    }
+
+    /// Turns structured tracing on for every current and future machine,
+    /// in every shard. Call between windows (before `run_until`).
+    #[cfg(feature = "trace")]
+    pub fn enable_tracing(&mut self, on: bool) {
+        for shard in 0..self.engine.shard_count() {
+            let logic = self.engine.logic_mut(shard);
+            logic.tracing = on;
+            for m in logic.machines.iter_mut().flatten() {
+                m.set_tracing(on);
+            }
+        }
+    }
+
+    /// Collects every shard's records into one canonically ordered log,
+    /// clearing the shard buffers. The `(at_us, node, seq)` sort key is a
+    /// pure function of the protocol run, so the result is byte-for-byte
+    /// identical for any shard count (asserted by the workspace tests).
+    #[cfg(feature = "trace")]
+    pub fn take_trace(&mut self) -> Vec<peerwindow_trace::TraceRecord> {
+        let mut log = Vec::new();
+        for shard in 0..self.engine.shard_count() {
+            let logic = self.engine.logic_mut(shard);
+            for actor in 0..logic.machines.len() as u32 {
+                logic.drain_trace(actor);
+            }
+            log.append(&mut logic.trace_buf);
+        }
+        peerwindow_trace::canonical_sort(&mut log);
+        log
+    }
+
+    /// Samples engine counters plus machine aggregates into a registry.
+    #[cfg(feature = "trace")]
+    pub fn sample_metrics(&self, reg: &mut peerwindow_trace::CounterRegistry) {
+        self.engine.sample_into(reg);
+        let (count, peer_sum, retries) = (0..self.engine.shard_count())
+            .flat_map(|s| self.engine.logic(s).machines.iter().flatten())
+            .filter(|m| m.is_active())
+            .fold((0u64, 0u64, 0u64), |(c, p, r), m| {
+                (c + 1, p + m.peers().len() as u64, r + m.stats().rpc_retries)
+            });
+        reg.set_gauge("nodes.live", count as f64);
+        reg.set_gauge(
+            "peers.mean",
+            if count > 0 {
+                peer_sum as f64 / count as f64
+            } else {
+                0.0
+            },
+        );
+        reg.set("rpc.retries", retries);
     }
 }
 

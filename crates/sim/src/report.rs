@@ -49,6 +49,10 @@ pub struct OracleReport {
     pub level_shifts: u64,
     /// Measurement window length, seconds.
     pub measure_s: f64,
+    /// Shift transition counters (`oracle.shift.{from}->{to}` → count)
+    /// over the whole run, name-ascending. Replaces the old
+    /// `PW_DEBUG_SHIFTS` stderr dump.
+    pub shift_counters: Vec<(String, u64)>,
 }
 
 impl OracleReport {

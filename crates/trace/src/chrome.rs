@@ -1,0 +1,136 @@
+//! Chrome `trace_event` export (`chrome://tracing` / Perfetto).
+//!
+//! Each record becomes a complete event (`ph:"X"`) of 1µs nominal
+//! duration: `ts` is the simulation time, `pid` is always 0, and each
+//! node gets its own `tid` (assigned in first-appearance order) so the
+//! viewer shows one lane per node. Thread-name metadata events label the
+//! lanes with the node's hex id. The full JSONL field set rides along in
+//! `args`, which makes the export lossless: [`parse`] rebuilds the exact
+//! records from a document written by [`export`].
+
+use crate::json::{self, JVal};
+use crate::jsonl::{record_from_obj, Flat};
+use crate::record::TraceRecord;
+use crate::ParseError;
+
+/// Renders records as one Chrome `trace_event` JSON document.
+pub fn export(records: &[TraceRecord]) -> String {
+    // Assign tids per node, in first-appearance order, so the export is a
+    // pure function of the record sequence.
+    let mut nodes: Vec<u128> = Vec::new();
+    let tid = |node: u128, nodes: &mut Vec<u128>| -> usize {
+        match nodes.iter().position(|&n| n == node) {
+            Some(i) => i,
+            None => {
+                nodes.push(node);
+                nodes.len() - 1
+            }
+        }
+    };
+    for r in records {
+        tid(r.node, &mut nodes);
+    }
+
+    let mut out = String::with_capacity(records.len() * 160 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (i, node) in nodes.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{i},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"node {node:032x}\"}}}}"
+        ));
+    }
+    for r in records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let t = tid(r.node, &mut nodes);
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\"pid\":0,\"tid\":{t},\"args\":{{",
+            r.kind.name(),
+            r.at_us
+        ));
+        for (j, (k, v)) in crate::jsonl::flat_fields(r).iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            out.push(':');
+            match v {
+                Flat::N(n) => out.push_str(&n.to_string()),
+                Flat::S(s) => json::write_str(&mut out, s),
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Rebuilds records from a document written by [`export`]. Metadata
+/// events are skipped; every `ph:"X"` event must carry the full flat
+/// field set in `args`.
+pub fn parse(doc: &str) -> Result<Vec<TraceRecord>, ParseError> {
+    let root = json::parse(doc)?;
+    let events = match root.get("traceEvents") {
+        Some(JVal::Arr(items)) => items,
+        _ => return Err(ParseError::new("missing traceEvents array")),
+    };
+    let mut out = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(JVal::as_str)
+            .ok_or_else(|| ParseError::new(format!("event {i}: missing ph")))?;
+        if ph != "X" {
+            continue;
+        }
+        let args = ev
+            .get("args")
+            .ok_or_else(|| ParseError::new(format!("event {i}: missing args")))?;
+        out.push(
+            record_from_obj(args)
+                .map_err(|e| ParseError::new(format!("event {i}: {}", e.message)))?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonl::tests::one_of_each;
+
+    #[test]
+    fn export_round_trips_every_kind() {
+        let records = one_of_each();
+        let doc = export(&records);
+        let back = parse(&doc).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn lanes_are_labelled_per_node() {
+        let mut records = one_of_each();
+        records[1].node = 0x5; // second node → second lane
+        let doc = export(&records);
+        assert!(doc.contains("\"name\":\"thread_name\""));
+        assert!(doc.contains("node 00000000000000000000000000000005"));
+        assert!(doc.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        // Metadata-only documents parse to an empty record list.
+        let doc = "{\"traceEvents\":[{\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+                   \"name\":\"thread_name\",\"args\":{\"name\":\"n\"}}]}";
+        assert_eq!(parse(doc).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Named counter/gauge registry, sampled on a sim-time tick.
+//!
+//! The trace log answers "what happened, in order"; the registry answers
+//! "how much, over time". Counters are cumulative `u64`s (messages by
+//! class, bits by event type, RPC retries); gauges are point-in-time
+//! `f64`s (peer-list sizes, pending-event counts). Ordered maps keep the
+//! rendering deterministic — same contract as every other piece of
+//! protocol state in this workspace.
+
+use std::collections::BTreeMap;
+
+/// A deterministic name→value store for counters and gauges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets counter `name` to an absolute value (for sampled totals).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Sets gauge `name`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Reads counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sums `other`'s counters into this registry and adopts its gauges
+    /// (last writer wins — used when merging per-shard registries).
+    pub fn merge(&mut self, other: &CounterRegistry) {
+        for (k, v) in other.counters() {
+            self.add(k, v);
+        }
+        for (k, v) in other.gauges() {
+            self.set_gauge(k, v);
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+/// A time series of registry snapshots: one row per `(tick, name)`. The
+/// embedding harness calls [`SampleSeries::sample`] on each sim-time tick
+/// (e.g. every simulated second); `peerwindow-metrics` renders the rows.
+#[derive(Clone, Debug, Default)]
+pub struct SampleSeries {
+    rows: Vec<(u64, String, f64)>,
+}
+
+impl SampleSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots every counter and gauge of `reg` at sim time `at_us`.
+    pub fn sample(&mut self, at_us: u64, reg: &CounterRegistry) {
+        for (k, v) in reg.counters() {
+            self.rows.push((at_us, k.to_string(), v as f64));
+        }
+        for (k, v) in reg.gauges() {
+            self.rows.push((at_us, k.to_string(), v));
+        }
+    }
+
+    /// The collected `(at_us, name, value)` rows, in sampling order.
+    pub fn rows(&self) -> &[(u64, String, f64)] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_iterate_in_name_order() {
+        let mut r = CounterRegistry::new();
+        r.inc("msgs.probe");
+        r.add("msgs.probe", 2);
+        r.add("bits.join", 1_000);
+        r.set_gauge("peers.mean", 12.5);
+        assert_eq!(r.counter("msgs.probe"), 3);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("peers.mean"), Some(12.5));
+        let names: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["bits.join", "msgs.probe"]);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CounterRegistry::new();
+        a.add("x", 1);
+        let mut b = CounterRegistry::new();
+        b.add("x", 2);
+        b.set_gauge("g", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.gauge("g"), Some(3.0));
+    }
+
+    #[test]
+    fn series_snapshots_all_names() {
+        let mut r = CounterRegistry::new();
+        r.add("c", 4);
+        r.set_gauge("g", 0.5);
+        let mut s = SampleSeries::new();
+        s.sample(1_000_000, &r);
+        r.add("c", 1);
+        s.sample(2_000_000, &r);
+        assert_eq!(s.rows().len(), 4);
+        assert_eq!(s.rows()[0], (1_000_000, "c".to_string(), 4.0));
+        assert_eq!(s.rows()[2], (2_000_000, "c".to_string(), 5.0));
+    }
+}

@@ -98,6 +98,12 @@ fn main() {
         std::thread::sleep(Duration::from_secs(3));
         let Some(s) = handle.snapshot(Duration::from_secs(1)) else {
             eprintln!("node stopped");
+            // Terminal diagnostics (fatal / socket error) survive the
+            // node thread; dump them as JSONL for the operator.
+            eprint!(
+                "{}",
+                peerwindow_trace::jsonl::to_string(&handle.take_diagnostics())
+            );
             std::process::exit(1);
         };
         println!(

@@ -12,15 +12,19 @@
 //! LAN-scale systems and demos; a deployment expecting 10⁵-pointer lists
 //! should carry `Download`/`DownloadReply` over a stream transport and
 //! keep UDP for the (small) event/probe traffic. Oversized frames are
-//! logged and dropped rather than truncated.
+//! dropped rather than truncated, with an `OversizedFrame` diagnostic
+//! record pushed to the log behind [`NodeHandle::take_diagnostics`] —
+//! runtime errors are structured trace events, never raw prints.
 
 use crate::codec::{decode, encode};
 use bytes::Bytes;
 use peerwindow_core::prelude::*;
+use peerwindow_trace::{CauseId, DiagCode, NodeTrace, TraceEventKind, TraceRecord};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
 use std::sync::mpsc::{Receiver, SyncSender as Sender, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -38,6 +42,10 @@ pub enum Control {
     ChangeInfo(Bytes),
     /// Change the bandwidth budget (autonomy knob).
     SetThreshold(f64),
+    /// Turn structured protocol tracing on or off; records land in the
+    /// same log as runtime diagnostics.
+    #[cfg(feature = "trace")]
+    SetTracing(bool),
     /// Leave gracefully and stop the thread.
     Shutdown,
 }
@@ -86,6 +94,7 @@ pub struct NodeHandle {
     /// The actually-bound listen address.
     pub local_addr: SocketAddrV4,
     ctl: Sender<Control>,
+    diag: Arc<Mutex<Vec<TraceRecord>>>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -102,6 +111,28 @@ impl NodeHandle {
             return None;
         }
         rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains the diagnostic log: runtime events (oversized frames,
+    /// fatal errors, socket errors) and — with the `trace` feature and
+    /// tracing enabled — the machine's structured protocol records. The
+    /// log outlives the node thread, so terminal errors remain
+    /// observable after the node stops.
+    pub fn take_diagnostics(&self) -> Vec<TraceRecord> {
+        let mut out = self
+            .diag
+            .lock()
+            .map(|mut l| std::mem::take(&mut *l))
+            .unwrap_or_default();
+        peerwindow_trace::canonical_sort(&mut out);
+        out
+    }
+
+    /// Turns structured protocol tracing on or off. Returns `false` if
+    /// the node has stopped.
+    #[cfg(feature = "trace")]
+    pub fn set_tracing(&self, on: bool) -> bool {
+        self.control(Control::SetTracing(on))
     }
 
     /// Requests a graceful shutdown and joins the thread.
@@ -216,14 +247,17 @@ pub fn spawn_node(cfg: RuntimeConfig) -> Result<NodeHandle, SpawnError> {
 
     let (ctl_tx, ctl_rx) = bounded(64);
     let id = cfg.id;
+    let diag = Arc::new(Mutex::new(Vec::new()));
+    let diag_thread = Arc::clone(&diag);
     let thread = std::thread::Builder::new()
         .name(format!("pwnode-{id}"))
-        .spawn(move || run_loop(socket, machine, initial, ctl_rx))
+        .spawn(move || run_loop(socket, machine, initial, ctl_rx, diag_thread))
         .map_err(SpawnError::Io)?;
     Ok(NodeHandle {
         id,
         local_addr: local,
         ctl: ctl_tx,
+        diag,
         thread: Some(thread),
     })
 }
@@ -234,11 +268,46 @@ enum Due {
     Send(Target, Message),
 }
 
+/// Runtime diagnostics, routed through the trace layer rather than
+/// stderr (library code never prints — the audit lint enforces this).
+/// Each event is flushed to the shared log immediately so it survives
+/// the node thread.
+struct Diag {
+    trace: NodeTrace,
+    shared: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl Diag {
+    fn new(me: NodeId, shared: Arc<Mutex<Vec<TraceRecord>>>) -> Self {
+        let mut trace = NodeTrace::new(me.0);
+        trace.set_enabled(true);
+        Diag { trace, shared }
+    }
+
+    fn emit(&mut self, now_us: u64, code: DiagCode) {
+        self.trace.set_now(now_us);
+        self.trace
+            .emit(0, TraceEventKind::Diag { code }, CauseId::NONE);
+        if let Ok(mut log) = self.shared.lock() {
+            self.trace.drain_into(&mut log);
+        }
+    }
+}
+
+/// Moves the machine's buffered protocol records into the shared log.
+#[cfg(feature = "trace")]
+fn drain_machine(machine: &mut NodeMachine, shared: &Mutex<Vec<TraceRecord>>) {
+    if let Ok(mut log) = shared.lock() {
+        machine.take_trace(&mut log);
+    }
+}
+
 fn run_loop(
     socket: UdpSocket,
     mut machine: NodeMachine,
     initial: Vec<Output>,
     ctl: Receiver<Control>,
+    diag_log: Arc<Mutex<Vec<TraceRecord>>>,
 ) {
     let start = Instant::now();
     let now_us = |start: &Instant| start.elapsed().as_micros() as u64;
@@ -249,6 +318,7 @@ fn run_loop(
     let me = machine.id();
     let my_addr = machine.addr();
     let mut stopping = false;
+    let mut diag = Diag::new(me, diag_log);
 
     let schedule = |heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
                     parked: &mut Vec<Option<Due>>,
@@ -266,17 +336,17 @@ fn run_loop(
                    heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
                    parked: &mut Vec<Option<Due>>,
                    seq: &mut u64,
-                   stopping: &mut bool| {
+                   stopping: &mut bool,
+                   diag: &mut Diag| {
         for o in outs {
             match o {
                 Output::Send { to, msg, delay_us } => {
                     if delay_us == 0 {
                         let frame = encode(me, my_addr, &msg);
                         if frame.len() > 65_000 {
-                            eprintln!(
-                                    "pwnode {me}: dropping oversized frame                                      ({} bytes) — see the transport crate                                      docs on UDP download limits",
-                                    frame.len()
-                                );
+                            // Dropped rather than truncated — see the
+                            // module docs on UDP download limits.
+                            diag.emit(now, DiagCode::OversizedFrame);
                         } else {
                             let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
                         }
@@ -287,8 +357,8 @@ fn run_loop(
                 Output::SetTimer { delay_us, timer } => {
                     schedule(heap, parked, seq, now + delay_us, Due::Timer(timer));
                 }
-                Output::Fatal(reason) => {
-                    eprintln!("pwnode {me}: fatal: {reason}");
+                Output::Fatal(_reason) => {
+                    diag.emit(now, DiagCode::Fatal);
                     *stopping = true;
                 }
                 // Joined / FailureDetected / LevelShifted are
@@ -310,6 +380,7 @@ fn run_loop(
             &mut parked,
             &mut seq,
             &mut stopping,
+            &mut diag,
         );
         outs = Vec::new();
         if stopping {
@@ -326,6 +397,8 @@ fn run_loop(
             match parked[idx].take() {
                 Some(Due::Timer(t)) => {
                     let o = machine.handle(now, Input::Timer(t));
+                    #[cfg(feature = "trace")]
+                    drain_machine(&mut machine, &diag.shared);
                     process(
                         o,
                         now,
@@ -334,6 +407,7 @@ fn run_loop(
                         &mut parked,
                         &mut seq,
                         &mut stopping,
+                        &mut diag,
                     );
                 }
                 Some(Due::Send(to, msg)) => {
@@ -368,6 +442,8 @@ fn run_loop(
                 }
                 Control::ChangeInfo(info) => {
                     let o = machine.handle(now, Input::Command(Command::ChangeInfo(info)));
+                    #[cfg(feature = "trace")]
+                    drain_machine(&mut machine, &diag.shared);
                     process(
                         o,
                         now,
@@ -376,10 +452,17 @@ fn run_loop(
                         &mut parked,
                         &mut seq,
                         &mut stopping,
+                        &mut diag,
                     );
+                }
+                #[cfg(feature = "trace")]
+                Control::SetTracing(on) => {
+                    machine.set_tracing(on);
                 }
                 Control::SetThreshold(bps) => {
                     let o = machine.handle(now, Input::Command(Command::SetThreshold(bps)));
+                    #[cfg(feature = "trace")]
+                    drain_machine(&mut machine, &diag.shared);
                     process(
                         o,
                         now,
@@ -388,10 +471,13 @@ fn run_loop(
                         &mut parked,
                         &mut seq,
                         &mut stopping,
+                        &mut diag,
                     );
                 }
                 Control::Shutdown => {
                     let o = machine.handle(now, Input::Command(Command::Shutdown));
+                    #[cfg(feature = "trace")]
+                    drain_machine(&mut machine, &diag.shared);
                     // Flush the leave announcement synchronously.
                     for out in o {
                         if let Output::Send { to, msg, .. } = out {
@@ -417,14 +503,16 @@ fn run_loop(
                             msg: env.msg,
                         },
                     );
+                    #[cfg(feature = "trace")]
+                    drain_machine(&mut machine, &diag.shared);
                     outs = o;
                 }
             }
             Err(ref e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(e) => {
-                eprintln!("pwnode {me}: socket error: {e}");
+            Err(_e) => {
+                diag.emit(now_us(&start), DiagCode::SocketError);
                 return;
             }
         }

@@ -1,0 +1,134 @@
+//! Tracing-layer acceptance tests over real simulation runs.
+//!
+//! * Shard-placement invariance: the canonical trace log of a traced
+//!   [`ParallelFullSim`] run is *byte-identical* across shard counts —
+//!   the observability side of the determinism contract in
+//!   `tests/determinism.rs`.
+//! * Exporter fidelity: JSONL and Chrome `trace_event` exports of a real
+//!   run parse back to the same records, and a join multicast
+//!   reconstructed from the Chrome round trip matches the tree that the
+//!   §4.2 planner (`plan_tree`) derives from the root's own peer list.
+
+use bytes::Bytes;
+use peerwindow::des::{DetRng, SimTime};
+use peerwindow::prelude::*;
+use peerwindow::protocol::multicast::{plan_tree, tree_stats};
+use peerwindow::sim::{FullSim, ParallelFullSim};
+use peerwindow::topology::UniformNetwork;
+use peerwindow_trace::{chrome, jsonl, reconstruct_tree, TraceEventKind};
+
+fn protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        probe_interval_us: 3_000_000,
+        rpc_timeout_us: 500_000,
+        processing_delay_us: 20_000,
+        bandwidth_window_us: 12_000_000,
+        ..ProtocolConfig::default()
+    }
+}
+
+/// The determinism-suite parallel scenario (joins, a crash, a shutdown),
+/// traced; returns the canonical JSONL log.
+fn traced_parallel_jsonl(shards: usize) -> String {
+    let n = 24u32;
+    let mut sim = ParallelFullSim::new(shards, n as usize, protocol(), 20_000, 1_000, 7);
+    sim.enable_tracing(true);
+    let seed_id = NodeId(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+    sim.start_node(SimTime::ZERO, 0, seed_id, 1e9, Bytes::new(), None);
+    let boot = Target {
+        id: seed_id,
+        addr: Addr(0),
+        level: Level::TOP,
+    };
+    for k in 1..n {
+        let id = NodeId((k as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_0C4A_2B8E_D1A3) | 1);
+        sim.start_node(
+            SimTime::from_millis(500 * k as u64),
+            k,
+            id,
+            1e9,
+            Bytes::new(),
+            Some(boot),
+        );
+    }
+    sim.crash(SimTime::from_secs(25), 5);
+    sim.command(SimTime::from_secs(30), 2, Command::Shutdown);
+    sim.run_until(SimTime::from_secs(60));
+    jsonl::to_string(&sim.take_trace())
+}
+
+#[test]
+fn shard_count_never_changes_the_trace_log() {
+    let one = traced_parallel_jsonl(1);
+    let four = traced_parallel_jsonl(4);
+    assert!(!one.is_empty(), "traced run produced no records");
+    assert_eq!(one, four, "trace logs differ between 1 and 4 shards");
+}
+
+#[test]
+fn jsonl_round_trips_a_real_run() {
+    let doc = traced_parallel_jsonl(2);
+    let records = jsonl::parse_string(&doc).expect("own JSONL export must parse");
+    assert_eq!(jsonl::to_string(&records), doc);
+}
+
+#[test]
+fn chrome_roundtrip_of_a_join_multicast_matches_the_planner() {
+    // Grow a stable membership first: seed + 19 joiners, high bandwidth
+    // thresholds (nobody shifts down), reliable network, then settle.
+    let mut sim = FullSim::new(
+        protocol(),
+        Box::new(UniformNetwork { latency_us: 25_000 }),
+        11,
+    );
+    let mut rng = DetRng::new(99);
+    sim.spawn_seed(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    for _ in 0..19 {
+        sim.run_for(700_000);
+        sim.spawn_joiner(NodeId(rng.next_u128()), 1e9, Bytes::new());
+    }
+    sim.run_for(40_000_000);
+
+    // Trace exactly one more join: its announcement is a §4.2 multicast
+    // about the joiner, rooted at a top node of the joiner's part.
+    sim.enable_tracing(true);
+    let joiner = NodeId(rng.next_u128());
+    sim.spawn_joiner(joiner, 1e9, Bytes::new())
+        .expect("late joiner admitted");
+    sim.run_for(10_000_000);
+    let records = sim.take_trace();
+
+    let root_rec = records
+        .iter()
+        .find(|r| r.cause.subject == joiner.0 && matches!(r.kind, TraceEventKind::McastRoot { .. }))
+        .expect("join multicast root record");
+    let TraceEventKind::McastRoot { step, .. } = root_rec.kind else {
+        unreachable!()
+    };
+
+    // Chrome round trip must preserve the multicast structure exactly.
+    let parsed = chrome::parse(&chrome::export(&records)).expect("own Chrome export must parse");
+    let tree = reconstruct_tree(&records, root_rec.cause);
+    let tree2 = reconstruct_tree(&parsed, root_rec.cause);
+    assert_eq!(tree.root, tree2.root);
+    assert_eq!(tree.hops, tree2.hops);
+    assert_eq!(tree.redirects, tree2.redirects);
+
+    // The traced tree must match what the planner derives from the
+    // root's own (converged, hence consistent) peer list.
+    assert_eq!(tree.root, Some(root_rec.node));
+    let (_, root_machine) = sim
+        .machines()
+        .find(|(_, m)| m.id().0 == root_rec.node)
+        .expect("multicast root still alive");
+    let plan = plan_tree(root_machine.peers(), root_machine.id(), step, joiner);
+    let want = tree_stats(&plan, root_machine.id());
+    assert_eq!(
+        tree.max_depth(),
+        want.max_depth,
+        "reconstructed hop depth differs from the planner's"
+    );
+    assert_eq!(tree.receivers(), want.receivers);
+    assert_eq!(tree.root_out_degree(), want.root_out_degree);
+    assert_eq!(tree.redirects, 0, "no churn, so no redirects");
+}
