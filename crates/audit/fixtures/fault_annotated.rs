@@ -1,0 +1,17 @@
+// Fixture: annotated fault-layer mention, plus test-tail usage — neither
+// may fire.
+
+fn describe() -> &'static str {
+    // audit: fault-ok — doc example naming the harness-side plan type
+    "see FaultPlan in peerwindow-faults"
+}
+
+#[cfg(test)]
+mod tests {
+    use peerwindow_faults::FaultPlan;
+
+    #[test]
+    fn tests_may_use_fault_plans() {
+        let _ = FaultPlan::reliable(1);
+    }
+}

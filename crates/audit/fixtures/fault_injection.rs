@@ -1,0 +1,10 @@
+// Fixture: fault-injection concepts leaking below the harness layer.
+// Network misbehaviour is modelled once, in `peerwindow-faults`, and
+// interpreted only by the sim harnesses / bench / apps; a protocol or
+// engine crate importing it would smuggle RNG draws (and a second notion
+// of the network) into code whose determinism contract forbids both.
+use peerwindow_faults::FaultPlan;
+
+fn sabotage(seed: u64) -> FaultPlan {
+    FaultPlan::uniform_loss(seed, 0.5)
+}

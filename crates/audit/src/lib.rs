@@ -29,6 +29,12 @@
 //!   algebra (`id.rs`, `level.rs`, `parts.rs`): 128-bit identifier math
 //!   silently truncated to 32 bits is the classic split-brain bug.
 //!   Widening or otherwise-safe casts annotate `// audit: cast-ok <why>`.
+//! * **fault-injection** — fault-layer types (`FaultPlan`,
+//!   `LinkConditioner`, `FaultModel`, the `peerwindow_faults` crate)
+//!   outside the harness layers (`faults` itself, `sim`, `bench`,
+//!   `apps`): the protocol and engine crates must stay free of
+//!   network-misbehaviour concepts — and of the RNG draws they imply.
+//!   Deliberate sites annotate `// audit: fault-ok <why>`.
 //! * **forbid-unsafe** — `#![forbid(unsafe_code)]` must be present in
 //!   the `core`, `des`, `topology`, `sim`, and `workload` crate roots.
 //!
@@ -141,6 +147,25 @@ fn in_cast_scope(path: &str) -> bool {
     CAST_SCOPED.contains(&path)
 }
 
+/// Library sources that must stay free of fault-injection concepts: the
+/// protocol, the engines, and every support crate below the harness
+/// layer. The `faults` crate itself, the `sim` harnesses that interpret
+/// plans, `bench` (overhead measurement) and `apps` (the `pwchaos`
+/// driver) are the only legitimate homes.
+fn in_fault_free_scope(path: &str) -> bool {
+    [
+        "core",
+        "des",
+        "topology",
+        "workload",
+        "transport",
+        "trace",
+        "metrics",
+    ]
+    .iter()
+    .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
 const RULES: &[TokenRule] = &[
     TokenRule {
         name: "hash-collections",
@@ -165,6 +190,17 @@ const RULES: &[TokenRule] = &[
         tokens: &["println!", "eprintln!", "print!(", "eprint!("],
         annotation: "audit: print-ok",
         applies: in_print_scope,
+    },
+    TokenRule {
+        name: "fault-injection",
+        tokens: &[
+            "peerwindow_faults",
+            "FaultPlan",
+            "LinkConditioner",
+            "FaultModel",
+        ],
+        annotation: "audit: fault-ok",
+        applies: in_fault_free_scope,
     },
     TokenRule {
         name: "lossy-casts",
@@ -546,6 +582,48 @@ mod tests {
         );
         // Widening to u128 and annotated sites are fine.
         assert_eq!(f.iter().filter(|f| f.rule == "lossy-casts").count(), 1);
+    }
+
+    #[test]
+    fn fault_injection_fires_below_the_harness_layer() {
+        let src = include_str!("../fixtures/fault_injection.rs");
+        for path in [
+            "crates/core/src/node.rs",
+            "crates/des/src/engine.rs",
+            "crates/trace/src/record.rs",
+        ] {
+            let f = scan_source(path, src, &no_cfg());
+            assert!(
+                f.iter().any(|f| f.rule == "fault-injection"),
+                "expected a fault-injection finding at {path}, got {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_injection_allowed_in_harness_layers() {
+        let src = include_str!("../fixtures/fault_injection.rs");
+        for path in [
+            "crates/faults/src/model.rs",
+            "crates/sim/src/full.rs",
+            "crates/bench/src/bin/perfbaseline.rs",
+            "crates/apps/src/bin/pwchaos.rs",
+        ] {
+            assert!(
+                scan_source(path, src, &no_cfg()).is_empty(),
+                "harness layer {path} must be exempt"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_ok_annotation_and_test_tail_are_exempt() {
+        let src = include_str!("../fixtures/fault_annotated.rs");
+        let f = scan_source("crates/core/src/node.rs", src, &no_cfg());
+        assert!(
+            f.is_empty(),
+            "annotated/test-tail sites must not fire: {f:?}"
+        );
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   directory (trees per second).
 //! * `latency_matrix_4800` — `TransitStubNetwork::build` wall time at the
 //!   paper-scale 4800-stub topology.
+//! * `faults_zero_loss` — a full-fidelity protocol run with no fault
+//!   model vs. an installed-but-empty `FaultPlan::reliable`: the cost of
+//!   carrying the fault-injection layer on a clean network (the
+//!   conditioner's no-active-rule fast path; must be noise-level — a
+//!   bench test asserts it).
 
 use peerwindow_des::{
     Engine, ModuloShardMap, Outbox, ParallelEngine, Scheduler, ShardLogic, ShardMap, SimTime,
@@ -282,6 +287,49 @@ fn parallel_fanout<M: ShardMap + Clone>(shards: usize, hops: u32, map: M) -> (f6
     (processed as f64 / secs, processed)
 }
 
+// -------------------------------------------------------------------- faults
+
+/// A full-fidelity protocol run (joins, probes, multicasts) over a
+/// uniform network; `reliable_plan` installs `FaultPlan::reliable` so
+/// every datagram takes the conditioner's fast path, `false` leaves the
+/// fault layer uninstalled. Returns events per second.
+fn full_sim_run(nodes: u32, horizon_s: u64, reliable_plan: bool) -> f64 {
+    use bytes::Bytes;
+    use peerwindow_core::prelude::*;
+    use peerwindow_faults::FaultPlan;
+    use peerwindow_sim::FullSim;
+    use peerwindow_topology::UniformNetwork;
+    let protocol = ProtocolConfig {
+        probe_interval_us: 2_000_000,
+        rpc_timeout_us: 400_000,
+        processing_delay_us: 10_000,
+        bandwidth_window_us: 8_000_000,
+        ..ProtocolConfig::default()
+    };
+    let mut sim = FullSim::new(
+        protocol,
+        Box::new(UniformNetwork { latency_us: 20_000 }),
+        13,
+    );
+    if reliable_plan {
+        sim.set_fault_plan(FaultPlan::reliable(13));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    sim.spawn_seed(
+        peerwindow_core::prelude::NodeId(rng.gen()),
+        1e9,
+        Bytes::new(),
+    );
+    for _ in 1..nodes {
+        sim.run_for(300_000);
+        let _ = sim.spawn_joiner(NodeId(rng.gen()), 1e9, Bytes::new());
+    }
+    let t = Instant::now();
+    sim.run_until(peerwindow_des::SimTime::from_secs(horizon_s));
+    let secs = t.elapsed().as_secs_f64();
+    sim.processed() as f64 / secs
+}
+
 // -------------------------------------------------------------------- oracle
 
 fn oracle_plan(n: usize, trees: u32) -> f64 {
@@ -399,7 +447,7 @@ impl Json {
 // ----------------------------------------------------------------------- main
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR3.json");
+    let mut out_path = String::from("BENCH_PR4.json");
     let mut quick = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -431,7 +479,7 @@ fn main() {
     let mut j = Json::new();
     j.open(None);
     j.str("generated_by", "perfbaseline");
-    j.int("pr", 3);
+    j.int("pr", 4);
     j.str("mode", if quick { "quick" } else { "full" });
     j.open(Some("host"));
     j.int("parallelism", parallelism);
@@ -508,6 +556,24 @@ fn main() {
     j.open(Some("oracle_plan_100k"));
     j.int("directory_nodes", if quick { 10_000 } else { 100_000 });
     j.num("trees_per_sec", tps);
+    j.close();
+
+    // Fault-layer overhead on a clean network: uninstalled vs. an
+    // installed-but-ruleless plan (the per-send fast path).
+    let fnodes = if quick { 32 } else { 64 };
+    let fhorizon = if quick { 120 } else { 600 };
+    let without = full_sim_run(fnodes, fhorizon, false);
+    let with = full_sim_run(fnodes, fhorizon, true);
+    eprintln!(
+        "faults_zero_loss   none  {without:>12.0} ev/s   plan {with:>12.0} ev/s   overhead {:+.2}%",
+        (without / with - 1.0) * 100.0
+    );
+    j.open(Some("faults_zero_loss"));
+    j.int("nodes", fnodes as u64);
+    j.int("horizon_s", fhorizon);
+    j.num("no_model_events_per_sec", without);
+    j.num("reliable_plan_events_per_sec", with);
+    j.num3("overhead_pct", (without / with - 1.0) * 100.0);
     j.close();
 
     // Latency-matrix build at the paper-scale 4800-stub topology.

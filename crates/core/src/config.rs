@@ -21,6 +21,20 @@ pub struct ProtocolConfig {
     /// Attempts before a silent pointer is declared dead ("three
     /// continuous attempts", §4.2).
     pub max_attempts: u32,
+    /// Exponential backoff multiplier on the RPC retry timeout: attempt
+    /// `k` (1-based) waits `rpc_timeout_us · mult^(k-1)` before the next
+    /// re-send. 1.0 restores the paper's fixed-interval retry; > 1
+    /// spaces retries out so a congested or bursty-lossy path is not
+    /// hammered at exactly the cadence that is failing.
+    pub rpc_backoff_mult: f64,
+    /// Upper bound on one backed-off retry wait, µs (keeps give-up
+    /// latency bounded however large `max_attempts` is configured).
+    pub rpc_backoff_max_us: u64,
+    /// Deterministic jitter fraction on each backed-off wait: the wait
+    /// is stretched by up to this fraction, drawn from the machine's
+    /// seeded RNG. Decorrelates retry storms after a partition heals
+    /// (every node otherwise retries in lockstep).
+    pub rpc_backoff_jitter: f64,
     /// Per-hop processing delay during multicast (§5.1: "every medium node
     /// delays the message for 1 second"), µs.
     pub processing_delay_us: u64,
@@ -86,6 +100,9 @@ impl Default for ProtocolConfig {
             probe_interval_us: 10_000_000, // 10 s
             rpc_timeout_us: 3_000_000,     // 3 s
             max_attempts: 3,
+            rpc_backoff_mult: 2.0,
+            rpc_backoff_max_us: 30_000_000, // 30 s cap
+            rpc_backoff_jitter: 0.1,
             processing_delay_us: 1_000_000, // 1 s (§5.1)
             bandwidth_threshold_bps: 5_000.0,
             bandwidth_window_us: 60_000_000, // 60 s
@@ -119,6 +136,11 @@ mod tests {
         assert_eq!(c.event_msg_bits, 1_000);
         assert_eq!(c.max_attempts, 3);
         assert_eq!(c.processing_delay_us, 1_000_000);
+        // Backoff is an extension (the paper retries at a fixed
+        // interval): doubling with a 10% jitter and a 30 s cap.
+        assert_eq!(c.rpc_backoff_mult, 2.0);
+        assert_eq!(c.rpc_backoff_max_us, 30_000_000);
+        assert_eq!(c.rpc_backoff_jitter, 0.1);
         assert_eq!(c.refresh_multiplier, 2.0);
         assert_eq!(c.expire_multiplier, 3.0);
     }

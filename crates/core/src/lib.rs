@@ -82,7 +82,7 @@ pub mod prelude {
         forward_steps, plan_tree, tree_stats, AudienceView, Forward, Target, TreeEdge, TreeStats,
     };
     pub use crate::node::{Command, Input, NodeMachine, NodeStats, Output, Timer};
-    pub use crate::parts::PartMap;
+    pub use crate::parts::{audit_parts, PartAudit, PartMap};
     pub use crate::peer_list::PeerList;
     pub use crate::pointer::{Addr, Pointer};
     pub use crate::top_list::TopList;

@@ -356,7 +356,17 @@ impl NodeMachine {
         n.phase = Phase::Active;
         n.level = Level::TOP;
         n.peers = PeerList::new(Prefix::EMPTY);
-        let outs = n.startup_timers();
+        let mut outs = n.startup_timers();
+        // Joiners arm the reconcile chain post-join; a seed must arm it
+        // here or it never participates in §4.5 anti-entropy — and a
+        // seed erased from every list by an asymmetric link failure can
+        // only re-announce itself through this chain.
+        if n.cfg.reconcile_interval_us > 0 {
+            outs.push(Output::SetTimer {
+                delay_us: n.cfg.reconcile_interval_us,
+                timer: Timer::Reconcile,
+            });
+        }
         (n, outs)
     }
 
@@ -1750,7 +1760,7 @@ impl NodeMachine {
             self.next_token += 1;
             self.send(outs, p.target, p.msg.clone(), 0);
             outs.push(Output::SetTimer {
-                delay_us: self.cfg.rpc_timeout_us,
+                delay_us: self.backoff_wait_us(p.attempts),
                 timer: Timer::RpcTimeout(new_token),
             });
             self.pending.insert(new_token, p);
@@ -1904,6 +1914,26 @@ impl NodeMachine {
             tops
         } else {
             self.tops.piggyback(NodeId(0))
+        }
+    }
+
+    /// Retry wait before attempt `attempt + 1`: exponential backoff over
+    /// the base RPC timeout, capped, stretched by deterministic jitter
+    /// (the paper retries at the fixed `rpc_timeout_us`; that cadence
+    /// resonates with bursty loss and post-partition retry storms —
+    /// every node re-sends in lockstep — so retries now spread out).
+    fn backoff_wait_us(&self, attempt: u32) -> u64 {
+        let base = self.cfg.rpc_timeout_us.max(1);
+        let mult = self.cfg.rpc_backoff_mult.max(1.0);
+        let wait = (base as f64 * mult.powi(attempt.saturating_sub(1) as i32))
+            .min(self.cfg.rpc_backoff_max_us.max(base) as f64) as u64;
+        let span = (wait as f64 * self.cfg.rpc_backoff_jitter.clamp(0.0, 1.0)) as u64;
+        if span == 0 {
+            wait
+        } else {
+            // rand_below keys off next_token, which on_rpc_timeout just
+            // advanced — each retry draws fresh jitter.
+            wait + self.rand_below(span as usize + 1) as u64
         }
     }
 
@@ -2292,5 +2322,35 @@ mod tests {
         net.run_until(12_000_000);
         net.machines[joiner].take_trace(&mut rest);
         assert!(!rest.is_empty());
+    }
+
+    #[test]
+    fn backoff_waits_grow_cap_and_jitter_deterministically() {
+        let mut net = MiniNet::new();
+        let seed = net.add_seed(0x80);
+        let m = &net.machines[seed];
+        let base = m.cfg.rpc_timeout_us;
+        let jitter = |wait: u64| (wait as f64 * m.cfg.rpc_backoff_jitter) as u64;
+        for attempt in 1..=6u32 {
+            let wait = m.backoff_wait_us(attempt);
+            let nominal = ((base as f64 * m.cfg.rpc_backoff_mult.powi(attempt as i32 - 1)) as u64)
+                .min(m.cfg.rpc_backoff_max_us);
+            assert!(
+                (nominal..=nominal + jitter(nominal)).contains(&wait),
+                "attempt {attempt}: wait {wait} outside [{nominal}, +jitter]"
+            );
+            // Pure function of machine state: re-asking is identical.
+            assert_eq!(wait, m.backoff_wait_us(attempt));
+        }
+        // The cap binds eventually (2^k · base exceeds it).
+        assert!(
+            m.backoff_wait_us(40) <= m.cfg.rpc_backoff_max_us + jitter(m.cfg.rpc_backoff_max_us)
+        );
+        // mult = 1 restores the paper's fixed-interval retry (no growth).
+        let mut fixed = net.machines.remove(seed);
+        fixed.cfg.rpc_backoff_mult = 1.0;
+        fixed.cfg.rpc_backoff_jitter = 0.0;
+        assert_eq!(fixed.backoff_wait_us(1), base);
+        assert_eq!(fixed.backoff_wait_us(5), base);
     }
 }

@@ -93,6 +93,75 @@ impl PartMap {
     }
 }
 
+/// Partition-aware settle check: what a membership's pointer sets look
+/// like relative to its part structure. After a network partition heals
+/// (or a §4.4 split resolves), a settled system has `missing == 0` —
+/// every node again knows its full same-part, in-scope audience — and
+/// `cross_part == stale == 0` — no pointer crosses a part boundary or
+/// names a departed node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartAudit {
+    /// Number of parts in the membership (1 = whole).
+    pub parts: usize,
+    /// Required pointers: (holder, subject) pairs with both in the same
+    /// part and the subject inside the holder's eigenstring scope.
+    pub required: usize,
+    /// Required pointers the holder does not have.
+    pub missing: usize,
+    /// Held pointers whose subject is a live member of a *different*
+    /// part (§4.4: parts are wholly independent, so any such pointer is
+    /// a protocol violation once the split has settled).
+    pub cross_part: usize,
+    /// Held pointers whose subject is not in the membership at all
+    /// (dead or departed nodes awaiting obituary/expiry).
+    pub stale: usize,
+}
+
+impl PartAudit {
+    /// Whether the membership has fully settled: complete same-part
+    /// knowledge and no cross-part or stale pointers.
+    pub fn is_settled(&self) -> bool {
+        self.missing == 0 && self.cross_part == 0 && self.stale == 0
+    }
+}
+
+/// Audits each member's held pointer set against the part structure of
+/// the membership. `views` pairs every live member's identity with the
+/// node ids it currently holds pointers to (peer list only, excluding
+/// itself).
+pub fn audit_parts(views: &[(NodeIdentity, Vec<NodeId>)]) -> PartAudit {
+    let pm = PartMap::from_members(views.iter().map(|(ident, _)| ident));
+    let by_id: std::collections::BTreeMap<NodeId, NodeIdentity> =
+        views.iter().map(|(ident, _)| (ident.id, *ident)).collect();
+    let mut audit = PartAudit {
+        parts: pm.count(),
+        ..PartAudit::default()
+    };
+    for (holder, held) in views {
+        let scope = holder.eigenstring();
+        let held: BTreeSet<NodeId> = held.iter().copied().collect();
+        for subject in by_id.keys() {
+            if *subject != holder.id
+                && scope.contains(*subject)
+                && pm.same_part(holder.id, *subject)
+            {
+                audit.required += 1;
+                if !held.contains(subject) {
+                    audit.missing += 1;
+                }
+            }
+        }
+        for ptr in &held {
+            if !by_id.contains_key(ptr) {
+                audit.stale += 1;
+            } else if !pm.same_part(holder.id, *ptr) {
+                audit.cross_part += 1;
+            }
+        }
+    }
+    audit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +250,47 @@ mod tests {
         let pm = PartMap::from_eigenstrings(std::iter::empty());
         assert_eq!(pm.count(), 0);
         assert_eq!(pm.part_of(NodeId(0)), None);
+    }
+
+    #[test]
+    fn audit_flags_missing_cross_part_and_stale() {
+        // A §2-style split: {C, F} form part "01", {D, E, H} part "1".
+        let c = ident("0100", 2);
+        let d = ident("1101", 1);
+        let e = ident("1011", 1);
+        let f = ident("0110", 2);
+        let h = ident("1010", 2);
+        let ghost = ident("1111", 2).id; // not a member
+
+        // Fully settled views for part "1" (scope of level-1 D is "1",
+        // which covers E and H; E likewise; level-2 H's scope "10"
+        // covers E only).
+        let settled = vec![
+            (c, vec![f.id]),
+            (f, vec![c.id]),
+            (d, vec![e.id, h.id]),
+            (e, vec![d.id, h.id]),
+            (h, vec![e.id]),
+        ];
+        let a = audit_parts(&settled);
+        assert_eq!(a.parts, 2);
+        assert!(a.is_settled(), "{a:?}");
+        // C↔F, D↔E, D→H, E→H, H→E (H's level-2 scope "10" excludes D).
+        assert_eq!(a.required, 7);
+
+        // Break it three ways: D forgets H (missing), holds C from
+        // another part (cross_part), and keeps a departed node (stale).
+        let broken = vec![
+            (c, vec![f.id]),
+            (f, vec![c.id]),
+            (d, vec![e.id, c.id, ghost]),
+            (e, vec![d.id, h.id]),
+            (h, vec![e.id]),
+        ];
+        let a = audit_parts(&broken);
+        assert!(!a.is_settled());
+        assert_eq!(a.missing, 1);
+        assert_eq!(a.cross_part, 1);
+        assert_eq!(a.stale, 1);
     }
 }

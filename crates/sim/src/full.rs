@@ -18,6 +18,7 @@
 use bytes::Bytes;
 use peerwindow_core::prelude::*;
 use peerwindow_des::{DetRng, Engine, Scheduler, SimTime, Simulation};
+use peerwindow_faults::{FaultCounters, FaultModel, FaultPlan, LinkConditioner, Verdict};
 use peerwindow_topology::NetworkModel;
 use peerwindow_workload::NodeSpec;
 // BTreeMap, not HashMap: `spawn_joiner` picks a bootstrap by *iterating*
@@ -74,11 +75,22 @@ struct FullWorld {
     live: BTreeMap<NodeId, u32>,
     log: FullLog,
     rng: DetRng,
-    /// Probability a datagram is silently dropped ("Internet asynchrony",
-    /// §4.6). Applied per delivery, deterministically from the seed.
-    loss: f64,
-    /// Datagrams dropped so far.
-    dropped: u64,
+    /// Harness seed, kept so the `set_loss` shim can derive a plan seed.
+    seed: u64,
+    /// Network fault model ("Internet asynchrony", §4.6, generalised to
+    /// burst loss / jitter / duplication / partitions). `None` means a
+    /// perfectly reliable network with zero per-datagram overhead. Every
+    /// datagram is judged at *send* time — the same point the parallel
+    /// engine judges, which is what keeps the two engines
+    /// fingerprint-compatible under one [`FaultPlan`]. Stored concretely
+    /// (not `Box<dyn FaultModel>`) so the reliable fast path inlines into
+    /// the send loop; the trait remains the documented engine-facing
+    /// contract, exercised through [`FaultModel::judge`] below.
+    faults: Option<LinkConditioner>,
+    /// Per-slot counter for harness-emitted fault records' `seq` field
+    /// (kept in a reserved high-bit space; see `trace_fault`).
+    #[cfg(feature = "trace")]
+    fault_seq: Vec<u64>,
     /// Whether structured tracing is on (applied to existing machines and
     /// inherited by later spawns).
     #[cfg(feature = "trace")]
@@ -117,6 +129,96 @@ impl FullWorld {
         }
     }
 
+    /// Records what the fault layer did to one datagram `from → to`.
+    /// Harness records use the sender as `node` and a `seq` with the high
+    /// bit set: machine seqs are emission counters (nowhere near 2^63),
+    /// so the `(at_us, node, seq)` canonical key stays collision-free
+    /// without the machine knowing the harness exists.
+    #[cfg(feature = "trace")]
+    fn trace_fault(
+        &mut self,
+        now_us: u64,
+        slot: u32,
+        from: NodeId,
+        level: u8,
+        to: NodeId,
+        fault: peerwindow_trace::FaultClass,
+    ) {
+        if !self.tracing {
+            return;
+        }
+        if self.fault_seq.len() <= slot as usize {
+            self.fault_seq.resize(slot as usize + 1, 0);
+        }
+        let seq = (1 << 63) | self.fault_seq[slot as usize];
+        self.fault_seq[slot as usize] += 1;
+        self.trace_log.push(peerwindow_trace::TraceRecord {
+            at_us: now_us,
+            node: from.raw(),
+            seq,
+            level,
+            cause: peerwindow_trace::CauseId::NONE,
+            kind: peerwindow_trace::TraceEventKind::NetFault {
+                to: to.raw(),
+                fault,
+            },
+        });
+    }
+
+    /// Applies the fault model to one outgoing datagram: the delivery
+    /// delays to schedule (empty = dropped, two = duplicated), each
+    /// already including base latency and jitter.
+    #[allow(clippy::too_many_arguments)] // sender identity is four scalars (slot/id/level/addr); bundling them would be pure ceremony
+    fn judge_send(
+        &mut self,
+        now_us: u64,
+        #[allow(unused_variables)] slot: u32,
+        #[allow(unused_variables)] from: NodeId,
+        #[allow(unused_variables)] level: u8,
+        from_addr: Addr,
+        to: &Target,
+        delay_us: u64,
+    ) -> [Option<u64>; 2] {
+        let latency = self.net.latency_us(from_addr.0 as u32, to.addr.0 as u32);
+        let base = delay_us + latency;
+        let mut deliveries = [Some(base), None];
+        if let Some(f) = self.faults.as_mut() {
+            match f.judge(now_us, from_addr.0 as u32, to.addr.0 as u32) {
+                Verdict::Deliver { extra_delay_us } => {
+                    deliveries[0] = Some(base + extra_delay_us);
+                }
+                Verdict::Drop => {
+                    deliveries[0] = None;
+                    #[cfg(feature = "trace")]
+                    self.trace_fault(
+                        now_us,
+                        slot,
+                        from,
+                        level,
+                        to.id,
+                        peerwindow_trace::FaultClass::Dropped,
+                    );
+                }
+                Verdict::Duplicate {
+                    extra_delay_us,
+                    dup_extra_delay_us,
+                } => {
+                    deliveries = [Some(base + extra_delay_us), Some(base + dup_extra_delay_us)];
+                    #[cfg(feature = "trace")]
+                    self.trace_fault(
+                        now_us,
+                        slot,
+                        from,
+                        level,
+                        to.id,
+                        peerwindow_trace::FaultClass::Duplicated,
+                    );
+                }
+            }
+        }
+        deliveries
+    }
+
     fn process_outputs(
         &mut self,
         now: SimTime,
@@ -140,19 +242,42 @@ impl FullWorld {
         }
         let from = machine.id();
         let from_addr = machine.addr();
+        let from_level = machine.level().value();
         for o in outs {
             match o {
                 Output::Send { to, msg, delay_us } => {
-                    let latency = self.net.latency_us(from_addr.0 as u32, to.addr.0 as u32);
-                    sched.schedule(
-                        delay_us + latency,
-                        FEv::Deliver {
-                            to_slot: to.addr.0 as u32,
-                            from,
-                            from_addr,
-                            msg,
-                        },
+                    let [first, dup] = self.judge_send(
+                        now.as_micros(),
+                        slot,
+                        from,
+                        from_level,
+                        from_addr,
+                        &to,
+                        delay_us,
                     );
+                    let to_slot = to.addr.0 as u32;
+                    if let Some(d) = dup {
+                        sched.schedule(
+                            d,
+                            FEv::Deliver {
+                                to_slot,
+                                from,
+                                from_addr,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                    if let Some(d) = first {
+                        sched.schedule(
+                            d,
+                            FEv::Deliver {
+                                to_slot,
+                                from,
+                                from_addr,
+                                msg,
+                            },
+                        );
+                    }
                 }
                 Output::SetTimer { delay_us, timer } => {
                     sched.schedule(delay_us, FEv::Timer { slot, timer });
@@ -178,7 +303,6 @@ impl FullWorld {
         {
             self.machines[slot as usize] = None;
         }
-        let _ = now;
     }
 }
 
@@ -192,10 +316,9 @@ impl Simulation for FullWorld {
                 from_addr,
                 msg,
             } => {
-                if self.loss > 0.0 && self.rng.next_f64() < self.loss {
-                    self.dropped += 1;
-                    return; // lost in the network
-                }
+                // Loss/duplication/jitter were already decided at send
+                // time (see `judge_send`); a delivery event is a datagram
+                // that made it.
                 let Some(m) = self
                     .machines
                     .get_mut(to_slot as usize)
@@ -298,8 +421,10 @@ impl FullSim {
                 live: BTreeMap::new(),
                 log: FullLog::default(),
                 rng: DetRng::for_stream(seed, 0xF00D),
-                loss: 0.0,
-                dropped: 0,
+                seed,
+                faults: None,
+                #[cfg(feature = "trace")]
+                fault_seq: Vec::new(),
                 #[cfg(feature = "trace")]
                 tracing: false,
                 #[cfg(feature = "trace")]
@@ -368,17 +493,61 @@ impl FullSim {
         world.registry.set("rpc.retries", retries);
         world.registry.set("engine.processed", processed);
         world.registry.set_gauge("engine.pending", pending);
+        if let Some(f) = world.faults.as_ref() {
+            let c = f.counters();
+            world.registry.set("faults.judged", c.judged);
+            world.registry.set("faults.dropped", c.dropped);
+            world.registry.set("faults.duplicated", c.duplicated);
+            world.registry.set("faults.jittered", c.jittered);
+        }
         &self.engine.sim().registry
     }
 
-    /// Sets the per-datagram loss probability (0.0 = reliable network).
+    /// Sets a uniform per-datagram loss probability (0.0 = reliable
+    /// network). Back-compat shim: installs the degenerate uniform-loss
+    /// [`FaultPlan`], replacing any installed fault model (and resetting
+    /// its counters).
     pub fn set_loss(&mut self, loss: f64) {
-        self.engine.sim_mut().loss = loss.clamp(0.0, 1.0);
+        let loss = loss.clamp(0.0, 1.0);
+        if loss <= 0.0 {
+            self.engine.sim_mut().faults = None;
+        } else {
+            let seed = self.engine.sim().seed ^ 0xFA_0175;
+            self.set_fault_plan(FaultPlan::uniform_loss(seed, loss));
+        }
     }
 
-    /// Datagrams dropped by the loss model so far.
+    /// Installs a network fault plan (replacing any previous model,
+    /// counters included). Install before running the scenario: the
+    /// per-link random streams start fresh.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.engine.sim_mut().faults = Some(LinkConditioner::new(plan));
+    }
+
+    /// Removes the fault model entirely (reliable network, zero
+    /// per-datagram overhead).
+    pub fn clear_faults(&mut self) {
+        self.engine.sim_mut().faults = None;
+    }
+
+    /// Fault-layer totals (zeros when no model is installed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.engine
+            .sim()
+            .faults
+            .as_ref()
+            .map(|f| f.counters())
+            .unwrap_or_default()
+    }
+
+    /// Datagrams dropped by the fault layer so far.
     pub fn dropped(&self) -> u64 {
-        self.engine.sim().dropped
+        self.fault_counters().dropped
+    }
+
+    /// Events processed by the underlying engine.
+    pub fn processed(&self) -> u64 {
+        self.engine.stats().processed
     }
 
     /// Current simulated time.
@@ -453,26 +622,30 @@ impl FullSim {
 
     fn drain_initial(&mut self, slot: u32, outs: Vec<Output>) {
         // Two phases: read the world to translate outputs, then schedule.
+        let now_us = self.engine.now().as_micros();
         let mut items: Vec<(u64, FEv)> = Vec::new();
         {
             let world = self.engine.sim_mut();
-            let (from, from_addr) = match world.machines[slot as usize].as_ref() {
-                Some(m) => (m.id(), m.addr()),
+            let (from, from_addr, from_level) = match world.machines[slot as usize].as_ref() {
+                Some(m) => (m.id(), m.addr(), m.level().value()),
                 None => return,
             };
             for o in outs {
                 match o {
                     Output::Send { to, msg, delay_us } => {
-                        let latency = world.net.latency_us(from_addr.0 as u32, to.addr.0 as u32);
-                        items.push((
-                            delay_us + latency,
-                            FEv::Deliver {
-                                to_slot: to.addr.0 as u32,
-                                from,
-                                from_addr,
-                                msg,
-                            },
-                        ));
+                        let deliveries = world
+                            .judge_send(now_us, slot, from, from_level, from_addr, &to, delay_us);
+                        for d in deliveries.into_iter().flatten() {
+                            items.push((
+                                d,
+                                FEv::Deliver {
+                                    to_slot: to.addr.0 as u32,
+                                    from,
+                                    from_addr,
+                                    msg: msg.clone(),
+                                },
+                            ));
+                        }
                     }
                     Output::SetTimer { delay_us, timer } => {
                         items.push((delay_us, FEv::Timer { slot, timer }));
@@ -620,12 +793,33 @@ impl FullSim {
                 out_bps: tx / count as f64 / elapsed_s.max(1e-9),
             })
             .collect();
+        let c = self.fault_counters();
         crate::report::OracleReport {
             rows,
             n_final: n as usize,
             measure_s: elapsed_s,
+            dropped: c.dropped,
+            duplicated: c.duplicated,
             ..Default::default()
         }
+    }
+
+    /// Partition-aware settle check (§4.4): audits every active
+    /// machine's peer list against the part structure of the current
+    /// ground truth. After a network partition heals, a recovered system
+    /// returns to `parts == 1` with [`PartAudit::is_settled`].
+    pub fn part_audit(&self) -> PartAudit {
+        let views: Vec<(NodeIdentity, Vec<NodeId>)> = self
+            .machines()
+            .filter(|(_, m)| m.is_active())
+            .map(|(_, m)| {
+                (
+                    NodeIdentity::new(m.id(), m.level()),
+                    m.peers().iter().map(|p| p.id).collect(),
+                )
+            })
+            .collect();
+        audit_parts(&views)
     }
 
     /// Order-sensitive digest of the complete simulation state: every
@@ -674,7 +868,15 @@ impl FullSim {
         mix(world.log.joined.len() as u64);
         mix(world.log.failures.len() as u64);
         mix(world.log.shifts.len() as u64);
-        mix(world.dropped);
+        let c = world
+            .faults
+            .as_ref()
+            .map(|f| f.counters())
+            .unwrap_or_default();
+        mix(c.judged);
+        mix(c.dropped);
+        mix(c.duplicated);
+        mix(c.jittered);
         h
     }
 

@@ -549,6 +549,10 @@ impl OracleSim {
             max_tree_depth: self.depth_stat.max().max(0.0) as u32,
             mean_multicast_delay_s: self.delay_stat.mean(),
             level_shifts: self.level_shifts,
+            // The oracle abstracts the network away entirely (§5 oracle
+            // mode): no fault layer, nothing dropped or duplicated.
+            dropped: 0,
+            duplicated: 0,
             measure_s,
             shift_counters: self
                 .shift_registry

@@ -16,6 +16,7 @@
 use bytes::Bytes;
 use peerwindow_core::prelude::*;
 use peerwindow_des::{ModuloShardMap, Outbox, ParallelEngine, ShardLogic, ShardMap, SimTime};
+use peerwindow_faults::{FaultCounters, FaultModel, FaultPlan, LinkConditioner, Verdict};
 use peerwindow_topology::TransitStubNetwork;
 
 /// Topology-affine actor placement: overlay addresses whose stub nodes
@@ -90,6 +91,16 @@ pub struct ProtocolShard {
     base_latency_us: u64,
     lookahead_us: u64,
     seed: u64,
+    /// Shard-local view of the network fault plan. Each directed link is
+    /// judged exactly once, in the *sender's* shard, so per-shard
+    /// conditioners touch disjoint link states and their counters sum.
+    /// A sender's outgoing packet sequence is shard-count-invariant
+    /// (conservative windows + deterministic merge order), hence so is
+    /// every verdict — the fingerprint identity the chaos tests pin.
+    faults: Option<LinkConditioner>,
+    /// Per-actor counter for harness fault records (high-bit seq space).
+    #[cfg(feature = "trace")]
+    fault_seq: Vec<u64>,
     /// Whether machines of this shard record trace events.
     #[cfg(feature = "trace")]
     tracing: bool,
@@ -115,6 +126,9 @@ impl ProtocolShard {
             base_latency_us,
             lookahead_us,
             seed,
+            faults: None,
+            #[cfg(feature = "trace")]
+            fault_seq: vec![0; capacity],
             #[cfg(feature = "trace")]
             tracing: false,
             #[cfg(feature = "trace")]
@@ -146,23 +160,111 @@ impl ProtocolShard {
         (self.base_latency_us + (h % 1_000)).max(self.lookahead_us)
     }
 
-    fn process(&self, actor: u32, outs: Vec<Output>, out: &mut Outbox<PMsg>) {
+    /// Records a fault verdict against the sending actor. Same key
+    /// discipline as the full simulator: `node` is the sender and `seq`
+    /// has the high bit set, keeping `(at_us, node, seq)` unique against
+    /// machine-emitted records — and, because each sender's verdicts
+    /// happen in its own shard in event order, byte-identical across
+    /// shard counts after the canonical sort.
+    #[cfg(feature = "trace")]
+    fn trace_fault(
+        &mut self,
+        now_us: u64,
+        actor: u32,
+        from: NodeId,
+        level: u8,
+        to: NodeId,
+        fault: peerwindow_trace::FaultClass,
+    ) {
+        if !self.tracing {
+            return;
+        }
+        let seq = (1 << 63) | self.fault_seq[actor as usize];
+        self.fault_seq[actor as usize] += 1;
+        self.trace_buf.push(peerwindow_trace::TraceRecord {
+            at_us: now_us,
+            node: from.raw(),
+            seq,
+            level,
+            cause: peerwindow_trace::CauseId::NONE,
+            kind: peerwindow_trace::TraceEventKind::NetFault {
+                to: to.raw(),
+                fault,
+            },
+        });
+    }
+
+    fn process(&mut self, now_us: u64, actor: u32, outs: Vec<Output>, out: &mut Outbox<PMsg>) {
+        let (from, from_level) = match self.machines[actor as usize].as_ref() {
+            Some(m) => (m.id(), m.level().value()),
+            None => (NodeId(0), 0),
+        };
+        #[cfg(not(feature = "trace"))]
+        let _ = from_level;
+        let from_addr = Addr(actor as u64);
         for o in outs {
             match o {
                 Output::Send { to, msg, delay_us } => {
-                    let latency = self.latency_us(actor as u64, to.addr.0);
-                    out.send(
-                        delay_us + latency,
-                        to.addr.0 as u32,
-                        PMsg::Net {
-                            from: self.machines[actor as usize]
-                                .as_ref()
-                                .map(|m| m.id())
-                                .unwrap_or(NodeId(0)),
-                            from_addr: Addr(actor as u64),
-                            msg,
-                        },
-                    );
+                    // Latency ≥ lookahead always; jitter only adds, so
+                    // every faulted delivery still clears the engine's
+                    // cross-shard lookahead assertion.
+                    let base = delay_us + self.latency_us(actor as u64, to.addr.0);
+                    let verdict = match self.faults.as_mut() {
+                        Some(f) => f.judge(now_us, actor, to.addr.0 as u32),
+                        None => Verdict::Deliver { extra_delay_us: 0 },
+                    };
+                    let (first, dup) = match verdict {
+                        Verdict::Deliver { extra_delay_us } => (Some(base + extra_delay_us), None),
+                        Verdict::Drop => {
+                            #[cfg(feature = "trace")]
+                            self.trace_fault(
+                                now_us,
+                                actor,
+                                from,
+                                from_level,
+                                to.id,
+                                peerwindow_trace::FaultClass::Dropped,
+                            );
+                            (None, None)
+                        }
+                        Verdict::Duplicate {
+                            extra_delay_us,
+                            dup_extra_delay_us,
+                        } => {
+                            #[cfg(feature = "trace")]
+                            self.trace_fault(
+                                now_us,
+                                actor,
+                                from,
+                                from_level,
+                                to.id,
+                                peerwindow_trace::FaultClass::Duplicated,
+                            );
+                            (Some(base + extra_delay_us), Some(base + dup_extra_delay_us))
+                        }
+                    };
+                    if let Some(d) = dup {
+                        out.send(
+                            d,
+                            to.addr.0 as u32,
+                            PMsg::Net {
+                                from,
+                                from_addr,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                    if let Some(d) = first {
+                        out.send(
+                            d,
+                            to.addr.0 as u32,
+                            PMsg::Net {
+                                from,
+                                from_addr,
+                                msg,
+                            },
+                        );
+                    }
                 }
                 Output::SetTimer { delay_us, timer } => {
                     // Self-send: same shard, exempt from lookahead.
@@ -231,7 +333,7 @@ impl ShardLogic for ProtocolShard {
                         m.set_tracing(true);
                     }
                 }
-                self.process(actor, outs, out);
+                self.process(t, actor, outs, out);
             }
             PMsg::Net {
                 from,
@@ -251,7 +353,7 @@ impl ShardLogic for ProtocolShard {
                 );
                 #[cfg(feature = "trace")]
                 self.drain_trace(actor);
-                self.process(actor, outs, out);
+                self.process(t, actor, outs, out);
             }
             PMsg::Timer(timer) => {
                 let Some(m) = self.machines[actor as usize].as_mut() else {
@@ -260,7 +362,7 @@ impl ShardLogic for ProtocolShard {
                 let outs = m.handle(t, Input::Timer(timer));
                 #[cfg(feature = "trace")]
                 self.drain_trace(actor);
-                self.process(actor, outs, out);
+                self.process(t, actor, outs, out);
             }
             PMsg::Crash => {
                 #[cfg(feature = "trace")]
@@ -274,7 +376,7 @@ impl ShardLogic for ProtocolShard {
                 let outs = m.handle(t, Input::Command(c));
                 #[cfg(feature = "trace")]
                 self.drain_trace(actor);
-                self.process(actor, outs, out);
+                self.process(t, actor, outs, out);
             }
         }
     }
@@ -389,14 +491,142 @@ impl<M: ShardMap> ParallelFullSim<M> {
         self.engine.run_until(t);
     }
 
-    /// Order-insensitive digest of the entire world.
+    /// Order-insensitive digest of the entire world, fault-layer totals
+    /// included (per-shard counters sum, so the digest stays
+    /// shard-count-invariant).
     pub fn fingerprint(&self) -> u64 {
-        self.engine.fingerprint()
+        let c = self.fault_counters();
+        self.engine
+            .fingerprint()
+            .wrapping_add(c.judged.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(c.dropped.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(c.duplicated.wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(c.jittered.wrapping_mul(0xD6E8_FEB8_6659_FD93))
     }
 
     /// Total events processed (speedup accounting).
     pub fn processed(&self) -> u64 {
         self.engine.processed()
+    }
+
+    /// Installs a network fault plan in every shard (replacing any
+    /// previous model and its counters). Install before the scenario
+    /// runs: per-link random streams start fresh. Each directed link is
+    /// judged only in its sender's shard, so one plan drives all shards
+    /// without coordination — and without breaking shard invariance.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for shard in 0..self.engine.shard_count() {
+            self.engine.logic_mut(shard).faults = Some(LinkConditioner::new(plan.clone()));
+        }
+    }
+
+    /// Back-compat shim: uniform per-datagram loss as a degenerate
+    /// [`FaultPlan`] (0.0 = reliable network, no model installed).
+    pub fn set_loss(&mut self, loss: f64) {
+        let loss = loss.clamp(0.0, 1.0);
+        if loss <= 0.0 {
+            self.clear_faults();
+        } else {
+            let seed = self.engine.logic(0).seed ^ 0xFA_0175;
+            self.set_fault_plan(&FaultPlan::uniform_loss(seed, loss));
+        }
+    }
+
+    /// Removes the fault model from every shard.
+    pub fn clear_faults(&mut self) {
+        for shard in 0..self.engine.shard_count() {
+            self.engine.logic_mut(shard).faults = None;
+        }
+    }
+
+    /// Fault-layer totals, summed over shards (zeros when no model is
+    /// installed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        for shard in 0..self.engine.shard_count() {
+            if let Some(f) = self.engine.logic(shard).faults.as_ref() {
+                total.merge(&f.counters());
+            }
+        }
+        total
+    }
+
+    /// Datagrams dropped by the fault layer so far.
+    pub fn dropped(&self) -> u64 {
+        self.fault_counters().dropped
+    }
+
+    /// Read access to `actor`'s machine, wherever its shard lives.
+    pub fn machine(&self, actor: u32) -> Option<&NodeMachine> {
+        (0..self.engine.shard_count()).find_map(|s| {
+            self.engine
+                .logic(s)
+                .machines
+                .get(actor as usize)
+                .and_then(Option::as_ref)
+        })
+    }
+
+    /// Iterates `(actor, machine)` over live machines in actor order
+    /// (deterministic regardless of shard layout).
+    pub fn machines(&self) -> impl Iterator<Item = (u32, &NodeMachine)> + '_ {
+        (0..self.capacity as u32).filter_map(move |a| self.machine(a).map(|m| (a, m)))
+    }
+
+    /// Live machine count across all shards.
+    pub fn live_count(&self) -> usize {
+        self.machines().count()
+    }
+
+    /// Ground-truth live identities (id, level) from the machines.
+    pub fn ground_truth(&self) -> Vec<NodeIdentity> {
+        self.machines()
+            .filter(|(_, m)| m.is_active())
+            .map(|(_, m)| NodeIdentity::new(m.id(), m.level()))
+            .collect()
+    }
+
+    /// Peer-list accuracy against ground truth, `(correct, missing,
+    /// stale)` — same definition as [`crate::FullSim::accuracy`].
+    pub fn accuracy(&self) -> (usize, usize, usize) {
+        let truth = self.ground_truth();
+        let live: std::collections::BTreeSet<NodeId> = truth.iter().map(|n| n.id).collect();
+        let mut correct = 0;
+        let mut missing = 0;
+        let mut stale = 0;
+        for (_, m) in self.machines().filter(|(_, m)| m.is_active()) {
+            let scope = m.eigenstring();
+            for t in &truth {
+                if t.id != m.id() && scope.contains(t.id) {
+                    correct += 1;
+                    if !m.peers().contains(t.id) {
+                        missing += 1;
+                    }
+                }
+            }
+            for p in m.peers().iter() {
+                if !live.contains(&p.id) {
+                    stale += 1;
+                }
+            }
+        }
+        (correct, missing, stale)
+    }
+
+    /// Partition-aware settle check (§4.4) over the live machines — see
+    /// [`peerwindow_core::parts::audit_parts`].
+    pub fn part_audit(&self) -> PartAudit {
+        let views: Vec<(NodeIdentity, Vec<NodeId>)> = self
+            .machines()
+            .filter(|(_, m)| m.is_active())
+            .map(|(_, m)| {
+                (
+                    NodeIdentity::new(m.id(), m.level()),
+                    m.peers().iter().map(|p| p.id).collect(),
+                )
+            })
+            .collect();
+        audit_parts(&views)
     }
 
     /// Turns structured tracing on for every current and future machine,
@@ -450,6 +680,11 @@ impl<M: ShardMap> ParallelFullSim<M> {
             },
         );
         reg.set("rpc.retries", retries);
+        let c = self.fault_counters();
+        reg.set("faults.judged", c.judged);
+        reg.set("faults.dropped", c.dropped);
+        reg.set("faults.duplicated", c.duplicated);
+        reg.set("faults.jittered", c.jittered);
     }
 }
 

@@ -47,6 +47,11 @@ pub struct OracleReport {
     pub mean_multicast_delay_s: f64,
     /// Level shifts performed by the adaptation loop during measurement.
     pub level_shifts: u64,
+    /// Datagrams dropped by the network fault layer over the whole run
+    /// (0 when no fault model was installed).
+    pub dropped: u64,
+    /// Datagrams duplicated by the network fault layer.
+    pub duplicated: u64,
     /// Measurement window length, seconds.
     pub measure_s: f64,
     /// Shift transition counters (`oracle.shift.{from}->{to}` → count)

@@ -7,7 +7,7 @@
 
 use crate::json::{self, JVal};
 use crate::record::{
-    CauseId, DiagCode, EventClass, JoinPhase, MsgClass, TraceEventKind, TraceRecord,
+    CauseId, DiagCode, EventClass, FaultClass, JoinPhase, MsgClass, TraceEventKind, TraceRecord,
 };
 use crate::ParseError;
 
@@ -112,6 +112,10 @@ pub(crate) fn flat_fields(r: &TraceRecord) -> Vec<(&'static str, Flat)> {
         }
         TraceEventKind::Diag { code } => {
             f.push(("code", Flat::S(code.name().to_string())));
+        }
+        TraceEventKind::NetFault { to, fault } => {
+            f.push(("to", Flat::S(hex_id(to))));
+            f.push(("fault", Flat::S(fault.name().to_string())));
         }
     }
     f
@@ -231,6 +235,14 @@ pub(crate) fn record_from_obj(obj: &JVal) -> Result<TraceRecord, ParseError> {
                     .ok_or_else(|| ParseError::new(format!("unknown diag code {s:?}")))?,
             }
         }
+        "net_fault" => {
+            let s = str_field(obj, "fault")?;
+            TraceEventKind::NetFault {
+                to: id_field(obj, "to")?,
+                fault: FaultClass::parse(s)
+                    .ok_or_else(|| ParseError::new(format!("unknown fault class {s:?}")))?,
+            }
+        }
         other => return Err(ParseError::new(format!("unknown record kind {other:?}"))),
     };
     Ok(TraceRecord {
@@ -266,7 +278,7 @@ pub fn parse_string(doc: &str) -> Result<Vec<TraceRecord>, ParseError> {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use crate::record::{CauseId, DiagCode, EventClass, JoinPhase, MsgClass};
+    use crate::record::{CauseId, DiagCode, EventClass, FaultClass, JoinPhase, MsgClass};
 
     /// One record of every kind — exporters must round-trip all of them.
     pub(crate) fn one_of_each() -> Vec<TraceRecord> {
@@ -344,6 +356,14 @@ pub(crate) mod tests {
                 11,
                 TraceEventKind::Diag {
                     code: DiagCode::OversizedFrame,
+                },
+            ),
+            mk(
+                13,
+                1 << 63, // harness records use the reserved high-bit seq space
+                TraceEventKind::NetFault {
+                    to: 0x5150,
+                    fault: FaultClass::Dropped,
                 },
             ),
         ]

@@ -48,7 +48,9 @@ mod registry;
 mod sink;
 
 pub use query::{bandwidth_by_class, reconstruct_tree, BandwidthRow, Filter, McastTree};
-pub use record::{CauseId, DiagCode, EventClass, JoinPhase, MsgClass, TraceEventKind, TraceRecord};
+pub use record::{
+    CauseId, DiagCode, EventClass, FaultClass, JoinPhase, MsgClass, TraceEventKind, TraceRecord,
+};
 pub use registry::{CounterRegistry, SampleSeries};
 pub use sink::{canonical_sort, NodeTrace};
 

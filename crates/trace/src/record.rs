@@ -204,6 +204,36 @@ impl DiagCode {
     }
 }
 
+/// What the fault layer did to a datagram, as recorded by the sims.
+/// Clean deliveries are not recorded (they would dwarf the log); jittered
+/// deliveries only perturb timing, which the normal `msg_recv` records
+/// already show.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum FaultClass {
+    /// The datagram was dropped (loss, burst loss, or blackhole).
+    Dropped,
+    /// The datagram was delivered twice.
+    Duplicated,
+}
+
+impl FaultClass {
+    /// Every class, in declaration order.
+    pub const ALL: [FaultClass; 2] = [FaultClass::Dropped, FaultClass::Duplicated];
+
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Dropped => "dropped",
+            FaultClass::Duplicated => "duplicated",
+        }
+    }
+
+    /// Inverse of [`FaultClass::name`].
+    pub fn parse(s: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
 /// What happened. Node ids are raw `u128`s (`NodeId::raw()`) so the crate
 /// stays dependency-free; levels are raw `u8` values.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -292,6 +322,16 @@ pub enum TraceEventKind {
         /// What happened.
         code: DiagCode,
     },
+    /// The fault layer intercepted a datagram this node sent (see
+    /// [`FaultClass`]). Emitted by the sim harness, not the machine:
+    /// `node` is the sender, and `seq` lives in a reserved high-bit
+    /// space so harness records never collide with the machine's own.
+    NetFault {
+        /// Destination of the afflicted datagram (raw node id).
+        to: u128,
+        /// What the network did to it.
+        fault: FaultClass,
+    },
 }
 
 impl TraceEventKind {
@@ -311,6 +351,7 @@ impl TraceEventKind {
             TraceEventKind::MsgSend { .. } => "msg_send",
             TraceEventKind::MsgRecv { .. } => "msg_recv",
             TraceEventKind::Diag { .. } => "diag",
+            TraceEventKind::NetFault { .. } => "net_fault",
         }
     }
 }
@@ -351,6 +392,9 @@ mod tests {
         }
         for d in DiagCode::ALL {
             assert_eq!(DiagCode::parse(d.name()), Some(d));
+        }
+        for f in FaultClass::ALL {
+            assert_eq!(FaultClass::parse(f.name()), Some(f));
         }
         assert_eq!(MsgClass::parse("nonsense"), None);
     }

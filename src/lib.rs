@@ -7,6 +7,8 @@
 //! * [`protocol`] — the sans-IO protocol implementation.
 //! * [`sim`] — full-fidelity and oracle-mode simulation.
 //! * [`des`] — the discrete-event engines (sequential + parallel).
+//! * [`faults`] — deterministic network fault injection (burst loss,
+//!   jitter, duplication, link failure, partitions).
 //! * [`topology`] — transit-stub Internet model.
 //! * [`workload`] — Gnutella-calibrated churn.
 //! * [`baselines`] — explicit probing, gossip, one-hop DHT.
@@ -22,6 +24,7 @@ pub use peerwindow_baselines as baselines;
 pub use peerwindow_core as protocol;
 pub use peerwindow_core::prelude;
 pub use peerwindow_des as des;
+pub use peerwindow_faults as faults;
 pub use peerwindow_metrics as metrics;
 pub use peerwindow_sim as sim;
 pub use peerwindow_topology as topology;
