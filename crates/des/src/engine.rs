@@ -6,13 +6,15 @@
 //! simulation's event type; the simulation schedules follow-up events
 //! through the [`Scheduler`] handed to its handler.
 //!
-//! The pending-event queue is a hierarchical timing wheel
-//! ([`crate::wheel::EventWheel`]): O(1) amortised schedule/pop instead of
-//! the O(log n) binary heap this engine used previously, with identical
-//! `(timestamp, FIFO)` ordering semantics.
+//! The pending-event queue is an [`AdaptiveScheduler`]: a binary heap
+//! while the queue is shallow, a hierarchical timing wheel once resident
+//! timers pile up, switching by pending-event count with hysteresis and
+//! with `(timestamp, FIFO)` ordering semantics identical in every
+//! representation (see [`crate::sched`]). [`Engine::with_sched`] pins the
+//! representation explicitly when a workload's shape is known up front.
 
+use crate::sched::{AdaptiveScheduler, SchedKind};
 use crate::time::SimTime;
-use crate::wheel::EventWheel;
 
 /// A simulation driven by the engine.
 pub trait Simulation {
@@ -26,7 +28,7 @@ pub trait Simulation {
 /// Scheduling interface passed to [`Simulation::handle`].
 pub struct Scheduler<'a, E> {
     now: SimTime,
-    wheel: &'a mut EventWheel<E>,
+    queue: &'a mut AdaptiveScheduler<E>,
 }
 
 impl<E> Scheduler<'_, E> {
@@ -44,7 +46,7 @@ impl<E> Scheduler<'_, E> {
 
     /// Schedules `event` at absolute time `at` (clamped to now).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        self.wheel.schedule(at.max(self.now), event);
+        self.queue.schedule(at.max(self.now), event);
     }
 }
 
@@ -61,19 +63,39 @@ pub struct EngineStats {
 pub struct Engine<S: Simulation> {
     sim: S,
     now: SimTime,
-    wheel: EventWheel<S::Event>,
+    queue: AdaptiveScheduler<S::Event>,
     stats: EngineStats,
 }
 
 impl<S: Simulation> Engine<S> {
-    /// Wraps a simulation with an empty event queue at time zero.
+    /// Wraps a simulation with an empty event queue at time zero, under
+    /// the default adaptive queue policy.
     pub fn new(sim: S) -> Self {
+        Self::with_sched(sim, SchedKind::Adaptive)
+    }
+
+    /// Wraps a simulation with an explicit queue-representation policy
+    /// (pin [`SchedKind::Heap`] for known-shallow workloads,
+    /// [`SchedKind::Wheel`] for known-deep ones; benchmarking the two
+    /// against each other is what `perfbaseline` does).
+    pub fn with_sched(sim: S, kind: SchedKind) -> Self {
         Engine {
             sim,
             now: SimTime::ZERO,
-            wheel: EventWheel::new(),
+            queue: AdaptiveScheduler::with_kind(kind),
             stats: EngineStats::default(),
         }
+    }
+
+    /// Re-pins the queue representation, migrating pending events if
+    /// needed. Ordering (and therefore determinism) is unaffected.
+    pub fn set_sched_kind(&mut self, kind: SchedKind) {
+        self.queue.set_kind(kind);
+    }
+
+    /// Representation migrations performed by the queue so far.
+    pub fn sched_migrations(&self) -> u64 {
+        self.queue.migrations()
     }
 
     /// Current simulated time.
@@ -108,7 +130,7 @@ impl<S: Simulation> Engine<S> {
     /// Number of pending events.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.wheel.len()
+        self.queue.len()
     }
 
     /// Samples engine-level counters into a trace registry.
@@ -116,7 +138,8 @@ impl<S: Simulation> Engine<S> {
     pub fn sample_into(&self, reg: &mut peerwindow_trace::CounterRegistry) {
         reg.set("engine.processed", self.stats.processed);
         reg.set("engine.max_queue", self.stats.max_queue as u64);
-        reg.set_gauge("engine.pending", self.wheel.len() as f64);
+        reg.set_gauge("engine.pending", self.queue.len() as f64);
+        reg.set("engine.sched_migrations", self.queue.migrations());
     }
 
     /// Schedules an event `delay_us` after the current time (setup or
@@ -127,8 +150,8 @@ impl<S: Simulation> Engine<S> {
 
     /// Schedules an event at an absolute time.
     pub fn schedule_at(&mut self, at: SimTime, event: S::Event) {
-        self.wheel.schedule(at.max(self.now), event);
-        self.stats.max_queue = self.stats.max_queue.max(self.wheel.len());
+        self.queue.schedule(at.max(self.now), event);
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
     }
 
     fn dispatch(&mut self, at: SimTime, event: S::Event) {
@@ -137,15 +160,15 @@ impl<S: Simulation> Engine<S> {
         self.stats.processed += 1;
         let mut sched = Scheduler {
             now: at,
-            wheel: &mut self.wheel,
+            queue: &mut self.queue,
         };
         self.sim.handle(at, event, &mut sched);
-        self.stats.max_queue = self.stats.max_queue.max(self.wheel.len());
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
     }
 
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some((at, event)) = self.wheel.pop() else {
+        let Some((at, event)) = self.queue.pop() else {
             return false;
         };
         self.dispatch(at, event);
@@ -157,7 +180,7 @@ impl<S: Simulation> Engine<S> {
     /// more precisely it advances to `until` when the simulation outlives
     /// the bound, so periodic sampling of `now()` is monotone.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some((at, event)) = self.wheel.pop_until(until) {
+        while let Some((at, event)) = self.queue.pop_until(until) {
             self.dispatch(at, event);
         }
         self.now = self.now.max(until);
@@ -262,6 +285,27 @@ mod tests {
             e.into_sim().log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn all_sched_kinds_produce_identical_logs() {
+        let run = |kind: SchedKind| {
+            let mut e = Engine::with_sched(
+                Recorder {
+                    log: vec![],
+                    respawn: true,
+                },
+                kind,
+            );
+            for i in 0..8 {
+                e.schedule_at(SimTime(i * 37), i as u32);
+            }
+            e.run_to_completion();
+            e.into_sim().log
+        };
+        let adaptive = run(SchedKind::Adaptive);
+        assert_eq!(adaptive, run(SchedKind::Heap));
+        assert_eq!(adaptive, run(SchedKind::Wheel));
     }
 
     #[test]

@@ -6,13 +6,18 @@
 //!
 //! * [`engine`] — the sequential engine: a single totally-ordered event
 //!   queue; bit-deterministic.
-//! * [`wheel`] — the hierarchical timing wheel backing both engines'
-//!   event queues: O(1) amortised schedule/pop with `(time, FIFO)`
-//!   ordering identical to the binary heap it replaced.
+//! * [`sched`] — the adaptive event queue both engines run on: a binary
+//!   heap while shallow, the timing wheel once resident timers pile up,
+//!   switching by pending count with hysteresis and `(time, FIFO)`
+//!   ordering identical in every representation.
+//! * [`wheel`] — the hierarchical timing wheel backing the deep end of
+//!   the adaptive queue: O(1) amortised schedule/pop with `(time, FIFO)`
+//!   ordering identical to the binary heap.
 //! * [`parallel`] — the conservative sharded engine: actors partitioned
-//!   across shards via a pluggable [`ShardMap`], barrier-synchronised
-//!   lookahead windows, scoped std threads for the intra-window
-//!   parallelism (standing in for ONSP's MPI ranks).
+//!   across shards via a pluggable [`ShardMap`], lookahead windows
+//!   sequenced by a spin barrier over a persistent worker pool, batched
+//!   cross-shard handoff through a mailbox matrix (standing in for
+//!   ONSP's MPI ranks).
 //! * [`time`] — µs-resolution simulated time.
 //! * [`rng`] — deterministic per-stream random numbers.
 
@@ -23,11 +28,13 @@
 pub mod engine;
 pub mod parallel;
 pub mod rng;
+pub mod sched;
 pub mod time;
 pub mod wheel;
 
 pub use engine::{Engine, EngineStats, Scheduler, Simulation};
 pub use parallel::{ModuloShardMap, Outbox, ParallelEngine, ShardLogic, ShardMap};
 pub use rng::DetRng;
+pub use sched::{ActiveBackend, AdaptiveScheduler, SchedKind, HEAP_DOWN, WHEEL_UP};
 pub use time::SimTime;
 pub use wheel::EventWheel;

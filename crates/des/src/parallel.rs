@@ -3,20 +3,48 @@
 //! The paper ran its experiments on ONSP, a parallel discrete-event
 //! platform using MPI across a 16-server cluster. This module provides the
 //! shared-memory analogue: actors are partitioned into shards, each shard
-//! owns a private event queue (a hierarchical timing wheel, see
-//! [`crate::wheel`]), and execution proceeds in barrier-synchronised
-//! *windows* of length equal to the *lookahead* — the minimum cross-shard
-//! message latency. Within a window every shard processes its local events
-//! independently (on scoped std threads when more than one core is
-//! available); messages to other shards are buffered and merged at the
-//! barrier in a canonical order, so a run is **bit-deterministic for a
-//! fixed shard count**, and the *set* of deliveries is identical across
-//! shard counts (asserted by tests).
+//! owns a private event queue (an adaptive heap/wheel scheduler, see
+//! [`crate::sched`]), and execution proceeds in synchronised *windows* of
+//! length equal to the *lookahead* — the minimum cross-shard message
+//! latency, i.e. the minimum of the latency matrix for PeerWindow
+//! topologies. Within a window every shard processes its local events
+//! independently; messages to other shards are buffered, handed off in
+//! per-destination batches, and merged in a canonical order, so a run is
+//! **bit-deterministic for any shard and worker count**, and the *set* of
+//! deliveries is identical across shard counts (asserted by tests).
 //!
-//! Window processing is allocation-free in steady state: each shard keeps
-//! a persistent outbox and per-destination remote buckets that are filled
-//! during phase 1, and the engine keeps one reusable merge buffer per
-//! destination shard for the phase-2 barrier merge.
+//! ## Window protocol
+//!
+//! Earlier revisions spawned a fresh set of scoped threads for every
+//! window and merged all cross-shard traffic on the coordinating thread —
+//! a full OS-level barrier (two thread lifecycles plus a join) per
+//! lookahead window, which made throughput *drop* as shards were added.
+//! The engine now runs a fixed worker pool for the whole of
+//! [`ParallelEngine::run_until`], with windows sequenced by a
+//! sense-reversing **spin barrier** (a pair of `std` atomics; a window
+//! transition costs a fetch-add and a few cache-line bounces instead of
+//! thread spawns) and cross-shard handoff through a **mailbox matrix**:
+//! one padded slot per (source, destination) shard pair. A source flushes
+//! each non-empty per-destination bucket into its mailbox slot once per
+//! window (a `Vec` swap — the batch moves, not the messages), and after
+//! the phase barrier each destination drains its mailbox column, sorts the
+//! batch by the canonical `(at, src_shard, src_seq)` key, and schedules it
+//! into its own queue. Every slot is written only by its source's worker
+//! during phase 1 and read only by its destination's worker during phase
+//! 2, with a barrier between — the slot mutexes are therefore *never
+//! contended* (each `lock` is a single uncontended atomic exchange; the
+//! mutex exists to satisfy the compiler, the barrier is what excludes
+//! concurrent access).
+//!
+//! Worker panics (e.g. a lookahead violation) poison the barrier: peers
+//! drain out cleanly instead of spinning forever, and the original panic
+//! payload is re-thrown by the coordinating thread.
+//!
+//! With a single worker (or a single shard) the engine takes a dedicated
+//! sequential path with no atomics, no mutexes, and no threads at all —
+//! the path a 1-core host measures — which is bit-identical to the
+//! threaded path because window boundaries and merge order are pure
+//! functions of simulated time, never of scheduling.
 //!
 //! Actor placement is pluggable through [`ShardMap`]; the default
 //! [`ModuloShardMap`] reproduces the historical `actor % shards`
@@ -28,8 +56,10 @@
 //! timestamp `≥ w+δ` (enforced by assertion), so no shard can receive a
 //! message that should have pre-empted work it already did.
 
+use crate::sched::{AdaptiveScheduler, SchedKind};
 use crate::time::SimTime;
-use crate::wheel::EventWheel;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Shard-local simulation logic: the state of all actors owned by one
 /// shard, plus the message handler.
@@ -82,24 +112,15 @@ impl<M> Outbox<M> {
     }
 
     /// Sends `msg` to `actor` after `delay_us`. Cross-shard sends must
-    /// respect the engine's lookahead (checked at the barrier).
+    /// respect the engine's lookahead (checked at the window boundary).
     #[inline]
     pub fn send(&mut self, delay_us: u64, actor: u32, msg: M) {
         self.sends.push((self.now + delay_us, actor, msg));
     }
 }
 
-/// A buffered cross-shard message; the source shard is implicit in which
-/// bucket it sits in during phase 1 and recorded explicitly at the merge.
-struct Remote<M> {
-    at: SimTime,
-    src_seq: u64,
-    actor: u32,
-    msg: M,
-}
-
-/// A cross-shard message in a destination merge buffer, keyed for the
-/// canonical `(at, src_shard, src_seq)` ordering.
+/// A cross-shard message in flight, keyed for the canonical
+/// `(at, src_shard, src_seq)` merge ordering.
 struct Inbound<M> {
     at: SimTime,
     src_shard: u32,
@@ -108,17 +129,96 @@ struct Inbound<M> {
     msg: M,
 }
 
+/// Pads a mailbox slot to its own cache line so two sources flushing
+/// adjacent slots never false-share.
+#[repr(align(64))]
+struct MailSlot<M>(Mutex<Vec<Inbound<M>>>);
+
+/// The sense-reversing spin barrier sequencing window phases. `wait`
+/// returns `true` for exactly one caller per generation (the "leader", the
+/// last to arrive), which is where the per-window coordination — picking
+/// the next window bound — runs.
+struct SpinBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    parties: usize,
+    /// Set by a panicking worker's drop guard; spinners drain out cleanly
+    /// instead of waiting for a generation that will never come.
+    poisoned: AtomicBool,
+}
+
+impl SpinBarrier {
+    fn new(parties: usize) -> Self {
+        SpinBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            parties,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks until all parties arrive. Returns `Some(true)` for the
+    /// leader, `Some(false)` for everyone else, and `None` when the
+    /// barrier was poisoned (the caller must abandon the run).
+    fn wait(&self) -> Option<bool> {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Reset before releasing the generation so early risers can't
+            // race the counter of the next round.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            return Some(true);
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            if self.poisoned.load(Ordering::Acquire) {
+                return None;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                // Oversubscribed hosts (workers > cores) must still make
+                // progress; yielding keeps the barrier correct there at
+                // the cost of a syscall per slice.
+                std::thread::yield_now();
+            }
+        }
+        Some(false)
+    }
+}
+
+/// Marks the barrier poisoned if its worker unwinds, so sibling workers
+/// stop spinning and drain out.
+struct PoisonGuard<'a>(&'a SpinBarrier);
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
 struct Shard<L: ShardLogic> {
     logic: L,
-    wheel: EventWheel<(u32, L::Msg)>,
+    queue: AdaptiveScheduler<(u32, L::Msg)>,
     /// Orders this shard's cross-shard sends within a window.
     send_seq: u64,
     processed: u64,
     /// Persistent outbox reused across every handled event.
     outbox: Outbox<L::Msg>,
     /// Persistent per-destination buckets for cross-shard sends
-    /// (`remote[dest]`), filled during phase 1, drained at the barrier.
-    remote: Vec<Vec<Remote<L::Msg>>>,
+    /// (`remote[dest]`), filled during phase 1, batch-flushed at the
+    /// window boundary.
+    remote: Vec<Vec<Inbound<L::Msg>>>,
+    /// Destinations whose bucket went non-empty this window, so the flush
+    /// and the sequential merge touch only live buckets instead of
+    /// scanning all `shards²` pairs.
+    dirty: Vec<u32>,
+    /// Phase-2 merge scratch (the threaded path needs one per shard, the
+    /// sequential path reuses shard 0's).
+    merge: Vec<Inbound<L::Msg>>,
 }
 
 /// Runs one shard's share of a window: drain local events below
@@ -134,22 +234,27 @@ fn run_window_shard<L: ShardLogic, M: ShardMap>(
 ) {
     // `window_end` is exclusive; `pop_until` is inclusive.
     let limit = SimTime(window_end.as_micros() - 1);
-    while let Some((now, (actor, msg))) = shard.wheel.pop_until(limit) {
+    while let Some((now, (actor, msg))) = shard.queue.pop_until(limit) {
         shard.processed += 1;
         shard.outbox.now = now;
         shard.logic.handle(now, actor, msg, &mut shard.outbox);
         for (at, dst_actor, m) in shard.outbox.sends.drain(..) {
             let dest = map.shard_of(dst_actor, shards);
             if dest == shard_idx {
-                shard.wheel.schedule(at, (dst_actor, m));
+                shard.queue.schedule(at, (dst_actor, m));
             } else {
                 assert!(
                     at >= window_end || at.as_micros() >= now.as_micros() + lookahead_us,
                     "cross-shard send violates lookahead: at {at:?}, window ends {window_end:?}"
                 );
                 shard.send_seq += 1;
-                shard.remote[dest].push(Remote {
+                let bucket = &mut shard.remote[dest];
+                if bucket.is_empty() {
+                    shard.dirty.push(dest as u32);
+                }
+                bucket.push(Inbound {
                     at,
+                    src_shard: shard_idx as u32,
                     src_seq: shard.send_seq,
                     actor: dst_actor,
                     msg: m,
@@ -157,6 +262,36 @@ fn run_window_shard<L: ShardLogic, M: ShardMap>(
             }
         }
     }
+    shard.send_seq = 0;
+}
+
+/// Sorts a destination's merged batch canonically and schedules it. The
+/// `(at, src_shard, src_seq)` key is unique, so the resulting insertion
+/// order — and with it the destination queue's FIFO tie-break — is a pure
+/// function of the traffic, independent of which worker merged it or in
+/// which order the batches were gathered.
+fn commit_merge<L: ShardLogic>(shard: &mut Shard<L>) {
+    shard
+        .merge
+        .sort_unstable_by_key(|r| (r.at, r.src_shard, r.src_seq));
+    for r in shard.merge.drain(..) {
+        shard.queue.schedule(r.at, (r.actor, r.msg));
+    }
+}
+
+/// Shared per-run coordination state for the threaded path.
+struct WindowCtrl {
+    barrier: SpinBarrier,
+    /// `fetch_min` target for the earliest pending event across shards;
+    /// `u64::MAX` means "no pending events".
+    next_min: AtomicU64,
+    /// End of the window being executed (valid between the plan and
+    /// commit barriers).
+    window_end: AtomicU64,
+    /// Committed simulated time (the leader advances it window by window).
+    now_us: AtomicU64,
+    /// Set by the leader when no window remains before `until`.
+    done: AtomicBool,
 }
 
 /// The parallel engine: `S` shards advancing in lockstep windows, with an
@@ -167,8 +302,9 @@ pub struct ParallelEngine<L: ShardLogic, M: ShardMap = ModuloShardMap> {
     lookahead_us: u64,
     now: SimTime,
     workers: usize,
-    /// Persistent phase-2 merge buffers, one per destination shard.
-    merge: Vec<Vec<Inbound<L::Msg>>>,
+    /// Mailbox matrix, `mail[src * n + dest]`; see the module docs for the
+    /// phase-disjoint access discipline that keeps every lock uncontended.
+    mail: Vec<MailSlot<L::Msg>>,
 }
 
 impl<L: ShardLogic> ParallelEngine<L, ModuloShardMap> {
@@ -202,7 +338,7 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                 .into_iter()
                 .map(|logic| Shard {
                     logic,
-                    wheel: EventWheel::new(),
+                    queue: AdaptiveScheduler::new(),
                     send_seq: 0,
                     processed: 0,
                     outbox: Outbox {
@@ -210,13 +346,17 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                         sends: Vec::new(),
                     },
                     remote: (0..n).map(|_| Vec::new()).collect(),
+                    dirty: Vec::new(),
+                    merge: Vec::new(),
                 })
                 .collect(),
             map,
             lookahead_us,
             now: SimTime::ZERO,
             workers,
-            merge: (0..n).map(|_| Vec::new()).collect(),
+            mail: (0..n * n)
+                .map(|_| MailSlot(Mutex::new(Vec::new())))
+                .collect(),
         }
     }
 
@@ -224,6 +364,30 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
     #[inline]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Number of worker threads `run_until` will use (1 means the
+    /// sequential path). Defaults to `min(available cores, shards)`.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Overrides the worker count (clamped to `1..=shards`). The result
+    /// of a run is bit-identical for every worker count — this exists so
+    /// tests can exercise the threaded window protocol on small hosts and
+    /// benchmarks can measure scaling honestly.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.clamp(1, self.shards.len());
+    }
+
+    /// Re-pins every shard queue's representation policy (see
+    /// [`SchedKind`]); pending events migrate immediately. Determinism is
+    /// unaffected — ordering is representation-independent.
+    pub fn set_sched_kind(&mut self, kind: SchedKind) {
+        for shard in &mut self.shards {
+            shard.queue.set_kind(kind);
+        }
     }
 
     /// The shard owning `actor` under the engine's partition.
@@ -259,9 +423,10 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
     pub fn sample_into(&self, reg: &mut peerwindow_trace::CounterRegistry) {
         reg.set("engine.processed", self.processed());
         reg.set_gauge("engine.shards", self.shards.len() as f64);
+        reg.set_gauge("engine.workers", self.workers as f64);
         reg.set_gauge(
             "engine.pending",
-            self.shards.iter().map(|s| s.wheel.len()).sum::<usize>() as f64,
+            self.shards.iter().map(|s| s.queue.len()).sum::<usize>() as f64,
         );
     }
 
@@ -286,19 +451,30 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
         );
         let shard = self.map.shard_of(actor, self.shards.len());
         self.shards[shard]
-            .wheel
+            .queue
             .schedule(at.max(self.now), (actor, msg));
     }
 
     /// Runs windows until simulated time reaches `until` or all queues
     /// drain.
     pub fn run_until(&mut self, until: SimTime) {
+        if self.workers <= 1 || self.shards.len() == 1 {
+            self.run_until_sequential(until);
+        } else {
+            self.run_until_threaded(until);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// The no-thread path: all shards on the calling thread, no atomics,
+    /// no locks. Bit-identical to the threaded path.
+    fn run_until_sequential(&mut self, until: SimTime) {
         let n = self.shards.len();
         while self.now < until {
             let earliest = self
                 .shards
                 .iter()
-                .filter_map(|s| s.wheel.peek_min_at())
+                .filter_map(|s| s.queue.peek_min_at())
                 .min();
             let Some(earliest) = earliest else {
                 break; // all queues empty
@@ -309,75 +485,146 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
             // Skip idle gaps: jump the window to the earliest pending event.
             let window_start = self.now.max(earliest);
             let window_end = (window_start + self.lookahead_us).min(until);
-            let lookahead = self.lookahead_us;
 
-            // Phase 1: independent local processing per shard.
-            if self.workers <= 1 {
-                for (idx, shard) in self.shards.iter_mut().enumerate() {
-                    run_window_shard(idx, shard, &self.map, n, window_end, lookahead);
-                }
-            } else {
-                let map = &self.map;
-                let chunk = n.div_ceil(self.workers);
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(self.workers);
-                    for (c, shards) in self.shards.chunks_mut(chunk).enumerate() {
-                        handles.push(scope.spawn(move || {
-                            for (j, shard) in shards.iter_mut().enumerate() {
-                                run_window_shard(
-                                    c * chunk + j,
-                                    shard,
-                                    map,
-                                    n,
-                                    window_end,
-                                    lookahead,
-                                );
-                            }
-                        }));
-                    }
-                    // Join explicitly so a panicking shard (e.g. a
-                    // lookahead violation) propagates its own payload
-                    // instead of the scope's generic panic message.
-                    let mut panic = None;
-                    for h in handles {
-                        if let Err(p) = h.join() {
-                            panic.get_or_insert(p);
-                        }
-                    }
-                    if let Some(p) = panic {
-                        std::panic::resume_unwind(p);
-                    }
-                });
+            // Phase 1: local processing per shard.
+            for (idx, shard) in self.shards.iter_mut().enumerate() {
+                run_window_shard(idx, shard, &self.map, n, window_end, self.lookahead_us);
             }
 
-            // Phase 2 (barrier): merge cross-shard messages canonically
-            // into each destination wheel, reusing the merge buffers.
-            for dest in 0..n {
-                let buf = &mut self.merge[dest];
-                debug_assert!(buf.is_empty());
-                for (src, shard) in self.shards.iter_mut().enumerate() {
-                    for r in shard.remote[dest].drain(..) {
-                        buf.push(Inbound {
-                            at: r.at,
-                            src_shard: src as u32,
-                            src_seq: r.src_seq,
-                            actor: r.actor,
-                            msg: r.msg,
-                        });
-                    }
+            // Phase 2: gather each source's dirty buckets into the
+            // destinations' merge buffers, then commit each destination
+            // canonically. Append order across sources is irrelevant —
+            // the sort key is unique — so draining by source is fine.
+            for src in 0..n {
+                for k in 0..self.shards[src].dirty.len() {
+                    let dest = self.shards[src].dirty[k] as usize;
+                    let mut bucket = std::mem::take(&mut self.shards[src].remote[dest]);
+                    self.shards[dest].merge.append(&mut bucket);
+                    self.shards[src].remote[dest] = bucket; // keep capacity
                 }
-                buf.sort_unstable_by_key(|r| (r.at, r.src_shard, r.src_seq));
-                let wheel = &mut self.shards[dest].wheel;
-                for r in buf.drain(..) {
-                    wheel.schedule(r.at, (r.actor, r.msg));
-                }
+                self.shards[src].dirty.clear();
             }
             for shard in &mut self.shards {
-                shard.send_seq = 0;
+                if !shard.merge.is_empty() {
+                    commit_merge(shard);
+                }
             }
             self.now = window_end;
         }
-        self.now = self.now.max(until);
+    }
+
+    /// The worker-pool path: one thread per worker for the whole run,
+    /// windows sequenced by the spin barrier, handoff via the mailbox
+    /// matrix.
+    fn run_until_threaded(&mut self, until: SimTime) {
+        let n = self.shards.len();
+        let workers = self.workers.min(n);
+        let chunk = n.div_ceil(workers);
+        let ctrl = WindowCtrl {
+            barrier: SpinBarrier::new(workers),
+            next_min: AtomicU64::new(u64::MAX),
+            window_end: AtomicU64::new(0),
+            now_us: AtomicU64::new(self.now.as_micros()),
+            done: AtomicBool::new(false),
+        };
+        let map = &self.map;
+        let mail = &self.mail[..];
+        let lookahead = self.lookahead_us;
+        let until_us = until.as_micros();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (c, shards) in self.shards.chunks_mut(chunk).enumerate() {
+                let ctrl = &ctrl;
+                handles.push(scope.spawn(move || {
+                    let _guard = PoisonGuard(&ctrl.barrier);
+                    let base = c * chunk;
+                    loop {
+                        // Post the earliest pending time of the owned
+                        // shards, then elect a leader to plan the window.
+                        for shard in shards.iter() {
+                            if let Some(t) = shard.queue.peek_min_at() {
+                                ctrl.next_min.fetch_min(t.as_micros(), Ordering::AcqRel);
+                            }
+                        }
+                        let Some(leader) = ctrl.barrier.wait() else {
+                            return;
+                        };
+                        if leader {
+                            let earliest = ctrl.next_min.swap(u64::MAX, Ordering::AcqRel);
+                            if earliest >= until_us {
+                                ctrl.done.store(true, Ordering::Release);
+                            } else {
+                                let start = ctrl.now_us.load(Ordering::Acquire).max(earliest);
+                                let end = start.saturating_add(lookahead).min(until_us);
+                                ctrl.window_end.store(end, Ordering::Release);
+                                ctrl.now_us.store(end, Ordering::Release);
+                            }
+                        }
+                        if ctrl.barrier.wait().is_none() {
+                            return;
+                        }
+                        if ctrl.done.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let window_end = SimTime(ctrl.window_end.load(Ordering::Acquire));
+
+                        // Phase 1: local events, then batch-flush each
+                        // dirty bucket into its mailbox slot (a Vec swap;
+                        // the slot's previous — empty — vector comes back
+                        // so capacity is recycled).
+                        for (j, shard) in shards.iter_mut().enumerate() {
+                            let idx = base + j;
+                            run_window_shard(idx, shard, map, n, window_end, lookahead);
+                            for dest in shard.dirty.drain(..) {
+                                let slot = &mail[idx * n + dest as usize];
+                                let mut cell =
+                                    slot.0.lock().expect("mailbox poisoned by sibling panic");
+                                debug_assert!(cell.is_empty());
+                                std::mem::swap(&mut *cell, &mut shard.remote[dest as usize]);
+                            }
+                        }
+                        if ctrl.barrier.wait().is_none() {
+                            return;
+                        }
+
+                        // Phase 2: each destination drains its mailbox
+                        // column and commits the canonical merge into its
+                        // own queue.
+                        for (j, shard) in shards.iter_mut().enumerate() {
+                            let idx = base + j;
+                            for src in 0..n {
+                                let slot = &mail[src * n + idx];
+                                let mut cell =
+                                    slot.0.lock().expect("mailbox poisoned by sibling panic");
+                                shard.merge.append(&mut cell);
+                            }
+                            if !shard.merge.is_empty() {
+                                commit_merge(shard);
+                            }
+                        }
+                        // No barrier needed before the next plan phase: a
+                        // worker only posts minima for shards it owns, and
+                        // those were last touched by this same worker.
+                    }
+                }));
+            }
+            // Join explicitly so a panicking shard (e.g. a lookahead
+            // violation) propagates its own payload instead of the
+            // scope's generic message. Workers that drained out due to a
+            // sibling's poison return cleanly, so the only Err payload is
+            // the original panic.
+            let mut panic = None;
+            for h in handles {
+                if let Err(p) = h.join() {
+                    panic.get_or_insert(p);
+                }
+            }
+            if let Some(p) = panic {
+                std::panic::resume_unwind(p);
+            }
+        });
+        self.now = SimTime(ctrl.now_us.load(Ordering::Acquire)).max(self.now);
     }
 }
 
@@ -440,7 +687,7 @@ mod tests {
         }
     }
 
-    fn run_with_map<M: ShardMap>(shards: usize, actors: u32, map: M) -> (u64, u64) {
+    fn run_full<M: ShardMap>(shards: usize, actors: u32, map: M, workers: usize) -> (u64, u64) {
         let logics: Vec<Gossip> = (0..shards)
             .map(|_| Gossip {
                 actors,
@@ -449,6 +696,7 @@ mod tests {
             })
             .collect();
         let mut e = ParallelEngine::with_map(logics, 1_000, map);
+        e.set_workers(workers);
         for i in 0..4 {
             e.schedule(
                 SimTime(i as u64 * 13),
@@ -462,6 +710,10 @@ mod tests {
         e.run_until(SimTime::from_secs(10));
         let deliveries: u64 = (0..shards).map(|s| e.logic(s).deliveries).sum();
         (e.fingerprint(), deliveries)
+    }
+
+    fn run_with_map<M: ShardMap>(shards: usize, actors: u32, map: M) -> (u64, u64) {
+        run_full(shards, actors, map, 1)
     }
 
     fn run(shards: usize, actors: u32) -> (u64, u64) {
@@ -485,6 +737,21 @@ mod tests {
         assert_eq!(f1, f8, "digest differs between 1 and 8 shards");
         // The cascade actually ran: 4 roots × (2^9 - 1) deliveries each.
         assert_eq!(d1, 4 * 511);
+    }
+
+    /// The threaded window protocol (spin barrier + mailbox matrix) is
+    /// bit-identical to the sequential path for every worker count, even
+    /// oversubscribed on a small host.
+    #[test]
+    fn worker_count_never_changes_the_run() {
+        let sequential = run_full(8, 64, ModuloShardMap, 1);
+        for workers in [2usize, 3, 8] {
+            assert_eq!(
+                sequential,
+                run_full(8, 64, ModuloShardMap, workers),
+                "digest differs between 1 and {workers} workers"
+            );
+        }
     }
 
     #[test]
@@ -525,6 +792,26 @@ mod tests {
             }
         }
         let mut e = ParallelEngine::new(vec![Bad, Bad], 1_000);
+        e.schedule(SimTime::ZERO, 0, 1);
+        e.run_until(SimTime::from_secs(1));
+    }
+
+    /// A lookahead violation inside a worker thread must surface as the
+    /// original panic — not hang the barrier, not a generic scope panic.
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn threaded_panic_propagates_and_never_deadlocks() {
+        struct Bad;
+        impl ShardLogic for Bad {
+            type Msg = u32;
+            fn handle(&mut self, _: SimTime, actor: u32, hops: u32, out: &mut Outbox<u32>) {
+                if hops > 0 {
+                    out.send(1, actor + 1, hops - 1);
+                }
+            }
+        }
+        let mut e = ParallelEngine::new(vec![Bad, Bad, Bad, Bad], 1_000);
+        e.set_workers(4);
         e.schedule(SimTime::ZERO, 0, 1);
         e.run_until(SimTime::from_secs(1));
     }

@@ -435,6 +435,15 @@ impl FullSim {
         }
     }
 
+    /// Re-pins the engine queue's representation policy (heap, wheel, or
+    /// adaptive — see [`peerwindow_des::SchedKind`]). Determinism is
+    /// unaffected; this is a performance knob for known workload shapes
+    /// (a protocol run with every node holding resident probe timers is
+    /// the wheel's case; the adaptive default finds it on its own).
+    pub fn set_sched_kind(&mut self, kind: peerwindow_des::SchedKind) {
+        self.engine.set_sched_kind(kind);
+    }
+
     /// Turns structured tracing on for every current and future machine.
     /// Records emitted by a joiner's *constructor* (its initial FindTop)
     /// predate the machine entering the world and are not captured.

@@ -491,6 +491,21 @@ impl<M: ShardMap> ParallelFullSim<M> {
         self.engine.run_until(t);
     }
 
+    /// Overrides the engine's worker-thread count (default: one per core,
+    /// capped at the shard count). Results are bit-identical for every
+    /// worker count; tests use this to exercise the threaded window
+    /// protocol on small hosts.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.engine.set_workers(workers);
+    }
+
+    /// Re-pins every shard queue's representation policy (heap, wheel,
+    /// or adaptive — see [`peerwindow_des::SchedKind`]). Determinism is
+    /// unaffected; this is a performance knob for known workload shapes.
+    pub fn set_sched_kind(&mut self, kind: peerwindow_des::SchedKind) {
+        self.engine.set_sched_kind(kind);
+    }
+
     /// Order-insensitive digest of the entire world, fault-layer totals
     /// included (per-shard counters sum, so the digest stays
     /// shard-count-invariant).

@@ -76,10 +76,16 @@ fn fingerprint_is_seed_sensitive() {
 }
 
 /// The parallel engine's pitch (and ONSP's): shard count is a pure
-/// speedup, never a different simulation.
-fn parallel_fingerprint(shards: usize) -> (u64, u64) {
+/// speedup, never a different simulation. `faulty` additionally installs
+/// a lossy/jittery `FaultPlan`, and `workers` overrides the engine's
+/// thread count — none of which may perturb the fingerprint.
+fn parallel_fingerprint_cfg(shards: usize, faulty: bool, workers: usize) -> (u64, u64) {
     let n = 24u32;
     let mut sim = ParallelFullSim::new(shards, n as usize, protocol(), 20_000, 1_000, 7);
+    sim.set_workers(workers);
+    if faulty {
+        sim.set_fault_plan(&peerwindow::faults::FaultPlan::uniform_loss(99, 0.03));
+    }
     let seed_id = NodeId(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
     sim.start_node(SimTime::ZERO, 0, seed_id, 1e9, Bytes::new(), None);
     let boot = Target {
@@ -104,10 +110,55 @@ fn parallel_fingerprint(shards: usize) -> (u64, u64) {
     (sim.fingerprint(), sim.processed())
 }
 
+fn parallel_fingerprint(shards: usize) -> (u64, u64) {
+    parallel_fingerprint_cfg(shards, false, 1)
+}
+
 #[test]
 fn one_and_four_shards_agree() {
     let (f1, p1) = parallel_fingerprint(1);
     let (f4, p4) = parallel_fingerprint(4);
     assert_eq!(p1, p4, "processed-event counts differ (1 vs 4 shards)");
     assert_eq!(f1, f4, "world digest differs (1 vs 4 shards)");
+}
+
+#[test]
+fn one_four_and_eight_shards_agree() {
+    let (f1, p1) = parallel_fingerprint(1);
+    let (f8, p8) = parallel_fingerprint(8);
+    assert_eq!(p1, p8, "processed-event counts differ (1 vs 8 shards)");
+    assert_eq!(f1, f8, "world digest differs (1 vs 8 shards)");
+}
+
+#[test]
+fn shard_invariance_holds_under_fault_plan() {
+    // A lossy, jittery network exercises the per-link conditioner streams;
+    // the digest must still be a pure function of the scenario.
+    let (f1, p1) = parallel_fingerprint_cfg(1, true, 1);
+    let (f4, p4) = parallel_fingerprint_cfg(4, true, 1);
+    let (f8, p8) = parallel_fingerprint_cfg(8, true, 1);
+    assert_eq!(p1, p4, "processed counts differ under faults (1 vs 4)");
+    assert_eq!(p1, p8, "processed counts differ under faults (1 vs 8)");
+    assert_eq!(f1, f4, "digest differs under faults (1 vs 4 shards)");
+    assert_eq!(f1, f8, "digest differs under faults (1 vs 8 shards)");
+    // The plan actually dropped traffic (different digest from clean run).
+    assert_ne!(
+        f1,
+        parallel_fingerprint(1).0,
+        "fault plan had no observable effect — the faulty pin is vacuous"
+    );
+}
+
+#[test]
+fn worker_count_never_changes_the_world() {
+    // The threaded window protocol (persistent workers, spin barrier,
+    // mailbox matrix) must be bit-identical to the sequential path, even
+    // oversubscribed on a 1-core host.
+    let (f1, p1) = parallel_fingerprint_cfg(8, true, 1);
+    let (f4, p4) = parallel_fingerprint_cfg(8, true, 4);
+    let (f8, p8) = parallel_fingerprint_cfg(8, true, 8);
+    assert_eq!(p1, p4, "processed counts differ (1 vs 4 workers)");
+    assert_eq!(p1, p8, "processed counts differ (1 vs 8 workers)");
+    assert_eq!(f1, f4, "world digest differs (1 vs 4 workers)");
+    assert_eq!(f1, f8, "world digest differs (1 vs 8 workers)");
 }
