@@ -18,6 +18,11 @@
 //!   must not fall below 1-shard (with a 0.9 fudge for noise). Skipped
 //!   on smaller hosts, where extra shards measure oversubscription, not
 //!   the engine.
+//!
+//! Each ratio gate is additionally wrapped in [`retry_gate`]: the full
+//! comparison is re-measured up to three times and only fails if every
+//! round misses the bar, so noisy neighbours on shared CI runners don't
+//! fail unrelated PRs.
 
 use peerwindow_des::{
     Engine, ModuloShardMap, Outbox, ParallelEngine, SchedKind, Scheduler, ShardLogic, SimTime,
@@ -87,6 +92,24 @@ fn best_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
     (0..n).map(|_| f()).fold(0.0, f64::max)
 }
 
+/// Retries a noisy throughput-ratio gate on shared CI runners: the whole
+/// comparison is re-measured up to `rounds` times and the gate passes if
+/// any round meets the bar. A real regression fails every round; a noisy
+/// neighbour perturbing one side of one round does not.
+fn retry_gate(rounds: usize, mut attempt: impl FnMut() -> Result<(), String>) {
+    let mut last = String::new();
+    for i in 1..=rounds {
+        match attempt() {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("perf gate attempt {i}/{rounds} failed: {e}");
+                last = e;
+            }
+        }
+    }
+    panic!("{last} — failed {rounds} consecutive measurement rounds");
+}
+
 #[test]
 #[cfg_attr(
     debug_assertions,
@@ -95,27 +118,32 @@ fn best_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
 )]
 fn shallow_queue_wheel_pathology_stays_fixed() {
     ping(SchedKind::Heap); // warm-up
-    let heap = best_of(TRIES, || ping(SchedKind::Heap));
-    let wheel = best_of(TRIES, || ping(SchedKind::Wheel));
-    let adaptive = best_of(TRIES, || ping(SchedKind::Adaptive));
-    // Pre-fix the wheel was >5× slower than the heap at queue depth 1;
-    // the singleton-slot fast path must keep an explicitly-pinned wheel
-    // within 4× even though nobody should pin it for this shape. (The
-    // bar is relative, and boxing the wheel backend made the *heap*
-    // faster on this tiny workload, so 3× became marginal.)
-    assert!(
-        wheel * 4.0 >= heap,
-        "pinned wheel fell past 4x slower than heap on the chain workload \
-         (wheel {wheel:.0} ev/s, heap {heap:.0} ev/s) — the shallow-queue \
-         cascade pathology is back"
-    );
-    // The adaptive policy must simply *be* the heap here (it never
-    // crosses WHEEL_UP), modulo noise.
-    assert!(
-        adaptive >= 0.8 * heap,
-        "adaptive queue lost heap speed on the shallow workload \
-         (adaptive {adaptive:.0} ev/s, heap {heap:.0} ev/s)"
-    );
+    retry_gate(3, || {
+        let heap = best_of(TRIES, || ping(SchedKind::Heap));
+        let wheel = best_of(TRIES, || ping(SchedKind::Wheel));
+        let adaptive = best_of(TRIES, || ping(SchedKind::Adaptive));
+        // Pre-fix the wheel was >5× slower than the heap at queue depth 1;
+        // the singleton-slot fast path must keep an explicitly-pinned wheel
+        // within 4× even though nobody should pin it for this shape. (The
+        // bar is relative, and boxing the wheel backend made the *heap*
+        // faster on this tiny workload, so 3× became marginal.)
+        if wheel * 4.0 < heap {
+            return Err(format!(
+                "pinned wheel fell past 4x slower than heap on the chain workload \
+                 (wheel {wheel:.0} ev/s, heap {heap:.0} ev/s) — the shallow-queue \
+                 cascade pathology is back"
+            ));
+        }
+        // The adaptive policy must simply *be* the heap here (it never
+        // crosses WHEEL_UP), modulo noise.
+        if adaptive < 0.8 * heap {
+            return Err(format!(
+                "adaptive queue lost heap speed on the shallow workload \
+                 (adaptive {adaptive:.0} ev/s, heap {heap:.0} ev/s)"
+            ));
+        }
+        Ok(())
+    });
 }
 
 #[test]
@@ -126,13 +154,17 @@ fn shallow_queue_wheel_pathology_stays_fixed() {
 )]
 fn deep_queue_adaptive_keeps_wheel_advantage() {
     resident(SchedKind::Heap); // warm-up
-    let heap = best_of(TRIES, || resident(SchedKind::Heap));
-    let adaptive = best_of(TRIES, || resident(SchedKind::Adaptive));
-    assert!(
-        adaptive >= 1.5 * heap,
-        "adaptive queue lost the wheel's deep-queue advantage \
-         (adaptive {adaptive:.0} ev/s, heap {heap:.0} ev/s; want >=1.5x)"
-    );
+    retry_gate(3, || {
+        let heap = best_of(TRIES, || resident(SchedKind::Heap));
+        let adaptive = best_of(TRIES, || resident(SchedKind::Adaptive));
+        if adaptive < 1.5 * heap {
+            return Err(format!(
+                "adaptive queue lost the wheel's deep-queue advantage \
+                 (adaptive {adaptive:.0} ev/s, heap {heap:.0} ev/s; want >=1.5x)"
+            ));
+        }
+        Ok(())
+    });
 }
 
 struct Fanout {
@@ -185,11 +217,15 @@ fn four_shards_keep_up_with_one_on_multicore_hosts() {
         return;
     }
     fanout(1); // warm-up
-    let one = best_of(TRIES, || fanout(1));
-    let four = best_of(TRIES, || fanout(4));
-    assert!(
-        four >= 0.9 * one,
-        "4-shard throughput fell below 1-shard on a {cores}-core host \
-         (1 shard {one:.0} ev/s, 4 shards {four:.0} ev/s)"
-    );
+    retry_gate(3, || {
+        let one = best_of(TRIES, || fanout(1));
+        let four = best_of(TRIES, || fanout(4));
+        if four < 0.9 * one {
+            return Err(format!(
+                "4-shard throughput fell below 1-shard on a {cores}-core host \
+                 (1 shard {one:.0} ev/s, 4 shards {four:.0} ev/s)"
+            ));
+        }
+        Ok(())
+    });
 }

@@ -520,8 +520,13 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
         let n = self.shards.len();
         let workers = self.workers.min(n);
         let chunk = n.div_ceil(workers);
+        // chunks_mut(chunk) yields ceil(n/chunk) slices, which can be fewer
+        // than `workers` (e.g. 5 shards / 4 workers -> chunk 2 -> 3 threads).
+        // The barrier must be sized to the threads that actually arrive or
+        // every wait spins forever.
+        let spawned = n.div_ceil(chunk);
         let ctrl = WindowCtrl {
-            barrier: SpinBarrier::new(workers),
+            barrier: SpinBarrier::new(spawned),
             next_min: AtomicU64::new(u64::MAX),
             window_end: AtomicU64::new(0),
             now_us: AtomicU64::new(self.now.as_micros()),
@@ -533,7 +538,7 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
         let until_us = until.as_micros();
 
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(spawned);
             for (c, shards) in self.shards.chunks_mut(chunk).enumerate() {
                 let ctrl = &ctrl;
                 handles.push(scope.spawn(move || {
@@ -750,6 +755,30 @@ mod tests {
                 sequential,
                 run_full(8, 64, ModuloShardMap, workers),
                 "digest differs between 1 and {workers} workers"
+            );
+        }
+    }
+
+    /// Shard/worker combinations where chunking spawns fewer threads than
+    /// `workers` (5 shards / 4 workers -> chunk 2 -> 3 threads; 8 shards /
+    /// 6 workers -> chunk 2 -> 4 threads). The barrier must be sized to
+    /// the spawned count or the run hangs forever.
+    #[test]
+    fn uneven_chunking_spawns_fewer_threads_than_workers() {
+        let sequential = run_full(5, 64, ModuloShardMap, 1);
+        for workers in [3usize, 4] {
+            assert_eq!(
+                sequential,
+                run_full(5, 64, ModuloShardMap, workers),
+                "digest differs between 1 and {workers} workers at 5 shards"
+            );
+        }
+        let sequential = run_full(8, 64, ModuloShardMap, 1);
+        for workers in [5usize, 6, 7] {
+            assert_eq!(
+                sequential,
+                run_full(8, 64, ModuloShardMap, workers),
+                "digest differs between 1 and {workers} workers at 8 shards"
             );
         }
     }
