@@ -1,0 +1,249 @@
+//! `pwcheck` — the explicit-state model checker, from the command line.
+//!
+//! Breadth-first exploration of membership-operation interleavings
+//! (join / leave / crash / level-shift) over real protocol machines,
+//! with canonical-state hashing (id-symmetry + reconvergence dedup),
+//! per-event local invariant checks, temporal properties under fault
+//! plans, and oracle-verified counterexample shrinking.
+//!
+//! Commands:
+//!
+//! * `run`    — explore the op space and check properties; prints the
+//!   run counters, or the failing trace on refutation.
+//! * `stats`  — run the same space twice, dedup on and off, with the
+//!   brute-force pass pinned to the dedup pass's transition budget;
+//!   prints both counter lines and the measured reduction factor.
+//! * `shrink` — like `run`, but on refutation the failing trace is
+//!   minimized (op deletion + id-table compaction, each step verified
+//!   by replay) before reporting.
+//!
+//! The `--partition` scenario installs a one-way blackhole fault plan
+//! between two joiners and checks the two ROADMAP liveness properties
+//! (*partition-heal-reconverges*, *no-correct-node-permanently-
+//! expunged*) on every reachable state's fair extension; `--gap13-bug`
+//! re-arms the DESIGN.md gap-13 false-obituary bug so the catch (and
+//! the shrunk repro) can be demonstrated end to end.
+//!
+//! Exit status: 0 when every property holds, 1 on a refutation or
+//! invariant violation, 2 on a usage error.
+
+use peerwindow_faults::{Condition, FaultPlan, FaultRule, LinkSel, NodeSel};
+use peerwindow_mc::{
+    always_system_invariants, check, no_correct_node_permanently_expunged,
+    partition_heal_reconverges, shrink, McConfig, Property,
+};
+use std::process::exit;
+
+/// First-bit-diverse id table: alternating top-bit classes so
+/// `--class-bits 1` always has nontrivial symmetry classes to quotient.
+const ID_TABLE: [u128; 8] = [
+    0x2000_0000_0000_0000_0000_0000_0000_0000,
+    0x6000_0000_0000_0000_0000_0000_0000_0000,
+    0xa000_0000_0000_0000_0000_0000_0000_0000,
+    0xe000_0000_0000_0000_0000_0000_0000_0000,
+    0x3000_0000_0000_0000_0000_0000_0000_0000,
+    0xb000_0000_0000_0000_0000_0000_0000_0000,
+    0x7000_0000_0000_0000_0000_0000_0000_0000,
+    0xf000_0000_0000_0000_0000_0000_0000_0000,
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pwcheck <run|stats|shrink> [options]\n\
+         \n\
+         options:\n\
+           --ids N         nodes in the id table (2..=8, default 4)\n\
+           --depth N       max ops per trace (default 3)\n\
+           --levels L,L    levels Shift may target (default 0)\n\
+           --no-crash      drop silent crashes from the op alphabet\n\
+           --no-dedup      brute-force mode (run/shrink only)\n\
+           --budget N      stop after N transitions (0 = unbounded)\n\
+           --class-bits N  id prefix bits relabelings preserve (default 1)\n\
+           --settle-us N   settle time per op, microseconds\n\
+           --partition     blackhole fault plan + liveness properties\n\
+           --gap13-bug     re-arm the DESIGN.md gap-13 bug (implies --partition)"
+    );
+    exit(2)
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
+    let Some(v) = v else {
+        eprintln!("{flag} needs a value");
+        usage()
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {v:?}");
+        exit(2)
+    })
+}
+
+struct Opts {
+    command: String,
+    ids: usize,
+    depth: usize,
+    levels: Vec<u8>,
+    allow_crash: bool,
+    dedup: bool,
+    budget: u64,
+    class_bits: u8,
+    settle_us: Option<u64>,
+    partition: bool,
+    gap13_bug: bool,
+}
+
+fn parse_opts() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    if !["run", "stats", "shrink"].contains(&command.as_str()) {
+        eprintln!("unknown command {command:?}");
+        usage()
+    }
+    let mut opts = Opts {
+        command: command.clone(),
+        ids: 4,
+        depth: 3,
+        levels: vec![0],
+        allow_crash: true,
+        dedup: true,
+        budget: 0,
+        class_bits: 1,
+        settle_us: None,
+        partition: false,
+        gap13_bug: false,
+    };
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ids" => opts.ids = parse_num("--ids", it.next()),
+            "--depth" => opts.depth = parse_num("--depth", it.next()),
+            "--levels" => {
+                let v: String = parse_num("--levels", it.next());
+                opts.levels = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("--levels: cannot parse {s:?}");
+                            exit(2)
+                        })
+                    })
+                    .collect();
+            }
+            "--no-crash" => opts.allow_crash = false,
+            "--no-dedup" => opts.dedup = false,
+            "--budget" => opts.budget = parse_num("--budget", it.next()),
+            "--class-bits" => opts.class_bits = parse_num("--class-bits", it.next()),
+            "--settle-us" => opts.settle_us = Some(parse_num("--settle-us", it.next())),
+            "--partition" => opts.partition = true,
+            "--gap13-bug" => opts.gap13_bug = true,
+            _ => usage(),
+        }
+    }
+    if opts.ids < 2 || opts.ids > ID_TABLE.len() || opts.depth == 0 || opts.levels.is_empty() {
+        eprintln!("need 2 <= --ids <= {} and --depth >= 1", ID_TABLE.len());
+        exit(2);
+    }
+    // The gap-13 bug only manifests under the blackhole scenario; the
+    // flag without the fault plan would silently report "ok".
+    if opts.gap13_bug {
+        opts.partition = true;
+    }
+    opts
+}
+
+fn build(opts: &Opts) -> (McConfig, Vec<Property>) {
+    let mut cfg = McConfig::new(&ID_TABLE[..opts.ids]);
+    cfg.max_ops = opts.depth;
+    cfg.levels = opts.levels.clone();
+    cfg.allow_crash = opts.allow_crash;
+    cfg.dedup = opts.dedup;
+    cfg.max_transitions = opts.budget;
+    cfg.class_bits = opts.class_bits;
+    cfg.reintroduce_gap13 = opts.gap13_bug;
+    if let Some(s) = opts.settle_us {
+        cfg.settle_us = s;
+    }
+    let mut props = vec![always_system_invariants()];
+    if opts.partition {
+        // The validated gap-13 scenario (see tests/invariant_sweep.rs
+        // for the timing derivation): a 2s one-way blackhole between
+        // the first two joiners swallows exactly one probe cycle's
+        // acks, forcing a false obituary whose courtesy copy lands
+        // after the heal — refutable iff the gap-13 fix is present.
+        cfg.allow_crash = false;
+        cfg.protocol.bandwidth_window_us = 30_000_000;
+        cfg.plan = Some(FaultPlan::reliable(11).with_rule(FaultRule {
+            from_us: 26_000_000,
+            until_us: 28_000_000,
+            links: LinkSel::one_way(NodeSel::One(2), NodeSel::One(1)),
+            condition: Condition::Blackhole,
+        }));
+        props = vec![
+            partition_heal_reconverges(),
+            no_correct_node_permanently_expunged(),
+        ];
+    }
+    (cfg, props)
+}
+
+fn main() {
+    let opts = parse_opts();
+    let (cfg, props) = build(&opts);
+    match opts.command.as_str() {
+        "run" | "shrink" => match check(&cfg, &props) {
+            Ok(stats) => {
+                println!("ok: {stats}");
+                println!("reduction factor: {:.2}x", stats.reduction_factor());
+            }
+            Err(failure) => {
+                println!("FAILED: {failure}");
+                if opts.command == "shrink" {
+                    let repro = shrink(&cfg, &props, &failure);
+                    println!("{repro}");
+                }
+                exit(1);
+            }
+        },
+        "stats" => {
+            let mut dedup_cfg = cfg.clone();
+            dedup_cfg.dedup = true;
+            let with = match check(&dedup_cfg, &props) {
+                Ok(s) => s,
+                Err(failure) => {
+                    println!("FAILED (dedup pass): {failure}");
+                    exit(1);
+                }
+            };
+            println!("dedup:       {with}");
+
+            let mut brute_cfg = cfg.clone();
+            brute_cfg.dedup = false;
+            // Equal-budget comparison: pin brute force to exactly the
+            // transition count the dedup pass needed (unless the user
+            // chose a tighter budget).
+            brute_cfg.max_transitions = if opts.budget > 0 {
+                opts.budget.min(with.transitions)
+            } else {
+                with.transitions
+            };
+            match check(&brute_cfg, &props) {
+                Ok(brute) => {
+                    println!("brute force: {brute}");
+                    println!(
+                        "reduction factor: {:.2}x; equal-budget brute force {}",
+                        with.reduction_factor(),
+                        if brute.completed {
+                            "also finished"
+                        } else {
+                            "did NOT finish"
+                        }
+                    );
+                }
+                Err(failure) => {
+                    println!("FAILED (brute-force pass): {failure}");
+                    exit(1);
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: every ordering choice carries its pairing justification —
+//! nothing fires.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn justified(flag: &AtomicBool, n: &AtomicU64) {
+    // audit: ordering — counter only read under the barrier's Acquire
+    flag.store(true, Ordering::Relaxed);
+    let _ = flag.load(Ordering::Acquire); // audit: ordering — pairs with the Release store in `publish`
+    // A doc mention of Ordering::SeqCst in prose never fires either.
+    n.fetch_add(1, Ordering::AcqRel); // audit: ordering — read-modify-write links both barrier sides
+}
+
+#[cfg(test)]
+mod tests {
+    // Below the test marker nothing is scanned.
+    fn tail(n: &std::sync::atomic::AtomicU64) {
+        n.load(std::sync::atomic::Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: unjustified atomic memory orderings — every variant fires.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn unjustified(flag: &AtomicBool, n: &AtomicU64) {
+    flag.store(true, Ordering::Relaxed);
+    let _ = flag.load(Ordering::Acquire);
+    n.store(1, Ordering::Release);
+    n.fetch_add(1, Ordering::AcqRel);
+    let _ = n.load(Ordering::SeqCst);
+}

@@ -35,8 +35,20 @@
 //!   `apps`): the protocol and engine crates must stay free of
 //!   network-misbehaviour concepts — and of the RNG draws they imply.
 //!   Deliberate sites annotate `// audit: fault-ok <why>`.
+//! * **atomic-ordering** — every explicit atomic memory ordering
+//!   (`Ordering::Relaxed` … `Ordering::SeqCst`) in the parallel engine
+//!   (`crates/des`) must carry an `// audit: ordering — <why>`
+//!   justification naming the synchronization it relies on. Orderings
+//!   are the one place where a too-weak choice produces a data race the
+//!   deterministic test suite cannot reproduce, and a too-strong choice
+//!   silently costs the hot path; both failure modes look identical in
+//!   review without the written pairing argument.
 //! * **forbid-unsafe** — `#![forbid(unsafe_code)]` must be present in
 //!   the `core`, `des`, `topology`, `sim`, and `workload` crate roots.
+//! * **allowlist-drift** — every `audit.toml` allow entry must still
+//!   exempt at least one finding the empty-config scan produces. A
+//!   stale entry reads as an active suppression and would silently
+//!   re-exempt the path if the hazard ever reappeared there.
 //!
 //! The scanner is line/token based by design (no external parser — the
 //! build environment is offline). Two structural conventions of this
@@ -147,6 +159,12 @@ fn in_cast_scope(path: &str) -> bool {
     CAST_SCOPED.contains(&path)
 }
 
+/// The parallel engine — the only place the workspace uses atomics, and
+/// the scope of the `atomic-ordering` rule.
+fn in_atomic_scope(path: &str) -> bool {
+    path.starts_with("crates/des/src/")
+}
+
 /// Library sources that must stay free of fault-injection concepts: the
 /// protocol, the engines, and every support crate below the harness
 /// layer. The `faults` crate itself, the `sim` harnesses that interpret
@@ -201,6 +219,18 @@ const RULES: &[TokenRule] = &[
         ],
         annotation: "audit: fault-ok",
         applies: in_fault_free_scope,
+    },
+    TokenRule {
+        name: "atomic-ordering",
+        tokens: &[
+            "Ordering::Relaxed",
+            "Ordering::Acquire",
+            "Ordering::Release",
+            "Ordering::AcqRel",
+            "Ordering::SeqCst",
+        ],
+        annotation: "audit: ordering",
+        applies: in_atomic_scope,
     },
     TokenRule {
         name: "lossy-casts",
@@ -297,6 +327,14 @@ impl AuditConfig {
             .get(rule)
             .is_some_and(|entries| entries.iter().any(|p| path.starts_with(p.as_str())))
     }
+
+    /// Every `(rule, allow-entry)` pair in the config, in rule order —
+    /// the drift check walks these.
+    pub fn allow_entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.allow
+            .iter()
+            .flat_map(|(rule, entries)| entries.iter().map(move |e| (rule.as_str(), e.as_str())))
+    }
 }
 
 /// Strips a `#` comment that is not inside a quoted string.
@@ -360,12 +398,22 @@ pub fn scan_source(rel_path: &str, source: &str, cfg: &AuditConfig) -> Vec<Findi
 }
 
 /// An annotation exempts a site when it appears in the line's own
-/// comment or anywhere in the line directly above.
+/// comment or anywhere in the contiguous `//` comment block directly
+/// above — justifications longer than one line (the norm for
+/// `audit: ordering` pairing arguments) carry the tag on whichever
+/// line reads best.
 fn annotated(lines: &[&str], i: usize, tag: &str) -> bool {
     if lines[i].contains(tag) {
         return true;
     }
-    i > 0 && lines[i - 1].trim_start().starts_with("//") && lines[i - 1].contains(tag)
+    let mut j = i;
+    while j > 0 && lines[j - 1].trim_start().starts_with("//") {
+        j -= 1;
+        if lines[j].contains(tag) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Checks the `forbid-unsafe` rule via an abstract reader so tests can
@@ -446,6 +494,51 @@ pub fn lint_workspace(root: &Path, cfg: &AuditConfig) -> Result<Vec<Finding>, St
     findings.extend(forbid_unsafe_findings(cfg, |rel| {
         std::fs::read_to_string(root.join(rel)).ok()
     }));
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+/// The allowlist-drift check: every `audit.toml` allow entry must still
+/// prefix-match at least one finding of its rule in `baseline` — the
+/// findings an *empty-config* scan produces. An entry matching nothing
+/// is dead: it documents an exemption that no longer exists, and it
+/// would silently re-activate if the hazard ever reappeared under that
+/// path. Dead entries are reported as `allowlist-drift` findings.
+pub fn allowlist_drift_findings(cfg: &AuditConfig, baseline: &[Finding]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rule, entry) in cfg.allow_entries() {
+        let exempts_something = baseline
+            .iter()
+            .any(|f| f.rule == rule && f.path.starts_with(entry));
+        if !exempts_something {
+            findings.push(Finding {
+                rule: "allowlist-drift",
+                path: entry.to_string(),
+                line: 0,
+                text: format!(
+                    "allow entry for rule '{rule}' no longer matches any file or finding — \
+                     remove it from audit.toml"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// The full audit: one empty-config scan of the workspace provides both
+/// the real findings (baseline minus what `cfg` allowlists) and the
+/// drift evidence (an allow entry exempting nothing in the baseline is
+/// itself a finding). Filtering after the scan is equivalent to the
+/// scan-time skip in [`lint_workspace`] — the allowlist only ever
+/// removes whole files from a rule's scope.
+pub fn lint_workspace_with_drift(root: &Path, cfg: &AuditConfig) -> Result<Vec<Finding>, String> {
+    let baseline = lint_workspace(root, &AuditConfig::default())?;
+    let mut findings: Vec<Finding> = baseline
+        .iter()
+        .filter(|f| !cfg.allowed(f.rule, &f.path))
+        .cloned()
+        .collect();
+    findings.extend(allowlist_drift_findings(cfg, &baseline));
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(findings)
 }
@@ -627,6 +720,45 @@ mod tests {
     }
 
     #[test]
+    fn atomic_ordering_fires_on_every_variant() {
+        let src = include_str!("../fixtures/atomic_ordering.rs");
+        let f = scan_source("crates/des/src/parallel.rs", src, &no_cfg());
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "atomic-ordering").count(),
+            5,
+            "Relaxed, Acquire, Release, AcqRel and SeqCst must all fire: {f:?}"
+        );
+    }
+
+    #[test]
+    fn atomic_ordering_scoped_to_the_parallel_engine() {
+        let src = include_str!("../fixtures/atomic_ordering.rs");
+        assert!(scan_source("crates/core/src/node.rs", src, &no_cfg()).is_empty());
+        assert!(scan_source("crates/sim/src/full.rs", src, &no_cfg()).is_empty());
+    }
+
+    #[test]
+    fn ordering_annotation_and_test_tail_are_exempt() {
+        let src = include_str!("../fixtures/atomic_annotated.rs");
+        let f = scan_source("crates/des/src/parallel.rs", src, &no_cfg());
+        assert!(
+            f.is_empty(),
+            "annotated/test-tail sites must not fire: {f:?}"
+        );
+    }
+
+    #[test]
+    fn ordering_and_ordered_annotations_do_not_cross_exempt() {
+        // `audit: ordered` (hash-collections) must not satisfy the
+        // atomic rule, nor the reverse — the tags are distinct words.
+        let src = "// audit: ordered — lookups only\n\
+                   flag.store(true, Ordering::Relaxed);\n";
+        let f = scan_source("crates/des/src/parallel.rs", src, &no_cfg());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "atomic-ordering");
+    }
+
+    #[test]
     fn forbid_unsafe_fires_when_attribute_missing() {
         let f = forbid_unsafe_findings(&no_cfg(), |path| {
             if path == "crates/des/src/lib.rs" {
@@ -656,6 +788,22 @@ mod tests {
         let src = "// audit: ordered — lookups only\n\
                    use std::collections::HashMap;\n";
         assert!(scan_source("crates/sim/src/x.rs", src, &no_cfg()).is_empty());
+    }
+
+    #[test]
+    fn annotation_anywhere_in_the_comment_block_above_counts() {
+        let src = "// audit: ordering — Release pairs with the barrier's\n\
+                   // Acquire load in `wait`; see the pairing argument there.\n\
+                   flag.store(true, Ordering::Release);\n";
+        assert!(scan_source("crates/des/src/parallel.rs", src, &no_cfg()).is_empty());
+        // A blank line breaks the block: the tag no longer attaches.
+        let src = "// audit: ordering — stale justification\n\
+                   \n\
+                   flag.store(true, Ordering::Release);\n";
+        assert_eq!(
+            scan_source("crates/des/src/parallel.rs", src, &no_cfg()).len(),
+            1
+        );
     }
 
     #[test]
@@ -710,6 +858,51 @@ mod tests {
     }
 
     // ------------------------------------------------------------------
+    // Allowlist drift
+    // ------------------------------------------------------------------
+
+    fn wall_clock_finding(path: &str) -> Finding {
+        Finding {
+            rule: "wall-clock",
+            path: path.into(),
+            line: 3,
+            text: "let t = Instant::now();".into(),
+        }
+    }
+
+    #[test]
+    fn stale_allow_entry_is_drift() {
+        let cfg = AuditConfig::parse("[rules.wall-clock]\nallow = [\"crates/sim/src/gone.rs\"]\n")
+            .unwrap();
+        let baseline = vec![wall_clock_finding("crates/sim/src/t.rs")];
+        let f = allowlist_drift_findings(&cfg, &baseline);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "allowlist-drift");
+        assert_eq!(f[0].path, "crates/sim/src/gone.rs");
+    }
+
+    #[test]
+    fn live_allow_entry_is_not_drift() {
+        // Prefix semantics: the entry exempts a directory that still
+        // contains a finding of its rule.
+        let cfg =
+            AuditConfig::parse("[rules.wall-clock]\nallow = [\"crates/sim/src/\"]\n").unwrap();
+        let baseline = vec![wall_clock_finding("crates/sim/src/t.rs")];
+        assert!(allowlist_drift_findings(&cfg, &baseline).is_empty());
+    }
+
+    #[test]
+    fn allow_entry_matching_only_another_rule_is_drift() {
+        // The path exists in the baseline but under a different rule:
+        // the wall-clock exemption still exempts nothing.
+        let cfg = AuditConfig::parse("[rules.hash-collections]\nallow = [\"crates/sim/src/\"]\n")
+            .unwrap();
+        let baseline = vec![wall_clock_finding("crates/sim/src/t.rs")];
+        let f = allowlist_drift_findings(&cfg, &baseline);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    // ------------------------------------------------------------------
     // The tree at HEAD is clean (the binary's exit-0 guarantee).
     // ------------------------------------------------------------------
 
@@ -717,7 +910,7 @@ mod tests {
     fn workspace_at_head_is_lint_clean() {
         let root = default_root();
         let cfg = AuditConfig::load(&root).unwrap();
-        let findings = lint_workspace(&root, &cfg).unwrap();
+        let findings = lint_workspace_with_drift(&root, &cfg).unwrap();
         assert!(
             findings.is_empty(),
             "workspace has lint findings:\n{}",

@@ -7,7 +7,7 @@
 
 #![forbid(unsafe_code)]
 
-use peerwindow_audit::{lint_workspace, AuditConfig};
+use peerwindow_audit::{lint_workspace_with_drift, AuditConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -38,7 +38,7 @@ fn lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match lint_workspace(&root, &cfg) {
+    match lint_workspace_with_drift(&root, &cfg) {
         Ok(findings) if findings.is_empty() => {
             println!("audit: workspace clean ({})", root.display());
             ExitCode::SUCCESS

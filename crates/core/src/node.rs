@@ -334,6 +334,12 @@ pub struct NodeMachine {
     adapt_pressure: i8,
     /// The error that terminated the machine, if any (see [`ProtocolError`]).
     fatal_error: Option<ProtocolError>,
+    /// Model-checker mutation switch: when set, the DESIGN.md gap-13 fix
+    /// (obituary courtesy copy + immediate self-refutation) is disabled,
+    /// restoring the refutation-invisible false-obituary bug so the
+    /// checker's regression tests can prove the bug is still caught.
+    #[cfg(any(test, feature = "invariants"))]
+    gap13_bug_reintroduced: bool,
     /// Structured event sink; the embedder drains it via
     /// [`NodeMachine::take_trace`] after every handled input.
     #[cfg(feature = "trace")]
@@ -423,8 +429,35 @@ impl NodeMachine {
             forwarded_reports: BTreeSet::new(),
             adapt_pressure: 0,
             fatal_error: None,
+            #[cfg(any(test, feature = "invariants"))]
+            gap13_bug_reintroduced: false,
             #[cfg(feature = "trace")]
             trace: NodeTrace::new(me.0),
+        }
+    }
+
+    /// Deliberately reintroduces the DESIGN.md gap-13 bug (the
+    /// refutation-invisible false obituary): the failure detector stops
+    /// sending the condemned node its courtesy obituary copy, and a node
+    /// that somehow hears its own removal forwards it instead of
+    /// refuting. Only exists for the model checker's regression tests —
+    /// `peerwindow-mc` must keep catching this bug with a shrunk trace.
+    #[cfg(any(test, feature = "invariants"))]
+    pub fn reintroduce_gap13_false_obituary_bug(&mut self) {
+        self.gap13_bug_reintroduced = true;
+    }
+
+    /// Whether the gap-13 mutation switch is set (always false in
+    /// production builds, where the switch is compiled out).
+    #[inline]
+    fn gap13_suppressed(&self) -> bool {
+        #[cfg(any(test, feature = "invariants"))]
+        {
+            self.gap13_bug_reintroduced
+        }
+        #[cfg(not(any(test, feature = "invariants")))]
+        {
+            false
         }
     }
 
@@ -1233,15 +1266,17 @@ impl NodeMachine {
         // `refute_false_obituary`). `ID_BITS` as the step makes the
         // copy a leaf: a non-Active receiver that still processes it
         // computes zero forwards.
-        self.send(
-            outs,
-            dead,
-            Message::Multicast {
-                event,
-                step: ID_BITS,
-            },
-            0,
-        );
+        if !self.gap13_suppressed() {
+            self.send(
+                outs,
+                dead,
+                Message::Multicast {
+                    event,
+                    step: ID_BITS,
+                },
+                0,
+            );
+        }
         // §4.1: "redirects its probing to the next neighbor, and then
         // immediately detects C's failure" — probe the new successor now.
         self.probe_successor(outs);
@@ -1282,6 +1317,9 @@ impl NodeMachine {
         outs: &mut Vec<Output>,
     ) -> bool {
         if event.subject != self.me || !event.kind.is_removal() || self.phase != Phase::Active {
+            return false;
+        }
+        if self.gap13_suppressed() {
             return false;
         }
         self.last_self_refresh_us = now_us;

@@ -161,16 +161,31 @@ impl SpinBarrier {
     /// leader, `Some(false)` for everyone else, and `None` when the
     /// barrier was poisoned (the caller must abandon the run).
     fn wait(&self) -> Option<bool> {
+        // audit: ordering — Acquire pairs with the leader's AcqRel bump:
+        // the generation observed here is the round this arrival joins.
         let gen = self.generation.load(Ordering::Acquire);
+        // audit: ordering — AcqRel: the Release half publishes this
+        // worker's pre-barrier writes; the leader's final Acquire on the
+        // same RMW chain observes all of them before planning the window.
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
             // Reset before releasing the generation so early risers can't
             // race the counter of the next round.
+            // audit: ordering — Relaxed is enough: the store is ordered
+            // before the generation bump below, which is what spinners
+            // synchronize on; nobody reads `arrived` outside a round.
             self.arrived.store(0, Ordering::Relaxed);
+            // audit: ordering — the Release half publishes the reset (and
+            // the leader's window plan, stored before the second wait)
+            // to every spinner's Acquire load below.
             self.generation.fetch_add(1, Ordering::AcqRel);
             return Some(true);
         }
         let mut spins = 0u32;
+        // audit: ordering — Acquire pairs with the leader's bump so the
+        // leader's writes are visible the moment the spin exits.
         while self.generation.load(Ordering::Acquire) == gen {
+            // audit: ordering — pairs with the PoisonGuard Release store;
+            // the unwinding worker's writes are visible before we drain.
             if self.poisoned.load(Ordering::Acquire) {
                 return None;
             }
@@ -195,6 +210,9 @@ struct PoisonGuard<'a>(&'a SpinBarrier);
 impl Drop for PoisonGuard<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
+            // audit: ordering — Release pairs with the spinners' Acquire
+            // poison check so they observe the flag (and everything the
+            // panicking worker wrote) before abandoning the run.
             self.0.poisoned.store(true, Ordering::Release);
         }
     }
@@ -549,6 +567,10 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                         // shards, then elect a leader to plan the window.
                         for shard in shards.iter() {
                             if let Some(t) = shard.queue.peek_min_at() {
+                                // audit: ordering — AcqRel: concurrent
+                                // posts chain through the RMW, and the
+                                // barrier that follows publishes the min
+                                // to the leader.
                                 ctrl.next_min.fetch_min(t.as_micros(), Ordering::AcqRel);
                             }
                         }
@@ -556,22 +578,47 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                             return;
                         };
                         if leader {
+                            // audit: ordering — AcqRel: the Acquire half
+                            // sees every post from before the barrier;
+                            // the Release half resets the slate for the
+                            // posts of the next round.
                             let earliest = ctrl.next_min.swap(u64::MAX, Ordering::AcqRel);
                             if earliest >= until_us {
+                                // audit: ordering — Release; readers take
+                                // the barrier's Acquire edge before their
+                                // `done` check, Release keeps the pair
+                                // self-contained even without it.
                                 ctrl.done.store(true, Ordering::Release);
                             } else {
+                                // audit: ordering — only the leader ever
+                                // stores `now_us`, and its own last store
+                                // is visible to itself; Acquire also
+                                // covers the first round's constructor
+                                // store.
                                 let start = ctrl.now_us.load(Ordering::Acquire).max(earliest);
                                 let end = start.saturating_add(lookahead).min(until_us);
+                                // audit: ordering — Release pairs with
+                                // the workers' Acquire loads after the
+                                // second barrier wait.
                                 ctrl.window_end.store(end, Ordering::Release);
+                                // audit: ordering — Release: published to
+                                // the scope parent's Acquire load at the
+                                // end of the run.
                                 ctrl.now_us.store(end, Ordering::Release);
                             }
                         }
                         if ctrl.barrier.wait().is_none() {
                             return;
                         }
+                        // audit: ordering — Acquire pairs with the
+                        // leader's Release store; the barrier generation
+                        // bump already ordered it, this keeps the flag
+                        // readable on its own.
                         if ctrl.done.load(Ordering::Acquire) {
                             return;
                         }
+                        // audit: ordering — Acquire pairs with the
+                        // leader's Release store of this round's bound.
                         let window_end = SimTime(ctrl.window_end.load(Ordering::Acquire));
 
                         // Phase 1: local events, then batch-flush each
@@ -629,6 +676,9 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                 std::panic::resume_unwind(p);
             }
         });
+        // audit: ordering — Acquire pairs with the leader's Release
+        // stores; `scope` joining every worker already provides the
+        // happens-before edge, the explicit ordering documents it.
         self.now = SimTime(ctrl.now_us.load(Ordering::Acquire)).max(self.now);
     }
 }

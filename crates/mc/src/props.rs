@@ -1,0 +1,174 @@
+//! Temporal properties over the explored state graph.
+//!
+//! The checker explores quiescent states (every op settles before the
+//! next). On that graph:
+//!
+//! * [`Property::Always`] — the check must pass in **every** visited
+//!   state.
+//! * [`Property::Eventually`] — from every visited state, the *fair
+//!   extension* (run the net with no further operations until every
+//!   installed fault rule has expired, plus a settle allowance) must
+//!   satisfy the predicate. This is settle-bounded fairness: the
+//!   environment stops interfering and the protocol gets its periodic
+//!   timers; a state from which the predicate still fails is a genuine
+//!   liveness violation, not slow convergence.
+//! * [`Property::LeadsTo`] — every visited state satisfying the premise
+//!   must have a fair extension satisfying the conclusion.
+//!
+//! Ships the two ROADMAP properties as built-ins:
+//! *partition-heal-reconverges* and
+//! *no-correct-node-permanently-expunged* (DESIGN.md gap 13 — the PR 4
+//! absorbing counterfactual, now a checked property).
+
+use crate::net::McNet;
+use peerwindow_core::invariants::check_system;
+use peerwindow_core::node::NodeMachine;
+
+/// How a state is judged. All checks are plain `fn` pointers so
+/// properties are `Copy` and the checker can own arbitrarily many.
+#[derive(Clone, Copy)]
+pub enum Property {
+    /// Must hold in every visited state.
+    Always {
+        /// Property name for failure reports.
+        name: &'static str,
+        /// Returns a human-readable violation on failure.
+        check: fn(&McNet) -> Result<(), String>,
+    },
+    /// The fair extension of every visited state must satisfy `pred`.
+    Eventually {
+        /// Property name for failure reports.
+        name: &'static str,
+        /// Goal predicate, evaluated on the fairly-extended net.
+        pred: fn(&McNet) -> Result<(), String>,
+    },
+    /// Visited states satisfying `premise` must have fair extensions
+    /// satisfying `conclusion`.
+    LeadsTo {
+        /// Property name for failure reports.
+        name: &'static str,
+        /// Trigger predicate, evaluated on the visited state itself.
+        premise: fn(&McNet) -> bool,
+        /// Goal, evaluated on the fairly-extended net.
+        conclusion: fn(&McNet) -> Result<(), String>,
+    },
+}
+
+impl Property {
+    /// The property's report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Property::Always { name, .. }
+            | Property::Eventually { name, .. }
+            | Property::LeadsTo { name, .. } => name,
+        }
+    }
+}
+
+fn system_ok(net: &McNet) -> Result<(), String> {
+    let machines: Vec<&NodeMachine> = net.active().collect();
+    check_system(machines).map_err(|v| v.to_string())
+}
+
+fn reconverged(net: &McNet) -> Result<(), String> {
+    system_ok(net)?;
+    for s in 0..net.len() {
+        if net.is_correct(s) && net.ever_active(s) {
+            match net.machine(s) {
+                Some(m) if m.is_active() => {}
+                _ => {
+                    return Err(format!(
+                        "correct node in slot {s} was active once but is not active \
+                         after the network healed"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// True when some correct, once-active node is missing from another
+/// active node's audience (§2 symmetry broken *against a correct node*)
+/// — the observable shape of a false obituary taking effect.
+fn some_correct_node_expunged(net: &McNet) -> bool {
+    expunged_correct_slot(net).is_some()
+}
+
+/// The first correct once-active slot currently expunged from a correct
+/// active observer's peer list, if any.
+fn expunged_correct_slot(net: &McNet) -> Option<usize> {
+    use peerwindow_core::level::NodeIdentity;
+    for s in 0..net.len() {
+        if !(net.is_correct(s) && net.ever_active(s)) {
+            continue;
+        }
+        let Some(m) = net.machine(s) else {
+            // A correct node's machine can only disappear if it was
+            // never spawned; ever_active rules that out.
+            return Some(s);
+        };
+        if !m.is_active() {
+            // Sent back out of the active phase without leaving: a
+            // false obituary reached the subject itself.
+            return Some(s);
+        }
+        for o in 0..net.len() {
+            if o == s || !net.is_correct(o) {
+                continue;
+            }
+            let Some(obs) = net.machine(o).filter(|om| om.is_active()) else {
+                continue;
+            };
+            let ident = NodeIdentity::new(obs.id(), obs.level());
+            if ident.covers(m.id()) && !obs.peers().contains(m.id()) {
+                return Some(s);
+            }
+        }
+    }
+    None
+}
+
+fn not_expunged(net: &McNet) -> Result<(), String> {
+    match expunged_correct_slot(net) {
+        None => Ok(()),
+        Some(s) => Err(format!(
+            "correct node in slot {s} remains expunged after the network healed \
+             and the system settled (permanent false obituary)"
+        )),
+    }
+}
+
+/// `Always`: §2/§4 cross-node invariants at every quiescent state.
+/// Only meaningful on reliable nets — mid-partition, `MissingPeer` is
+/// the *expected* transient; use [`partition_heal_reconverges`] there.
+pub fn always_system_invariants() -> Property {
+    Property::Always {
+        name: "always-system-invariants",
+        check: system_ok,
+    }
+}
+
+/// `Eventually`: after every fault rule expires and the system settles,
+/// cross-node invariants hold again and every correct node that ever
+/// joined is still an active member — §4.3 + §4.1's promise that a heal
+/// reconverges the collection.
+pub fn partition_heal_reconverges() -> Property {
+    Property::Eventually {
+        name: "partition-heal-reconverges",
+        pred: reconverged,
+    }
+}
+
+/// `LeadsTo`: a correct node observed expunged (false obituary took
+/// effect somewhere) is re-admitted by the time the network heals and
+/// settles. With the DESIGN.md gap-13 fix the subject hears its own
+/// obituary via the courtesy copy and refutes; without it, expungement
+/// of a correct node is absorbing and this property fails.
+pub fn no_correct_node_permanently_expunged() -> Property {
+    Property::LeadsTo {
+        name: "no-correct-node-permanently-expunged",
+        premise: some_correct_node_expunged,
+        conclusion: not_expunged,
+    }
+}

@@ -1,45 +1,182 @@
 //! Protocol invariant verification, two ways:
 //!
-//! 1. The exhaustive polestar-style sweep: every join/leave/crash/shift
-//!    interleaving of a small id table, local invariants after every
-//!    machine event, cross-node invariants at every quiescent state.
+//! 1. The explicit-state model checker (`peerwindow-mc`): breadth-first
+//!    search over join/leave/crash/shift interleavings with canonical
+//!    state hashing (id-symmetry + reconvergence dedup), local
+//!    invariants after every machine event, temporal properties under
+//!    fault plans, and oracle-verified counterexample shrinking. This
+//!    subsumes the PR 2 brute-force sweep, which it retired.
 //! 2. A full-fidelity simulation with per-event checking compiled in
 //!    (the `invariants` feature): the realistic-scale companion to the
-//!    sweep's exhaustive-but-tiny state space.
+//!    checker's exhaustive-but-tiny state space.
 
 use bytes::Bytes;
 use peerwindow::des::DetRng;
 use peerwindow::prelude::*;
 use peerwindow::sim::FullSim;
 use peerwindow::topology::UniformNetwork;
-use peerwindow_core::invariants::{exhaustive_sweep, SweepConfig};
+use peerwindow_faults::{Condition, FaultPlan, FaultRule, LinkSel, NodeSel};
+use peerwindow_mc::{
+    always_system_invariants, check, mc_protocol_config, no_correct_node_permanently_expunged,
+    partition_heal_reconverges, replay, shrink, McConfig,
+};
 
-// First-bit-diverse ids so shifts to level 1 split the part in two.
+// First-bit-diverse ids so shifts to level 1 split the part in two, and
+// so class_bits = 1 gives two nontrivial symmetry classes.
 const A: u128 = 0x2000_0000_0000_0000_0000_0000_0000_0000; // 001…
 const B: u128 = 0x6000_0000_0000_0000_0000_0000_0000_0000; // 011…
 const C: u128 = 0xa000_0000_0000_0000_0000_0000_0000_0000; // 101…
 const D: u128 = 0xe000_0000_0000_0000_0000_0000_0000_0000; // 111…
+                                                           // Same classes, distinct low bits — fodder for the symmetry reduction.
+const E: u128 = 0x3000_0000_0000_0000_0000_0000_0000_0000; // 001…
+const F: u128 = 0xb000_0000_0000_0000_0000_0000_0000_0000; // 101…
 
 #[test]
-fn sweep_four_nodes_join_leave_crash_shift() {
-    let cfg = SweepConfig {
-        ids: vec![A, B, C, D],
-        max_ops: 3,
-        settle_us: 10_000_000,
-        levels: vec![0, 1],
-        allow_crash: true,
-    };
-    let stats = exhaustive_sweep(&cfg).unwrap_or_else(|failure| panic!("{failure}"));
+fn checker_sweeps_four_nodes_join_leave_crash_shift() {
+    let mut cfg = McConfig::new(&[A, B, C, D]);
+    cfg.max_ops = 3;
+    cfg.settle_us = 10_000_000;
+    cfg.levels = vec![0, 1];
+    cfg.allow_crash = true;
+    let stats =
+        check(&cfg, &[always_system_invariants()]).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(stats.completed);
     // The numbers themselves are not the contract — but a sweep that
     // explored three states because op enumeration broke would pass
-    // vacuously without these floors.
-    assert!(stats.states > 100, "only {} states explored", stats.states);
+    // vacuously without these floors. (They are lower than the retired
+    // brute-force sweep's floors because dedup prunes re-expansion of
+    // permutation-equivalent and reconverged states — that is the
+    // point.)
     assert!(
-        stats.events_checked > 10_000,
+        stats.raw_states > 50,
+        "only {} states explored",
+        stats.raw_states
+    );
+    assert!(
+        stats.events_checked > 5_000,
         "only {} events invariant-checked",
         stats.events_checked
     );
-    assert!(stats.distinct_states > 10);
+    assert!(stats.canonical_states > 10);
+    assert!(stats.pruned > 0, "dedup never fired: {stats}");
+}
+
+/// The headline capability: with canonical-state dedup the checker
+/// finishes a six-id space that the brute-force engine (the PR 2 sweep
+/// mode, `dedup: false`) cannot finish on the *same* transition budget.
+/// The comparison is deterministic — transitions executed, not wall
+/// clock — so it cannot flake on a loaded CI machine.
+#[test]
+fn dedup_completes_a_space_brute_force_cannot() {
+    let mut cfg = McConfig::new(&[A, B, C, D, E, F]);
+    cfg.max_ops = 3;
+    cfg.allow_crash = true;
+    cfg.levels = vec![0];
+
+    let with_dedup = check(&cfg, &[]).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(with_dedup.completed, "dedup run must exhaust the space");
+    assert!(
+        with_dedup.reduction_factor() > 1.5,
+        "id symmetry + reconvergence should collapse >1.5x: {with_dedup}"
+    );
+
+    // Same engine, same op space, dedup off, budget pinned to exactly
+    // the transition count dedup needed.
+    let mut brute = cfg.clone();
+    brute.dedup = false;
+    brute.max_transitions = with_dedup.transitions;
+    let brute_stats = check(&brute, &[]).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(
+        !brute_stats.completed,
+        "brute force finished within dedup's budget — dedup is not earning its keep: \
+         dedup {with_dedup}; brute {brute_stats}"
+    );
+}
+
+/// A one-way blackhole between two joiners while all three nodes are
+/// up: every ack of one full probe cycle is swallowed, so the prober
+/// falsely declares its successor dead — but the obituary fires after
+/// the heal, the courtesy copy is delivered, and the refutation
+/// multicast reconverges the system. Both ROADMAP liveness properties
+/// must hold at every reachable state under this plan.
+fn gap13_cfg(reintroduce: bool) -> McConfig {
+    let mut cfg = McConfig::new(&[A, B, C]);
+    cfg.max_ops = 2;
+    cfg.allow_crash = false;
+    cfg.levels = vec![0];
+    cfg.settle_us = 12_000_000;
+    cfg.fair_settles = 4;
+    cfg.reintroduce_gap13 = reintroduce;
+    cfg.protocol = mc_protocol_config();
+    // A wide bandwidth window keeps the expiry floor (3x window = 90s)
+    // above every entry age reachable inside the fair extension, so the
+    // only way a correct node can vanish is the obituary path itself —
+    // the distinction this scenario probes. (With the default 5s
+    // window, the false obituary's short lifetime sample collapses
+    // observers' expiry horizons and they expire *unrelated* quiet
+    // peers, masking the refutation signal.)
+    cfg.protocol.bandwidth_window_us = 30_000_000;
+    // Blackhole slot 2 -> slot 1 for 2s, timed so the probe attempts at
+    // t0, +0.3s, +0.9s all lose their acks but the give-up (t0 + 2.1s)
+    // lands after the heal. Too short for slot 2 to initiate any RPC
+    // toward slot 1 while the link is down, so no unrefutable
+    // counter-obituary can arise.
+    cfg.plan = Some(FaultPlan::reliable(11).with_rule(FaultRule {
+        from_us: 26_000_000,
+        until_us: 28_000_000,
+        links: LinkSel::one_way(NodeSel::One(2), NodeSel::One(1)),
+        condition: Condition::Blackhole,
+    }));
+    cfg
+}
+
+#[test]
+fn liveness_holds_under_partition_fault_plan() {
+    let cfg = gap13_cfg(false);
+    let props = [
+        partition_heal_reconverges(),
+        no_correct_node_permanently_expunged(),
+    ];
+    let stats = check(&cfg, &props).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(stats.completed);
+    assert!(stats.raw_states > 1);
+}
+
+/// Regression: re-arm the DESIGN.md gap-13 bug (the failure detector
+/// stops sending the condemned node its courtesy obituary copy, and a
+/// node hearing its own removal forwards instead of refuting). The
+/// checker must catch the resulting permanent false obituary, and the
+/// shrinker must hand back a small self-contained repro.
+#[test]
+fn gap13_reintroduction_is_caught_with_shrunk_trace() {
+    let cfg = gap13_cfg(true);
+    let props = [no_correct_node_permanently_expunged()];
+    let failure = match check(&cfg, &props) {
+        Ok(stats) => panic!("reintroduced gap-13 bug was not caught: {stats}"),
+        Err(f) => f,
+    };
+
+    let repro = shrink(&cfg, &props, &failure);
+    assert!(
+        repro.trace.len() <= 6,
+        "shrunk repro should be tiny, got {} ops: {repro}",
+        repro.trace.len()
+    );
+    // The repro is self-consistent: replaying it still fails…
+    let mut small = cfg.clone();
+    small.ids = repro.ids.clone();
+    assert!(
+        replay(&small, &props, &repro.trace).is_some(),
+        "shrunk repro does not reproduce: {repro}"
+    );
+    // …and the same trace passes once the bug is fixed again.
+    let mut fixed = small.clone();
+    fixed.reintroduce_gap13 = false;
+    assert!(
+        replay(&fixed, &props, &repro.trace).is_none(),
+        "repro trace fails even without the bug — the scenario is not \
+         isolating gap-13: {repro}"
+    );
 }
 
 #[test]
