@@ -14,8 +14,10 @@
 //!   ever do key lookups annotate `// audit: ordered <why>`; everything
 //!   else uses `BTreeMap`/`BTreeSet`.
 //! * **wall-clock** — `Instant::now`, `SystemTime::now`, `thread_rng`
-//!   outside the `transport` and `bench` crates: simulated time and
-//!   seeded [`DetRng`]-style streams only.
+//!   outside the `transport` and `bench` crates and the metrics
+//!   runtime's clock module (`crates/metrics/src/runtime/clock.rs`, the
+//!   one blessed `Instant` site feeding the engine profiler): simulated
+//!   time and seeded [`DetRng`]-style streams only.
 //! * **panic-sites** — `.unwrap()` / `.expect(` in the core
 //!   message/event-handling modules: malformed or late input must map to
 //!   typed `ProtocolError`s, never a crash. Provably unreachable sites
@@ -138,7 +140,9 @@ fn in_protocol_crates(path: &str) -> bool {
 }
 
 fn outside_wall_clock_crates(path: &str) -> bool {
-    !path.starts_with("crates/transport/") && !path.starts_with("crates/bench/")
+    !path.starts_with("crates/transport/")
+        && !path.starts_with("crates/bench/")
+        && !path.starts_with("crates/metrics/src/runtime/clock.rs")
 }
 
 fn in_panic_scope(path: &str) -> bool {
@@ -609,6 +613,32 @@ mod tests {
         let src = include_str!("../fixtures/wall_clock.rs");
         assert!(scan_source("crates/transport/src/runtime.rs", src, &no_cfg()).is_empty());
         assert!(scan_source("crates/bench/src/bin/perf.rs", src, &no_cfg()).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_allowed_only_in_the_metrics_clock_module() {
+        // PR 8 confines the simulation-side wall clock to one file: the
+        // metrics runtime's `clock.rs`. The rest of the metrics crate —
+        // and the engines that *consume* the sink — stay under the rule.
+        let src = include_str!("../fixtures/wall_clock.rs");
+        assert!(
+            scan_source("crates/metrics/src/runtime/clock.rs", src, &no_cfg()).is_empty(),
+            "the clock module is the blessed Instant site"
+        );
+        for path in [
+            "crates/metrics/src/runtime/mod.rs",
+            "crates/metrics/src/runtime/report.rs",
+            "crates/metrics/src/histogram.rs",
+            "crates/des/src/parallel.rs",
+            "crates/core/src/node.rs",
+        ] {
+            let f = scan_source(path, src, &no_cfg());
+            assert_eq!(
+                f.iter().filter(|f| f.rule == "wall-clock").count(),
+                3,
+                "stray wall-clock reads in {path} must still fire: {f:?}"
+            );
+        }
     }
 
     #[test]

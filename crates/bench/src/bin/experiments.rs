@@ -18,7 +18,7 @@ use peerwindow_bench::figures::*;
 use peerwindow_metrics::plot::{bar_chart, scatter, Scale as Axis};
 use peerwindow_metrics::Table;
 use std::collections::BTreeSet;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 struct Args {
@@ -82,7 +82,7 @@ fn parse_args() -> Args {
     }
 }
 
-fn emit(out: &PathBuf, name: &str, title: &str, table: &Table) {
+fn emit(out: &Path, name: &str, title: &str, table: &Table) {
     println!("\n## {name} — {title}\n");
     print!("{}", table.to_markdown());
     let path = out.join(format!("{name}.csv"));

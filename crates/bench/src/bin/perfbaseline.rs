@@ -5,7 +5,7 @@
 //! checked-in files rather than folklore.
 //!
 //! ```text
-//! perfbaseline [--out PATH] [--quick]
+//! perfbaseline [--out PATH] [--quick] [--profile-out PATH]
 //! ```
 //!
 //! Workloads (all in this one binary, so comparisons share a build):
@@ -35,16 +35,27 @@
 //!   directory (trees per second).
 //! * `latency_matrix_4800` — `TransitStubNetwork::build` wall time at the
 //!   paper-scale 4800-stub topology.
+//! * `metrics_overhead` — the 4-shard fanout with the engine's runtime
+//!   metrics layer enabled vs. unmetered: what a profiled run pays for
+//!   the per-window counters, histograms, and barrier-wait laps (a bench
+//!   test gates it under 3%; compiled out it is exactly the unmetered
+//!   build).
 //! * `faults_zero_loss` — a full-fidelity protocol run with no fault
 //!   model vs. an installed-but-empty `FaultPlan::reliable`: the cost of
 //!   carrying the fault-injection layer on a clean network (the
 //!   conditioner's no-active-rule fast path; must be noise-level — a
 //!   bench test asserts it).
+//!
+//! The binary also profiles *itself*: each section runs under a
+//! [`Profiler`] span, the per-section wall-clock breakdown lands in the
+//! JSON as `self_profile`, and `--profile-out PATH` writes the metered
+//! fanout runs' full [`RunReport`]s as JSONL for `pwstat` to render.
 
 use peerwindow_des::{
     Engine, ModuloShardMap, Outbox, ParallelEngine, SchedKind, Scheduler, ShardLogic, ShardMap,
     SimTime, Simulation,
 };
+use peerwindow_metrics::runtime::{Profiler, RunReport};
 use peerwindow_sim::StubAffineShardMap;
 use peerwindow_topology::{NetworkModel, Topology, TransitStubNetwork, TransitStubParams};
 use peerwindow_trace::{CauseId, NodeTrace, NoopTrace, TraceEventKind, TraceRecord, TraceSink};
@@ -219,6 +230,36 @@ fn parallel_fanout<M: ShardMap + Clone>(shards: usize, hops: u32, map: M) -> (f6
     (processed as f64 / secs, processed, workers)
 }
 
+/// Like [`parallel_fanout`], with the engine's runtime metrics enabled;
+/// also returns the wall-clock attribution report. With the
+/// `runtime-metrics` feature compiled out the report is empty and the
+/// run is byte-for-byte the unmetered engine.
+fn parallel_fanout_metered<M: ShardMap + Clone>(
+    shards: usize,
+    hops: u32,
+    map: M,
+    name: &str,
+) -> (f64, u64, usize, RunReport) {
+    let logics: Vec<Fanout> = (0..shards)
+        .map(|_| Fanout {
+            actors: 256,
+            count: 0,
+        })
+        .collect();
+    let mut e = ParallelEngine::with_map(logics, 1_000, map);
+    e.set_metrics_enabled(true);
+    for i in 0..8 {
+        e.schedule(SimTime(0), i, hops);
+    }
+    let workers = e.workers();
+    let t = Instant::now();
+    e.run_until(SimTime::from_secs(600));
+    let secs = t.elapsed().as_secs_f64();
+    let processed = e.processed();
+    let report = e.metrics_report(name);
+    (processed as f64 / secs, processed, workers, report)
+}
+
 // -------------------------------------------------------------------- faults
 
 /// A full-fidelity protocol run (joins, probes, multicasts) over a
@@ -384,7 +425,9 @@ impl Json {
 // ----------------------------------------------------------------------- main
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR6.json");
+    let usage = "usage: perfbaseline [--out PATH] [--quick] [--profile-out PATH]";
+    let mut out_path = String::from("BENCH_PR8.json");
+    let mut profile_out: Option<String> = None;
     let mut quick = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -392,13 +435,20 @@ fn main() {
             "--out" => match it.next() {
                 Some(p) => out_path = p,
                 None => {
-                    eprintln!("usage: perfbaseline [--out PATH] [--quick] (--out takes a path)");
+                    eprintln!("{usage} (--out takes a path)");
+                    std::process::exit(2);
+                }
+            },
+            "--profile-out" => match it.next() {
+                Some(p) => profile_out = Some(p),
+                None => {
+                    eprintln!("{usage} (--profile-out takes a path)");
                     std::process::exit(2);
                 }
             },
             "--quick" => quick = true,
             other => {
-                eprintln!("usage: perfbaseline [--out PATH] [--quick] (unknown arg {other})");
+                eprintln!("{usage} (unknown arg {other})");
                 std::process::exit(2);
             }
         }
@@ -416,7 +466,7 @@ fn main() {
     let mut j = Json::new();
     j.open(None);
     j.str("generated_by", "perfbaseline");
-    j.int("pr", 6);
+    j.int("pr", 8);
     j.str("mode", if quick { "quick" } else { "full" });
     j.open(Some("host"));
     j.int("parallelism", parallelism as u64);
@@ -424,7 +474,11 @@ fn main() {
     j.open(Some("benches"));
 
     let tries = if quick { 1 } else { 3 };
+    // Self-profiling: every section below runs under a span, so the JSON
+    // carries its own wall-clock breakdown (`self_profile`).
+    let prof = Profiler::new();
 
+    let sp = prof.span("sequential");
     // Sequential: chain (queue depth 1) and resident-timer (deep queue),
     // each under all three queue policies.
     seq_ping(events, SchedKind::Heap); // warm up caches and the allocator
@@ -462,7 +516,9 @@ fn main() {
     j.num3("wheel_vs_heap", w / h);
     j.num3("adaptive_vs_heap", a / h);
     j.close();
+    drop(sp);
 
+    let sp = prof.span("trace_overhead");
     // Tracing overhead on the same resident-timer shape. `off` is the
     // compiled-out NoopTrace instantiation — overhead vs. an untraced
     // adaptive run is what an untraced build pays for the trace layer
@@ -502,13 +558,17 @@ fn main() {
     );
     j.num3("on_overhead_pct", (base / on - 1.0) * 100.0);
     j.close();
+    drop(sp);
 
+    let sp = prof.span("parallel_fanout");
     // Parallel fanout under both shard maps. Entries where shards exceed
     // host cores are flagged: their throughput measures oversubscription,
     // not the engine's scaling.
     let topo = Topology::generate(TransitStubParams::small(), 11);
     let net = TransitStubNetwork::build(&topo);
     let affine = StubAffineShardMap::new(&net);
+    let metrics_active = peerwindow_des::runtime_metrics_active();
+    let mut profile_reports: Vec<RunReport> = Vec::new();
     for (name, run) in [
         ("parallel_fanout_modulo", None),
         ("parallel_fanout_stub_affine", Some(affine)),
@@ -528,11 +588,58 @@ fn main() {
             j.num("events_per_sec", eps);
             j.int("workers", workers as u64);
             j.bool("oversubscribed", over);
+            // Metered rerun (modulo map only): where did the wall-clock
+            // go? Each entry carries grouped attribution fractions
+            // (they sum to 1 by construction — laps partition the
+            // run), and the full report goes to `--profile-out`.
+            if run.is_none() && metrics_active {
+                let (meps, _, _, report) = parallel_fanout_metered(
+                    shards,
+                    hops,
+                    ModuloShardMap,
+                    &format!("fanout_shards_{shards}"),
+                );
+                j.num("metered_events_per_sec", meps);
+                for (group, frac) in report.attribution() {
+                    j.num3(&format!("{group}_frac"), frac);
+                }
+                eprintln!(
+                    "{:<28} {shards} shards metered {meps:>12.0} ev/s   barrier {:.0}%  execute {:.0}%  handoff {:.0}%",
+                    "", report.frac("barrier_wait") * 100.0,
+                    report.frac("execute") * 100.0,
+                    report.frac("handoff") * 100.0,
+                );
+                profile_reports.push(report);
+            }
             j.close();
         }
         j.close();
     }
 
+    // Metrics-layer overhead at 4 shards: enabled vs. unmetered,
+    // interleaved best-of so host-load drift cancels. Compiled out, the
+    // metered engine IS the unmetered engine (Noop sink), so the entry
+    // then measures pure noise.
+    let mut un = 0f64;
+    let mut met = 0f64;
+    for _ in 0..tries.max(2) {
+        un = un.max(parallel_fanout(4, hops, ModuloShardMap).0);
+        met = met.max(parallel_fanout_metered(4, hops, ModuloShardMap, "overhead").0);
+    }
+    eprintln!(
+        "metrics_overhead   unmetered {un:>12.0} ev/s   metered {met:>12.0} ev/s   overhead {:+.2}%",
+        (un / met - 1.0) * 100.0
+    );
+    j.open(Some("metrics_overhead"));
+    j.bool("runtime_metrics_active", metrics_active);
+    j.int("shards", 4);
+    j.num("unmetered_events_per_sec", un);
+    j.num("metered_events_per_sec", met);
+    j.num3("enabled_overhead_pct", (un / met - 1.0) * 100.0);
+    j.close();
+    drop(sp);
+
+    let sp = prof.span("oracle_plan");
     // Oracle planner throughput at the paper's 100k scale.
     let tps = oracle_plan(if quick { 10_000 } else { 100_000 }, trees);
     eprintln!("oracle_plan        {tps:>12.0} trees/s");
@@ -540,7 +647,9 @@ fn main() {
     j.int("directory_nodes", if quick { 10_000 } else { 100_000 });
     j.num("trees_per_sec", tps);
     j.close();
+    drop(sp);
 
+    let sp = prof.span("faults");
     // Fault-layer overhead on a clean network: uninstalled vs. an
     // installed-but-ruleless plan (the per-send fast path).
     let fnodes = if quick { 32 } else { 64 };
@@ -558,7 +667,9 @@ fn main() {
     j.num("reliable_plan_events_per_sec", with);
     j.num3("overhead_pct", (without / with - 1.0) * 100.0);
     j.close();
+    drop(sp);
 
+    let sp = prof.span("latency_matrix");
     // Latency-matrix build at the paper-scale 4800-stub topology.
     let params = if quick {
         TransitStubParams::small()
@@ -576,8 +687,26 @@ fn main() {
     j.int("stubs", stubs);
     j.num3("seconds", secs);
     j.close();
+    drop(sp);
 
     j.close(); // benches
+
+    // Where this binary itself spent its wall-clock, per section.
+    let total_ns = prof.total_ns().max(1);
+    j.open(Some("self_profile"));
+    for (section, ns) in prof.report() {
+        eprintln!(
+            "self_profile       {section:<16} {:>8.2}s  ({:.0}%)",
+            ns as f64 / 1e9,
+            ns as f64 / total_ns as f64 * 100.0
+        );
+        j.open(Some(&section));
+        j.num3("seconds", ns as f64 / 1e9);
+        j.num3("frac", ns as f64 / total_ns as f64);
+        j.close();
+    }
+    j.close(); // self_profile
+
     j.close(); // root
     let json = j.finish();
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -585,4 +714,21 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {out_path}");
+
+    // The metered fanout runs' full reports, as JSONL for `pwstat`.
+    if let Some(path) = profile_out {
+        let mut jsonl = String::new();
+        for r in &profile_reports {
+            jsonl.push_str(&r.to_jsonl());
+        }
+        if let Err(e) = std::fs::write(&path, &jsonl) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {path} ({} report{})",
+            profile_reports.len(),
+            if profile_reports.len() == 1 { "" } else { "s" }
+        );
+    }
 }

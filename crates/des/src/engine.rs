@@ -98,6 +98,12 @@ impl<S: Simulation> Engine<S> {
         self.queue.migrations()
     }
 
+    /// Snapshot of the adaptive queue's state: pending count, active
+    /// backend, migrations, and singleton-slot fast-path hits.
+    pub fn sched_stats(&self) -> crate::sched::SchedStats {
+        self.queue.stats()
+    }
+
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> SimTime {

@@ -18,6 +18,9 @@
 //!   sequenced by a spin barrier over a persistent worker pool, batched
 //!   cross-shard handoff through a mailbox matrix (standing in for
 //!   ONSP's MPI ranks).
+//! * [`emetrics`] — compile-time selection of the engines' runtime-metrics
+//!   sink (`runtime-metrics` feature): the real `ShardSlot` when on, a
+//!   Noop ZST when off, so default builds carry no metrics code at all.
 //! * [`time`] — µs-resolution simulated time.
 //! * [`rng`] — deterministic per-stream random numbers.
 
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod emetrics;
 pub mod engine;
 pub mod parallel;
 pub mod rng;
@@ -32,9 +36,10 @@ pub mod sched;
 pub mod time;
 pub mod wheel;
 
+pub use emetrics::{runtime_metrics_active, EngineMetrics};
 pub use engine::{Engine, EngineStats, Scheduler, Simulation};
 pub use parallel::{ModuloShardMap, Outbox, ParallelEngine, ShardLogic, ShardMap};
 pub use rng::DetRng;
-pub use sched::{ActiveBackend, AdaptiveScheduler, SchedKind, HEAP_DOWN, WHEEL_UP};
+pub use sched::{ActiveBackend, AdaptiveScheduler, SchedKind, SchedStats, HEAP_DOWN, WHEEL_UP};
 pub use time::SimTime;
 pub use wheel::EventWheel;

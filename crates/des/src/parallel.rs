@@ -56,8 +56,12 @@
 //! timestamp `≥ w+δ` (enforced by assertion), so no shard can receive a
 //! message that should have pre-empted work it already did.
 
+use crate::emetrics::EngineMetrics;
 use crate::sched::{AdaptiveScheduler, SchedKind};
 use crate::time::SimTime;
+use peerwindow_metrics::runtime::{
+    Counter, MetricsSink, RunReport, SampleKind, ShardReport, TimeCat,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -237,6 +241,10 @@ struct Shard<L: ShardLogic> {
     /// Phase-2 merge scratch (the threaded path needs one per shard, the
     /// sequential path reuses shard 0's).
     merge: Vec<Inbound<L::Msg>>,
+    /// Per-shard runtime-metrics slot (cache-line padded; a ZST unless
+    /// the `runtime-metrics` feature is on). Only ever touched by the
+    /// worker that owns this shard, so recording is lock-free.
+    stats: EngineMetrics,
 }
 
 /// Runs one shard's share of a window: drain local events below
@@ -252,6 +260,7 @@ fn run_window_shard<L: ShardLogic, M: ShardMap>(
 ) {
     // `window_end` is exclusive; `pop_until` is inclusive.
     let limit = SimTime(window_end.as_micros() - 1);
+    let processed_before = shard.processed;
     while let Some((now, (actor, msg))) = shard.queue.pop_until(limit) {
         shard.processed += 1;
         shard.outbox.now = now;
@@ -281,6 +290,21 @@ fn run_window_shard<L: ShardLogic, M: ShardMap>(
         }
     }
     shard.send_seq = 0;
+    // Per-window (not per-event) metrics cadence: one counter add and two
+    // histogram observes per non-idle window keeps the enabled overhead
+    // inside the release gate.
+    if EngineMetrics::ACTIVE && shard.stats.enabled() {
+        let delta = shard.processed - processed_before;
+        if delta > 0 {
+            shard.stats.add(Counter::Events, delta);
+            shard
+                .stats
+                .observe(SampleKind::EventsPerWindow, delta as f64);
+            shard
+                .stats
+                .observe(SampleKind::QueueDepth, shard.queue.len() as f64);
+        }
+    }
 }
 
 /// Sorts a destination's merged batch canonically and schedules it. The
@@ -323,6 +347,10 @@ pub struct ParallelEngine<L: ShardLogic, M: ShardMap = ModuloShardMap> {
     /// Mailbox matrix, `mail[src * n + dest]`; see the module docs for the
     /// phase-disjoint access discipline that keeps every lock uncontended.
     mail: Vec<MailSlot<L::Msg>>,
+    /// Engine-level runtime-metrics timeline: the sequential path records
+    /// into it directly; the threaded path absorbs each worker's private
+    /// timeline into it when the pool drains.
+    metrics: EngineMetrics,
 }
 
 impl<L: ShardLogic> ParallelEngine<L, ModuloShardMap> {
@@ -366,6 +394,7 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                     remote: (0..n).map(|_| Vec::new()).collect(),
                     dirty: Vec::new(),
                     merge: Vec::new(),
+                    stats: EngineMetrics::default(),
                 })
                 .collect(),
             map,
@@ -375,6 +404,7 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
             mail: (0..n * n)
                 .map(|_| MailSlot(Mutex::new(Vec::new())))
                 .collect(),
+            metrics: EngineMetrics::default(),
         }
     }
 
@@ -455,6 +485,47 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
             .fold(0u64, |acc, s| acc.wrapping_add(s.logic.fingerprint()))
     }
 
+    /// Turns runtime-metrics recording on or off. A no-op (and never any
+    /// overhead) unless the `runtime-metrics` feature is compiled in;
+    /// wall-clock reads are write-only observation either way, so the
+    /// run's fingerprint is byte-identical with metrics on or off.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics.set_enabled(on);
+        for shard in &mut self.shards {
+            shard.stats.set_enabled(on);
+        }
+    }
+
+    /// Whether runtime metrics are currently recording (always `false`
+    /// when compiled out).
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.enabled()
+    }
+
+    /// Builds the merged wall-clock run report: per-phase time, counters,
+    /// distributions, and per-shard scheduler shape. Empty (all zeros, no
+    /// shard rows) when the `runtime-metrics` feature is compiled out.
+    pub fn metrics_report(&self, name: &str) -> RunReport {
+        let mut r = RunReport::new(name, self.shards.len() as u64, self.workers as u64);
+        self.metrics.fold_into(&mut r);
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.stats.fold_into(&mut r);
+            if EngineMetrics::ACTIVE && shard.stats.enabled() {
+                let st = shard.queue.stats();
+                r.per_shard.push(ShardReport {
+                    shard: i as u64,
+                    events: shard.processed,
+                    handoff_msgs: shard.stats.get(Counter::HandoffMsgs),
+                    pending: st.pending,
+                    backend: st.backend.name().to_string(),
+                    migrations: st.migrations,
+                    fast_hits: st.fast_hits,
+                });
+            }
+        }
+        r
+    }
+
     /// Schedules an initial message (setup).
     ///
     /// `at` is clamped to the engine's current time: scheduling into the
@@ -488,6 +559,10 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
     /// no locks. Bit-identical to the threaded path.
     fn run_until_sequential(&mut self, until: SimTime) {
         let n = self.shards.len();
+        let metrics_on = EngineMetrics::ACTIVE && self.metrics.enabled();
+        if metrics_on {
+            self.metrics.mark();
+        }
         while self.now < until {
             let earliest = self
                 .shards
@@ -503,10 +578,21 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
             // Skip idle gaps: jump the window to the earliest pending event.
             let window_start = self.now.max(earliest);
             let window_end = (window_start + self.lookahead_us).min(until);
+            if metrics_on {
+                self.metrics.lap(TimeCat::Coord);
+            }
 
             // Phase 1: local processing per shard.
             for (idx, shard) in self.shards.iter_mut().enumerate() {
                 run_window_shard(idx, shard, &self.map, n, window_end, self.lookahead_us);
+            }
+            if metrics_on {
+                self.metrics.lap(TimeCat::Execute);
+                self.metrics.add(Counter::Windows, 1);
+                self.metrics.observe(
+                    SampleKind::WindowWidthUs,
+                    (window_end.as_micros() - window_start.as_micros()) as f64,
+                );
             }
 
             // Phase 2: gather each source's dirty buckets into the
@@ -517,6 +603,12 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                 for k in 0..self.shards[src].dirty.len() {
                     let dest = self.shards[src].dirty[k] as usize;
                     let mut bucket = std::mem::take(&mut self.shards[src].remote[dest]);
+                    if metrics_on {
+                        let stats = &mut self.shards[src].stats;
+                        stats.add(Counter::HandoffMsgs, bucket.len() as u64);
+                        stats.add(Counter::HandoffBatches, 1);
+                        stats.observe(SampleKind::HandoffBatch, bucket.len() as f64);
+                    }
                     self.shards[dest].merge.append(&mut bucket);
                     self.shards[src].remote[dest] = bucket; // keep capacity
                 }
@@ -526,6 +618,9 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                 if !shard.merge.is_empty() {
                     commit_merge(shard);
                 }
+            }
+            if metrics_on {
+                self.metrics.lap(TimeCat::Merge);
             }
             self.now = window_end;
         }
@@ -554,14 +649,23 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
         let mail = &self.mail[..];
         let lookahead = self.lookahead_us;
         let until_us = until.as_micros();
+        let metrics_on = EngineMetrics::ACTIVE && self.metrics.enabled();
 
-        std::thread::scope(|scope| {
+        let timelines = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(spawned);
             for (c, shards) in self.shards.chunks_mut(chunk).enumerate() {
                 let ctrl = &ctrl;
                 handles.push(scope.spawn(move || {
                     let _guard = PoisonGuard(&ctrl.barrier);
                     let base = c * chunk;
+                    // Each worker keeps a private lap-based timeline and
+                    // returns it; the pool owner absorbs them after the
+                    // join. Laps partition the worker's wall-clock time
+                    // exactly, so attribution fractions sum to 1.
+                    let mut tl = EngineMetrics::default();
+                    if metrics_on {
+                        tl.set_enabled(true);
+                    }
                     loop {
                         // Post the earliest pending time of the owned
                         // shards, then elect a leader to plan the window.
@@ -574,9 +678,15 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                                 ctrl.next_min.fetch_min(t.as_micros(), Ordering::AcqRel);
                             }
                         }
+                        if metrics_on {
+                            tl.lap(TimeCat::Coord);
+                        }
                         let Some(leader) = ctrl.barrier.wait() else {
-                            return;
+                            return tl;
                         };
+                        if metrics_on {
+                            tl.lap(TimeCat::WaitPlan);
+                        }
                         if leader {
                             // audit: ordering — AcqRel: the Acquire half
                             // sees every post from before the barrier;
@@ -605,17 +715,28 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                                 // the scope parent's Acquire load at the
                                 // end of the run.
                                 ctrl.now_us.store(end, Ordering::Release);
+                                // Exactly one worker (the leader) records
+                                // the committed window, so window counts
+                                // and widths are not multiplied by the
+                                // worker count.
+                                if metrics_on {
+                                    tl.add(Counter::Windows, 1);
+                                    tl.observe(SampleKind::WindowWidthUs, (end - start) as f64);
+                                }
                             }
                         }
                         if ctrl.barrier.wait().is_none() {
-                            return;
+                            return tl;
+                        }
+                        if metrics_on {
+                            tl.lap(TimeCat::WaitPublish);
                         }
                         // audit: ordering — Acquire pairs with the
                         // leader's Release store; the barrier generation
                         // bump already ordered it, this keeps the flag
                         // readable on its own.
                         if ctrl.done.load(Ordering::Acquire) {
-                            return;
+                            return tl;
                         }
                         // audit: ordering — Acquire pairs with the
                         // leader's Release store of this round's bound.
@@ -628,16 +749,31 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                         for (j, shard) in shards.iter_mut().enumerate() {
                             let idx = base + j;
                             run_window_shard(idx, shard, map, n, window_end, lookahead);
+                            if metrics_on {
+                                tl.lap(TimeCat::Execute);
+                            }
                             for dest in shard.dirty.drain(..) {
+                                if metrics_on {
+                                    let len = shard.remote[dest as usize].len() as u64;
+                                    shard.stats.add(Counter::HandoffMsgs, len);
+                                    shard.stats.add(Counter::HandoffBatches, 1);
+                                    shard.stats.observe(SampleKind::HandoffBatch, len as f64);
+                                }
                                 let slot = &mail[idx * n + dest as usize];
                                 let mut cell =
                                     slot.0.lock().expect("mailbox poisoned by sibling panic");
                                 debug_assert!(cell.is_empty());
                                 std::mem::swap(&mut *cell, &mut shard.remote[dest as usize]);
                             }
+                            if metrics_on {
+                                tl.lap(TimeCat::Flush);
+                            }
                         }
                         if ctrl.barrier.wait().is_none() {
-                            return;
+                            return tl;
+                        }
+                        if metrics_on {
+                            tl.lap(TimeCat::WaitCommit);
                         }
 
                         // Phase 2: each destination drains its mailbox
@@ -655,6 +791,9 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                                 commit_merge(shard);
                             }
                         }
+                        if metrics_on {
+                            tl.lap(TimeCat::Merge);
+                        }
                         // No barrier needed before the next plan phase: a
                         // worker only posts minima for shards it owns, and
                         // those were last touched by this same worker.
@@ -667,15 +806,23 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
             // sibling's poison return cleanly, so the only Err payload is
             // the original panic.
             let mut panic = None;
+            let mut timelines = Vec::with_capacity(spawned);
             for h in handles {
-                if let Err(p) = h.join() {
-                    panic.get_or_insert(p);
+                match h.join() {
+                    Ok(tl) => timelines.push(tl),
+                    Err(p) => {
+                        panic.get_or_insert(p);
+                    }
                 }
             }
             if let Some(p) = panic {
                 std::panic::resume_unwind(p);
             }
+            timelines
         });
+        for tl in timelines {
+            self.metrics.absorb(tl);
+        }
         // audit: ordering — Acquire pairs with the leader's Release
         // stores; `scope` joining every worker already provides the
         // happens-before edge, the explicit ordering documents it.

@@ -63,6 +63,29 @@ pub enum ActiveBackend {
     Wheel,
 }
 
+impl ActiveBackend {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActiveBackend::Heap => "heap",
+            ActiveBackend::Wheel => "wheel",
+        }
+    }
+}
+
+/// Point-in-time scheduler shape, surfaced by runtime-metrics reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Pending events.
+    pub pending: u64,
+    /// Representation currently holding them.
+    pub backend: ActiveBackend,
+    /// Heap↔wheel crossover migrations so far.
+    pub migrations: u64,
+    /// Wheel singleton-slot fast-path hits so far.
+    pub fast_hits: u64,
+}
+
 /// A heap entry; the ordering ignores the payload entirely (`seq` is
 /// unique, so `(at, seq)` is a total order).
 struct HeapEntry<E> {
@@ -109,6 +132,9 @@ pub struct AdaptiveScheduler<E> {
     /// re-stamp, preserving relative order).
     seq: u64,
     migrations: u64,
+    /// Wheel singleton-slot fast-path hits from wheels already retired by
+    /// wheel→heap migrations; the live wheel's count is added on read.
+    fast_hits_base: u64,
 }
 
 impl<E> Default for AdaptiveScheduler<E> {
@@ -135,6 +161,7 @@ impl<E> AdaptiveScheduler<E> {
             now: 0,
             seq: 0,
             migrations: 0,
+            fast_hits_base: 0,
         }
     }
 
@@ -157,6 +184,28 @@ impl<E> AdaptiveScheduler<E> {
     #[inline]
     pub fn migrations(&self) -> u64 {
         self.migrations
+    }
+
+    /// Wheel singleton-slot fast-path hits across the queue's lifetime
+    /// (accumulated over migrations; always 0 while pinned to the heap).
+    #[inline]
+    pub fn fast_hits(&self) -> u64 {
+        self.fast_hits_base
+            + match &self.backend {
+                Backend::Heap(_) => 0,
+                Backend::Wheel(w) => w.fast_hits(),
+            }
+    }
+
+    /// A point-in-time snapshot of the queue's shape for runtime-metrics
+    /// reports.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            pending: self.len() as u64,
+            backend: self.backend(),
+            migrations: self.migrations(),
+            fast_hits: self.fast_hits(),
+        }
     }
 
     /// Re-pins the queue to a new policy, migrating the pending events
@@ -212,6 +261,7 @@ impl<E> AdaptiveScheduler<E> {
         let Backend::Wheel(wheel) = &mut self.backend else {
             return;
         };
+        self.fast_hits_base += wheel.fast_hits();
         let mut heap = BinaryHeap::with_capacity(wheel.len());
         // Popping the wheel yields ascending (at, FIFO) order; re-stamping
         // with ascending fresh seqs preserves it.

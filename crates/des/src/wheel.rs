@@ -82,6 +82,10 @@ pub struct EventWheel<E> {
     cur_pos: usize,
     /// Reusable buffer for cascading a slot without losing its capacity.
     scratch: Vec<Entry<E>>,
+    /// Times the singleton-slot fast path fired in `advance_to`. Derived
+    /// purely from queue contents, so it is deterministic and safe to
+    /// surface in runtime-metrics reports.
+    fast_hits: u64,
 }
 
 impl<E> Default for EventWheel<E> {
@@ -110,6 +114,7 @@ impl<E> EventWheel<E> {
             cur: Vec::new(),
             cur_pos: 0,
             scratch: Vec::new(),
+            fast_hits: 0,
         }
     }
 
@@ -244,6 +249,7 @@ impl<E> EventWheel<E> {
                 if sv.len() == 1 && sv[0].at == t && self.overflow.is_empty() {
                     let e = sv.pop().expect("slot length checked");
                     self.cur.push((e.seq, Some(e.event)));
+                    self.fast_hits += 1;
                     return;
                 }
                 let mut batch = std::mem::take(&mut self.scratch);
@@ -293,6 +299,12 @@ impl<E> EventWheel<E> {
     /// Pops the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.pop_until(SimTime(u64::MAX))
+    }
+
+    /// Times the singleton-slot fast path fired (see `advance_to`).
+    #[inline]
+    pub fn fast_hits(&self) -> u64 {
+        self.fast_hits
     }
 }
 

@@ -4,12 +4,17 @@
 //! baselines, and the figure-reproduction harness: streaming accumulators,
 //! per-level tables, histograms, terminal plots, markdown/CSV rendering,
 //! and table views over the trace layer's counter registry.
+//!
+//! The [`runtime`] module is the wall-clock side: a compiled-out-by-
+//! default [`runtime::MetricsSink`] the engines record into, phase
+//! profilers, merged run reports, and their JSONL/Prometheus exports.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod histogram;
 pub mod plot;
+pub mod runtime;
 pub mod stream;
 pub mod table;
 pub mod trace_tables;

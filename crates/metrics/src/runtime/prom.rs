@@ -1,0 +1,66 @@
+//! Prometheus text exposition (version 0.0.4) rendering.
+//!
+//! Kept deliberately tiny: counters only, `# TYPE` headers, optional
+//! label sets. Used by [`super::report::prometheus`] for engine run
+//! reports and by the transport runtime for live node counters.
+
+use std::fmt::Write as _;
+
+/// Renders one counter family in Prometheus text exposition format.
+///
+/// `samples` is `(label_set, value)` where `label_set` is the inner
+/// part of the braces (e.g. `id="3",dir="in"`) or empty for a bare
+/// metric. Appends to `out` so families can be chained into one page.
+pub fn render_counters(out: &mut String, name: &str, help: &str, samples: &[(String, u64)]) {
+    if samples.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (labels, v) in samples {
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name} {v}");
+        } else {
+            let _ = writeln!(out, "{name}{{{labels}}} {v}");
+        }
+    }
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+pub fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_type_header_and_labelled_samples() {
+        let mut out = String::new();
+        render_counters(
+            &mut out,
+            "pw_datagrams_total",
+            "Datagrams seen.",
+            &[("dir=\"in\"".to_string(), 3), (String::new(), 9)],
+        );
+        assert!(out.contains("# TYPE pw_datagrams_total counter"));
+        assert!(out.contains("pw_datagrams_total{dir=\"in\"} 3"));
+        assert!(out.contains("pw_datagrams_total 9"));
+    }
+
+    #[test]
+    fn empty_family_renders_nothing() {
+        let mut out = String::new();
+        render_counters(&mut out, "x", "h", &[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn label_escaping_covers_quotes_and_newlines() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

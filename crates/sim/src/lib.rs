@@ -32,4 +32,5 @@ pub use directory::Directory;
 pub use full::{FullLog, FullSim};
 pub use oracle::{run_oracle, NetworkConfig, OracleConfig};
 pub use parallel_full::{ParallelFullSim, StubAffineShardMap};
+pub use peerwindow_des::runtime_metrics_active;
 pub use report::{LevelRow, OracleReport};

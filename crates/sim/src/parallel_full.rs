@@ -506,6 +506,25 @@ impl<M: ShardMap> ParallelFullSim<M> {
         self.engine.set_sched_kind(kind);
     }
 
+    /// Turns wall-clock runtime metrics on or off for subsequent runs.
+    ///
+    /// Only effective when the `runtime-metrics` feature is compiled in
+    /// (see [`runtime_metrics_active`](peerwindow_des::runtime_metrics_active));
+    /// otherwise the engine's Noop sink discards everything. Metrics are
+    /// write-only observation: the simulation's fingerprint is
+    /// byte-identical with metrics on or off.
+    pub fn enable_runtime_metrics(&mut self, on: bool) {
+        self.engine.set_metrics_enabled(on);
+    }
+
+    /// Wall-clock attribution report for the runs so far, labelled
+    /// `name`. Empty (zero time, zero counters) when the
+    /// `runtime-metrics` feature is compiled out or metrics were never
+    /// enabled.
+    pub fn runtime_metrics_report(&self, name: &str) -> peerwindow_metrics::runtime::RunReport {
+        self.engine.metrics_report(name)
+    }
+
     /// Order-insensitive digest of the entire world, fault-layer totals
     /// included (per-shard counters sum, so the digest stays
     /// shard-count-invariant).

@@ -13,4 +13,7 @@ pub mod codec;
 pub mod runtime;
 
 pub use codec::{decode, encode, CodecError, Envelope};
-pub use runtime::{spawn_node, Control, NodeHandle, RuntimeConfig, Snapshot, SpawnError};
+pub use runtime::{
+    spawn_node, Control, NodeHandle, RuntimeConfig, RuntimeStats, RuntimeStatsSnapshot, Snapshot,
+    SpawnError,
+};

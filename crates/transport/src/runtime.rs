@@ -19,14 +19,76 @@
 use crate::codec::{decode, encode};
 use bytes::Bytes;
 use peerwindow_core::prelude::*;
+use peerwindow_metrics::runtime::{escape_label, render_counters};
 use peerwindow_trace::{CauseId, DiagCode, NodeTrace, TraceEventKind, TraceRecord};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender as Sender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Live runtime counters for one node thread, shared with the
+/// application through [`NodeHandle::runtime_stats`]. All updates are
+/// relaxed atomics on the node thread's I/O path — monotonic totals
+/// with no cross-counter consistency promise (a snapshot may see a
+/// datagram counted in but its timers not yet fired).
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    datagrams_in: AtomicU64,
+    datagrams_out: AtomicU64,
+    decode_errors: AtomicU64,
+    oversized_frames: AtomicU64,
+    timers_fired: AtomicU64,
+}
+
+impl RuntimeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> RuntimeStatsSnapshot {
+        RuntimeStatsSnapshot {
+            datagrams_in: self.datagrams_in.load(Ordering::Relaxed),
+            datagrams_out: self.datagrams_out.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
+            timers_fired: self.timers_fired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`RuntimeStats`], safe to hold across time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStatsSnapshot {
+    /// Datagrams received and fed to the machine (decodable or not).
+    pub datagrams_in: u64,
+    /// Datagrams written to the socket (immediate and delayed sends).
+    pub datagrams_out: u64,
+    /// Received frames the codec rejected.
+    pub decode_errors: u64,
+    /// Outbound frames dropped for exceeding the UDP payload cap.
+    pub oversized_frames: u64,
+    /// Protocol timers fired.
+    pub timers_fired: u64,
+}
+
+impl RuntimeStatsSnapshot {
+    /// `(name, value)` rows, in declaration order — the iteration the
+    /// Prometheus renderer and table printers share.
+    pub fn rows(&self) -> [(&'static str, u64); 5] {
+        [
+            ("datagrams_in", self.datagrams_in),
+            ("datagrams_out", self.datagrams_out),
+            ("decode_errors", self.decode_errors),
+            ("oversized_frames", self.oversized_frames),
+            ("timers_fired", self.timers_fired),
+        ]
+    }
+}
 
 /// Bounded channel; sends block when full (as crossbeam's `bounded` did
 /// before the workspace moved to the std library's channels).
@@ -95,6 +157,7 @@ pub struct NodeHandle {
     pub local_addr: SocketAddrV4,
     ctl: Sender<Control>,
     diag: Arc<Mutex<Vec<TraceRecord>>>,
+    stats: Arc<RuntimeStats>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -125,6 +188,30 @@ impl NodeHandle {
             .map(|mut l| std::mem::take(&mut *l))
             .unwrap_or_default();
         peerwindow_trace::canonical_sort(&mut out);
+        out
+    }
+
+    /// Point-in-time copy of the node thread's runtime counters. Cheap
+    /// (five relaxed loads), callable at any rate, and still valid after
+    /// the node stops.
+    pub fn runtime_stats(&self) -> RuntimeStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The node's runtime counters as a Prometheus text exposition page,
+    /// each sample labelled with this node's id.
+    pub fn prometheus(&self) -> String {
+        let snap = self.runtime_stats();
+        let label = format!("node=\"{}\"", escape_label(&self.id.to_string()));
+        let mut out = String::new();
+        for (name, v) in snap.rows() {
+            render_counters(
+                &mut out,
+                &format!("peerwindow_node_{name}_total"),
+                "Transport runtime counter.",
+                &[(label.clone(), v)],
+            );
+        }
         out
     }
 
@@ -249,15 +336,18 @@ pub fn spawn_node(cfg: RuntimeConfig) -> Result<NodeHandle, SpawnError> {
     let id = cfg.id;
     let diag = Arc::new(Mutex::new(Vec::new()));
     let diag_thread = Arc::clone(&diag);
+    let stats = Arc::new(RuntimeStats::default());
+    let stats_thread = Arc::clone(&stats);
     let thread = std::thread::Builder::new()
         .name(format!("pwnode-{id}"))
-        .spawn(move || run_loop(socket, machine, initial, ctl_rx, diag_thread))
+        .spawn(move || run_loop(socket, machine, initial, ctl_rx, diag_thread, stats_thread))
         .map_err(SpawnError::Io)?;
     Ok(NodeHandle {
         id,
         local_addr: local,
         ctl: ctl_tx,
         diag,
+        stats,
         thread: Some(thread),
     })
 }
@@ -308,6 +398,7 @@ fn run_loop(
     initial: Vec<Output>,
     ctl: Receiver<Control>,
     diag_log: Arc<Mutex<Vec<TraceRecord>>>,
+    stats: Arc<RuntimeStats>,
 ) {
     let start = Instant::now();
     let now_us = |start: &Instant| start.elapsed().as_micros() as u64;
@@ -346,8 +437,10 @@ fn run_loop(
                         if frame.len() > 65_000 {
                             // Dropped rather than truncated — see the
                             // module docs on UDP download limits.
+                            RuntimeStats::bump(&stats.oversized_frames);
                             diag.emit(now, DiagCode::OversizedFrame);
                         } else {
+                            RuntimeStats::bump(&stats.datagrams_out);
                             let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
                         }
                     } else {
@@ -396,6 +489,7 @@ fn run_loop(
             heap.pop();
             match parked[idx].take() {
                 Some(Due::Timer(t)) => {
+                    RuntimeStats::bump(&stats.timers_fired);
                     let o = machine.handle(now, Input::Timer(t));
                     #[cfg(feature = "trace")]
                     drain_machine(&mut machine, &diag.shared);
@@ -411,6 +505,7 @@ fn run_loop(
                     );
                 }
                 Some(Due::Send(to, msg)) => {
+                    RuntimeStats::bump(&stats.datagrams_out);
                     let frame = encode(me, my_addr, &msg);
                     let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
                 }
@@ -481,6 +576,7 @@ fn run_loop(
                     // Flush the leave announcement synchronously.
                     for out in o {
                         if let Output::Send { to, msg, .. } = out {
+                            RuntimeStats::bump(&stats.datagrams_out);
                             let frame = encode(me, my_addr, &msg);
                             let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
                         }
@@ -493,19 +589,23 @@ fn run_loop(
         // Network input (10 ms read timeout set at bind).
         match socket.recv_from(&mut buf) {
             Ok((n, _peer)) => {
-                if let Ok(env) = decode(&buf[..n]) {
-                    let now = now_us(&start);
-                    let o = machine.handle(
-                        now,
-                        Input::Message {
-                            from: env.from,
-                            from_addr: env.from_addr,
-                            msg: env.msg,
-                        },
-                    );
-                    #[cfg(feature = "trace")]
-                    drain_machine(&mut machine, &diag.shared);
-                    outs = o;
+                RuntimeStats::bump(&stats.datagrams_in);
+                match decode(&buf[..n]) {
+                    Ok(env) => {
+                        let now = now_us(&start);
+                        let o = machine.handle(
+                            now,
+                            Input::Message {
+                                from: env.from,
+                                from_addr: env.from_addr,
+                                msg: env.msg,
+                            },
+                        );
+                        #[cfg(feature = "trace")]
+                        drain_machine(&mut machine, &diag.shared);
+                        outs = o;
+                    }
+                    Err(_) => RuntimeStats::bump(&stats.decode_errors),
                 }
             }
             Err(ref e)
@@ -516,5 +616,64 @@ fn run_loop(
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_every_counter() {
+        let stats = RuntimeStats::default();
+        RuntimeStats::bump(&stats.datagrams_in);
+        RuntimeStats::bump(&stats.datagrams_in);
+        RuntimeStats::bump(&stats.datagrams_out);
+        RuntimeStats::bump(&stats.decode_errors);
+        RuntimeStats::bump(&stats.oversized_frames);
+        RuntimeStats::bump(&stats.timers_fired);
+        let snap = stats.snapshot();
+        assert_eq!(snap.datagrams_in, 2);
+        assert_eq!(snap.datagrams_out, 1);
+        assert_eq!(snap.decode_errors, 1);
+        assert_eq!(snap.oversized_frames, 1);
+        assert_eq!(snap.timers_fired, 1);
+    }
+
+    #[test]
+    fn rows_cover_every_field_in_declaration_order() {
+        let snap = RuntimeStatsSnapshot {
+            datagrams_in: 1,
+            datagrams_out: 2,
+            decode_errors: 3,
+            oversized_frames: 4,
+            timers_fired: 5,
+        };
+        let rows = snap.rows();
+        assert_eq!(rows[0], ("datagrams_in", 1));
+        assert_eq!(rows[4], ("timers_fired", 5));
+        assert_eq!(rows.iter().map(|(_, v)| v).sum::<u64>(), 15);
+    }
+
+    #[test]
+    fn prometheus_page_renders_without_a_socket() {
+        // Rendering only needs the snapshot, not a live node: build the
+        // page the way NodeHandle::prometheus does.
+        let stats = RuntimeStats::default();
+        RuntimeStats::bump(&stats.timers_fired);
+        let snap = stats.snapshot();
+        let label = format!("node=\"{}\"", escape_label("0xabc"));
+        let mut out = String::new();
+        for (name, v) in snap.rows() {
+            render_counters(
+                &mut out,
+                &format!("peerwindow_node_{name}_total"),
+                "Transport runtime counter.",
+                &[(label.clone(), v)],
+            );
+        }
+        assert!(out.contains("# TYPE peerwindow_node_timers_fired_total counter"));
+        assert!(out.contains("peerwindow_node_timers_fired_total{node=\"0xabc\"} 1"));
+        assert!(out.contains("peerwindow_node_datagrams_in_total{node=\"0xabc\"} 0"));
     }
 }

@@ -114,6 +114,87 @@ fn parallel_fingerprint(shards: usize) -> (u64, u64) {
     parallel_fingerprint_cfg(shards, false, 1)
 }
 
+/// Same scenario as [`parallel_fingerprint_cfg`], but with the runtime
+/// metrics layer switched on. Also returns the report so tests can check
+/// the observation side without re-running.
+fn parallel_fingerprint_metered(
+    shards: usize,
+    workers: usize,
+) -> (u64, u64, peerwindow::metrics::runtime::RunReport) {
+    let n = 24u32;
+    let mut sim = ParallelFullSim::new(shards, n as usize, protocol(), 20_000, 1_000, 7);
+    sim.set_workers(workers);
+    sim.enable_runtime_metrics(true);
+    let seed_id = NodeId(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+    sim.start_node(SimTime::ZERO, 0, seed_id, 1e9, Bytes::new(), None);
+    let boot = Target {
+        id: seed_id,
+        addr: Addr(0),
+        level: Level::TOP,
+    };
+    for k in 1..n {
+        let id = NodeId((k as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_0C4A_2B8E_D1A3) | 1);
+        sim.start_node(
+            SimTime::from_millis(500 * k as u64),
+            k,
+            id,
+            1e9,
+            Bytes::new(),
+            Some(boot),
+        );
+    }
+    sim.crash(SimTime::from_secs(25), 5);
+    sim.command(SimTime::from_secs(30), 2, Command::Shutdown);
+    sim.run_until(SimTime::from_secs(60));
+    let report = sim.runtime_metrics_report("determinism");
+    (sim.fingerprint(), sim.processed(), report)
+}
+
+#[test]
+fn runtime_metrics_do_not_perturb_the_fingerprint() {
+    // Metrics are write-only observation: recording wall-clock laps and
+    // handoff counters must leave the simulated world byte-identical.
+    let (plain_f, plain_p) = parallel_fingerprint(4);
+    let (metered_f, metered_p, _) = parallel_fingerprint_metered(4, 1);
+    assert_eq!(plain_p, metered_p, "metrics changed the processed count");
+    assert_eq!(plain_f, metered_f, "metrics changed the world digest");
+}
+
+#[test]
+fn shard_invariance_holds_with_runtime_metrics_enabled() {
+    // The PR 8 contract: 1-vs-4-shard fingerprints stay byte-identical
+    // with `runtime-metrics` compiled in *and* enabled, sequential and
+    // threaded paths alike.
+    let (f1, p1, _) = parallel_fingerprint_metered(1, 1);
+    let (f4, p4, _) = parallel_fingerprint_metered(4, 1);
+    let (f4t, p4t, _) = parallel_fingerprint_metered(4, 4);
+    assert_eq!(p1, p4, "processed counts differ with metrics (1 vs 4)");
+    assert_eq!(f1, f4, "world digest differs with metrics (1 vs 4)");
+    assert_eq!(p1, p4t, "processed counts differ with metrics (threaded)");
+    assert_eq!(f1, f4t, "world digest differs with metrics (threaded)");
+}
+
+#[test]
+fn runtime_metrics_report_is_coherent() {
+    // When the feature is compiled in, the attribution must account for
+    // the run: fractions over named groups sum to ~1 and the event
+    // counter matches the engine's processed count.
+    let (_, processed, report) = parallel_fingerprint_metered(4, 2);
+    if !peerwindow::sim::runtime_metrics_active() {
+        assert_eq!(report.total_time_ns(), 0);
+        return;
+    }
+    assert_eq!(report.counter("events"), processed);
+    assert!(report.counter("windows") > 0, "no windows recorded");
+    assert!(report.total_time_ns() > 0, "no wall-clock time attributed");
+    let sum: f64 = report.attribution().iter().map(|(_, f)| f).sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "attribution fractions sum to {sum}, expected 1.0"
+    );
+    assert_eq!(report.per_shard.len(), 4, "expected one row per shard");
+}
+
 #[test]
 fn one_and_four_shards_agree() {
     let (f1, p1) = parallel_fingerprint(1);
