@@ -22,15 +22,18 @@
 //! (*partition-heal-reconverges*, *no-correct-node-permanently-
 //! expunged*) on every reachable state's fair extension; `--gap13-bug`
 //! re-arms the DESIGN.md gap-13 false-obituary bug so the catch (and
-//! the shrunk repro) can be demonstrated end to end.
+//! the shrunk repro) can be demonstrated end to end. `--departed` adds
+//! *eventually-no-departed-pointer* — the §4.5 lazy-maintenance promise
+//! the PR 7 depth-4 run falsified before cross-level fallback probing
+//! (run it as `--ids 3 --depth 4 --levels 0,1 --departed`).
 //!
 //! Exit status: 0 when every property holds, 1 on a refutation or
 //! invariant violation, 2 on a usage error.
 
 use peerwindow_faults::{Condition, FaultPlan, FaultRule, LinkSel, NodeSel};
 use peerwindow_mc::{
-    always_system_invariants, check, no_correct_node_permanently_expunged,
-    partition_heal_reconverges, shrink, McConfig, Property,
+    always_system_invariants, check, eventually_no_departed_pointer, mc_protocol_config,
+    no_correct_node_permanently_expunged, partition_heal_reconverges, shrink, McConfig, Property,
 };
 use std::process::exit;
 
@@ -61,7 +64,9 @@ fn usage() -> ! {
            --class-bits N  id prefix bits relabelings preserve (default 1)\n\
            --settle-us N   settle time per op, microseconds\n\
            --partition     blackhole fault plan + liveness properties\n\
-           --gap13-bug     re-arm the DESIGN.md gap-13 bug (implies --partition)"
+           --gap13-bug     re-arm the DESIGN.md gap-13 bug (implies --partition)\n\
+           --departed      add the eventually-no-departed-pointer liveness\n\
+                           property (the depth-4 off-level-crash scenario)"
     );
     exit(2)
 }
@@ -89,6 +94,7 @@ struct Opts {
     settle_us: Option<u64>,
     partition: bool,
     gap13_bug: bool,
+    departed: bool,
 }
 
 fn parse_opts() -> Opts {
@@ -110,6 +116,7 @@ fn parse_opts() -> Opts {
         settle_us: None,
         partition: false,
         gap13_bug: false,
+        departed: false,
     };
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -135,6 +142,7 @@ fn parse_opts() -> Opts {
             "--settle-us" => opts.settle_us = Some(parse_num("--settle-us", it.next())),
             "--partition" => opts.partition = true,
             "--gap13-bug" => opts.gap13_bug = true,
+            "--departed" => opts.departed = true,
             _ => usage(),
         }
     }
@@ -162,6 +170,13 @@ fn build(opts: &Opts) -> (McConfig, Vec<Property>) {
     if let Some(s) = opts.settle_us {
         cfg.settle_us = s;
     }
+    if opts.departed {
+        // The depth-4 off-level-crash scenario needs the tuned checker
+        // protocol so fair extensions detect lonely-peer crashes within
+        // the settle allowance. (Set before the partition block so its
+        // wide bandwidth window survives the combination.)
+        cfg.protocol = mc_protocol_config();
+    }
     let mut props = vec![always_system_invariants()];
     if opts.partition {
         // The validated gap-13 scenario (see tests/invariant_sweep.rs
@@ -181,6 +196,9 @@ fn build(opts: &Opts) -> (McConfig, Vec<Property>) {
             partition_heal_reconverges(),
             no_correct_node_permanently_expunged(),
         ];
+    }
+    if opts.departed {
+        props.push(eventually_no_departed_pointer());
     }
     (cfg, props)
 }

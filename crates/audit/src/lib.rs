@@ -172,8 +172,10 @@ fn in_atomic_scope(path: &str) -> bool {
 /// Library sources that must stay free of fault-injection concepts: the
 /// protocol, the engines, and every support crate below the harness
 /// layer. The `faults` crate itself, the `sim` harnesses that interpret
-/// plans, `bench` (overhead measurement) and `apps` (the `pwchaos`
-/// driver) are the only legitimate homes.
+/// plans, `bench` (overhead measurement) and `apps` (the `pwchaos` and
+/// `pwcluster` drivers) are the only legitimate homes — plus the one
+/// transport file `audit.toml` allowlists, `src/shim.rs`, the userspace
+/// netem shim that applies plans to real sockets.
 fn in_fault_free_scope(path: &str) -> bool {
     [
         "core",

@@ -307,11 +307,15 @@ pub struct NodeMachine {
     threshold_bps: f64,
     phase: Phase,
     seq: u64,
-    /// Per-subject dedup horizon: highest `(seq, origin_us)` applied. An
-    /// event is fresh when its seq OR its origin time exceeds the
-    /// horizon; the origin clause lets a live node's later refresh
-    /// override a false leave (whose seq is `LEAVE_SEQ` = max).
-    seen: BTreeMap<NodeId, (u64, u64)>,
+    /// Per-subject dedup horizon: highest `(seq, origin_us)` applied,
+    /// plus whether the freshest admitted event was a removal. An event
+    /// is fresh when its seq OR its origin time exceeds the horizon; the
+    /// origin clause lets a live node's later refresh override a false
+    /// leave (whose seq is `LEAVE_SEQ` = max). The removal flag guards
+    /// top-list admission: a stale piggybacked top list must not re-seed
+    /// a node we know departed, because the leave event that purged it
+    /// is already inside the horizon and can never fire again.
+    seen: BTreeMap<NodeId, (u64, u64, bool)>,
     pending: BTreeMap<u64, PendingRpc>,
     next_token: u64,
     meter: BandwidthMeter,
@@ -653,8 +657,16 @@ impl NodeMachine {
                 // The adaptation meter tracks the *steady* maintenance
                 // flow the level controls (§2's W). One-off bulk
                 // transfers (peer-list downloads) would spike the window
-                // and make every raise immediately un-raise itself.
-                if !matches!(msg, Message::DownloadReply { .. }) {
+                // and make every raise immediately un-raise itself; and
+                // the §4.1 probe heartbeat (one probe per interval, plus
+                // whatever probes others aim at us) is level-independent
+                // load a node cannot shed by descending, so counting it
+                // pins a small-budget node at the bottom forever once
+                // probe traffic alone exceeds its grow threshold.
+                if !matches!(
+                    msg,
+                    Message::DownloadReply { .. } | Message::Probe | Message::ProbeAck
+                ) {
                     self.meter.note(now_us, bits);
                 }
                 self.on_message(now_us, from, from_addr, msg, &mut outs);
@@ -982,6 +994,7 @@ impl NodeMachine {
                 for p in pointers {
                     self.install_downloaded(p, now_us);
                 }
+                self.reconcile_tops_with_window();
                 self.last_self_refresh_us = now_us;
                 self.phase = Phase::Active;
                 outs.push(Output::Joined);
@@ -1036,6 +1049,7 @@ impl NodeMachine {
                         self.install_downloaded(ptr, now_us);
                     }
                 }
+                self.reconcile_tops_with_window();
                 outs.push(Output::LevelShifted {
                     from: old,
                     to: new_level,
@@ -1053,6 +1067,28 @@ impl NodeMachine {
                 self.report_event(now_us, event, outs);
             }
             _ => {}
+        }
+    }
+
+    /// Drops top-list entries a just-downloaded window proves gone:
+    /// entries our scope covers but the authoritative pointer list does
+    /// not contain. A leave multicast only reaches the subject's §2
+    /// audience, so a node outside it (e.g. at a deeper level) keeps the
+    /// departed top until the §4.5 lazy heal times a report out against
+    /// it — but a level raise must not carry that stale entry *into* its
+    /// own scope, where the top-containment invariant holds. Found by
+    /// the invariants sweep: [Join(1), Join(2), Shift(1, 1), Leave(2)].
+    fn reconcile_tops_with_window(&mut self) {
+        let scope = self.eigenstring();
+        let stale: Vec<NodeId> = self
+            .tops
+            .entries()
+            .iter()
+            .filter(|t| t.id != self.me && scope.contains(t.id) && !self.peers.contains(t.id))
+            .map(|t| t.id)
+            .collect();
+        for id in stale {
+            self.tops.remove(id);
         }
     }
 
@@ -1201,6 +1237,14 @@ impl NodeMachine {
     // ------------------------------------------------------------------
 
     fn probe_successor(&mut self, outs: &mut Vec<Output>) {
+        // Only one outstanding probe at a time.
+        if self
+            .pending
+            .values()
+            .any(|p| matches!(p.kind, RpcKind::Probe))
+        {
+            return;
+        }
         let succ = match self.cfg.probe_scope {
             ProbeScope::Group => self
                 .peers
@@ -1215,32 +1259,88 @@ impl NodeMachine {
                 .or_else(|| self.peers.ring_successor(self.me)),
             ProbeScope::PeerList => self.peers.ring_successor(self.me),
         };
-        let Some(succ) = succ else { return };
-        // Only one outstanding probe at a time.
-        if self
-            .pending
-            .values()
-            .any(|p| matches!(p.kind, RpcKind::Probe))
-        {
-            return;
-        }
-        let target = Target {
-            id: succ.id,
-            addr: succ.addr,
-            level: succ.level,
+        // Cross-level fallback (ROADMAP "lazy detection of off-level
+        // crashes", found by the model checker at depth 4): a peer alone
+        // in its eigenstring group — e.g. the seed after shifting to a
+        // level nobody else occupies — is in *nobody's* group ring, and
+        // with no lifetime samples at its level, expiry never fires
+        // either, so its crash would hold a departed pointer forever.
+        // The XOR-nearest observer (computed over its own view, peers
+        // plus self — near-identical views elect the same node) therefore
+        // alternates its probe interval between the normal ring successor
+        // and a round-robin over such "lonely" peers. Responsibility MUST
+        // be unique-ish: if every observer probed every lonely peer, a
+        // deep-level node in an N-node system would absorb N probe/ack
+        // pairs per interval — sustained load that keeps a small-budget
+        // node (the usual reason to sit deep) from ever climbing back
+        // (found by the adaptation recovery test). Detection cost is
+        // bounded: one probe per interval as before, the ring cadence at
+        // worst halves for the one responsible observer, and if that
+        // observer dies its own obituary hands the role to the next
+        // nearest. A false positive is safe — the obituary's courtesy
+        // copy lets a live target refute (DESIGN.md gap 13).
+        let lonely: Vec<Target> = match self.cfg.probe_scope {
+            ProbeScope::Group => self
+                .peers
+                .iter()
+                .filter(|p| {
+                    let group = p.level.eigenstring(p.id);
+                    self.peers.count_group(group, p.level) == 1
+                        && !(p.level == self.level && group == self.eigenstring())
+                        && {
+                            let mine = self.me.0 ^ p.id.0;
+                            self.peers
+                                .iter()
+                                .all(|q| q.id == p.id || (q.id.0 ^ p.id.0) >= mine)
+                        }
+                })
+                .map(|p| Target {
+                    id: p.id,
+                    addr: p.addr,
+                    level: p.level,
+                })
+                .collect(),
+            ProbeScope::PeerList => Vec::new(),
+        };
+        let round = self.stats.probes_sent;
+        let target = if !lonely.is_empty() && (succ.is_none() || round % 2 == 1) {
+            lonely[(round / 2) as usize % lonely.len()]
+        } else {
+            let Some(succ) = succ else { return };
+            Target {
+                id: succ.id,
+                addr: succ.addr,
+                level: succ.level,
+            }
         };
         self.stats.probes_sent += 1;
         #[cfg(feature = "trace")]
         self.tr(
             CauseId::NONE,
-            TraceEventKind::ProbeSent { target: succ.id.0 },
+            TraceEventKind::ProbeSent {
+                target: target.id.0,
+            },
         );
         self.send_rpc(outs, target, Message::Probe, RpcKind::Probe, 0);
     }
 
     fn on_probe_failure(&mut self, now_us: u64, dead: Target, outs: &mut Vec<Output>) {
         self.stats.failures_detected += 1;
-        self.peers.remove(dead.id);
+        // The detector is an observer too: feed the departed node's
+        // lifetime into the §4.6 estimator, exactly as applying the
+        // leave event would — `apply_event`'s Leave arm cannot, because
+        // by the time the self-originated event reaches it the pointer
+        // is already gone. Without this the detector keeps the generous
+        // no-estimate refresh default while every *other* observer
+        // tightens its expiry horizon from the same departure, and the
+        // detector's own entry is the first to be (wrongly) expired.
+        // Found by the depth-4 sweep: [Join(1), Join(2), Crash(2),
+        // Shift(0, 1)].
+        if let Some(old) = self.peers.remove(dead.id) {
+            if old.first_seen_us > 0 && now_us > old.first_seen_us {
+                self.lifetimes.record(old.level, now_us - old.first_seen_us);
+            }
+        }
         outs.push(Output::FailureDetected { dead: dead.id });
         #[cfg(feature = "trace")]
         self.tr(
@@ -1481,7 +1581,12 @@ impl NodeMachine {
     /// ages are preserved so they never contaminate the §4.6 lifetime
     /// estimator with short observation spans.
     fn install_downloaded(&mut self, mut ptr: Pointer, now_us: u64) {
-        if ptr.id == self.me {
+        if ptr.id == self.me || self.known_departed(ptr.id) {
+            // A downloaded list races with leave multicasts exactly like
+            // a piggybacked top list does (see `refresh_tops`): the
+            // leave we already applied can never purge a re-admitted
+            // entry. Downloads carry no origin time to compare, so skip
+            // conservatively — a live node's §4.6 refresh re-admits.
             return;
         }
         ptr.last_refresh_us = now_us;
@@ -1490,7 +1595,7 @@ impl NodeMachine {
 
     /// Whether `event` is fresh w.r.t. the dedup horizon, updating it.
     fn dedup_admit(&mut self, event: &StateEvent) -> bool {
-        let e = self.seen.entry(event.subject).or_insert((0, 0));
+        let e = self.seen.entry(event.subject).or_insert((0, 0, false));
         // Removals carry the sentinel seq, so ordering falls entirely to
         // the origin timestamp: a removal that originated no later than
         // the subject's newest known announcement is stale information —
@@ -1509,7 +1614,14 @@ impl NodeMachine {
         }
         e.0 = e.0.max(event.seq);
         e.1 = e.1.max(event.origin_us);
+        e.2 = event.kind.is_removal();
         true
+    }
+
+    /// Whether the freshest event we applied for `id` was a removal —
+    /// i.e. the node departed and nothing newer has overridden that.
+    fn known_departed(&self, id: NodeId) -> bool {
+        self.seen.get(&id).is_some_and(|e| e.2)
     }
 
     /// Applies an event to the local peer list; returns `true` when fresh.
@@ -1927,9 +2039,21 @@ impl NodeMachine {
     /// and "download" from ourselves — an empty list — leaving the shift
     /// announced to nobody. Found by the invariants sweep:
     /// [Join, Shift(1), Shift(0)].
+    /// Also drops entries for nodes whose freshest known event was a
+    /// removal: piggybacked top lists race with leave multicasts, and a
+    /// stale list arriving after we applied the leave would re-seed the
+    /// departed node forever — the leave is inside the dedup horizon and
+    /// can never purge it again. A rejoin or refresh (fresh by the
+    /// origin clause) clears the flag and re-admits through
+    /// `apply_event`. Found by the invariants sweep at depth 4:
+    /// [Join(1), Join(2), Shift(1, 1), Leave(2)].
     fn refresh_tops(&mut self, fresh: impl IntoIterator<Item = Target>) {
         let me = self.me;
-        self.tops.refresh(fresh.into_iter().filter(|t| t.id != me));
+        let fresh: Vec<Target> = fresh
+            .into_iter()
+            .filter(|t| t.id != me && !self.known_departed(t.id))
+            .collect();
+        self.tops.refresh(fresh);
     }
 
     fn piggyback_tops(&self) -> Vec<Target> {
@@ -2255,6 +2379,39 @@ mod tests {
             .filter(|(_, o)| matches!(o, Output::FailureDetected { .. }))
             .count();
         assert!(detections >= 1);
+    }
+
+    #[test]
+    fn off_level_lonely_peer_crash_is_detected() {
+        // The PR 7 depth-4 finding: a node alone in its eigenstring
+        // group sits in nobody's §4.1 ring, so a silent crash there was
+        // never detected (and with no lifetime samples at its level,
+        // expiry never fired either). Cross-level fallback probing must
+        // reach it anyway.
+        let mut net = MiniNet::new();
+        let a = net.add_seed(0x2000_0000_0000_0000_0000_0000_0000_0000); // 001…
+        let b = net.add_joiner(0xB000_0000_0000_0000_0000_0000_0000_0000, a, 1e9); // 1011…
+        let c = net.add_joiner(0xD000_0000_0000_0000_0000_0000_0000_0000, a, 1e9); // 1101…
+        net.run_until(10_000_000);
+        // Shift the seed to level 1. Its group "0…" holds no other node,
+        // so no ring successor anywhere points at it.
+        net.send_command(a, Command::SetLevel(Level::new(1)));
+        net.run_until(20_000_000);
+        let a_id = net.machines[a].id();
+        assert_eq!(net.machines[a].level(), Level::new(1));
+        assert!(
+            net.machines[b].peers().contains(a_id),
+            "b lost the seed after its shift"
+        );
+        // Crash the now-lonely seed silently.
+        net.dead[a] = true;
+        net.run_until(60_000_000);
+        for &i in &[b, c] {
+            assert!(
+                !net.machines[i].peers().contains(a_id),
+                "machine {i} still holds the departed off-level pointer"
+            );
+        }
     }
 
     #[test]

@@ -216,6 +216,17 @@ impl PeerList {
         self.entries.get(&id)
     }
 
+    /// Number of held entries at `level` whose id falls inside `group` —
+    /// the membership count of one eigenstring group as this list sees
+    /// it. A peer whose group count is 1 (itself) has no same-group
+    /// predecessor anywhere in our view: nobody's §4.1 ring reaches it.
+    pub fn count_group(&self, group: Prefix, level: Level) -> usize {
+        match self.by_level.get(level.value() as usize) {
+            Some(set) => set.range(group.id_range()).count(),
+            None => 0,
+        }
+    }
+
     /// The right neighbor on the circle formed by the *whole* peer list
     /// (the `ProbeScope::PeerList` extension): the entry with the smallest
     /// id strictly greater than `me`, wrapping around.

@@ -394,6 +394,10 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                     remote: (0..n).map(|_| Vec::new()).collect(),
                     dirty: Vec::new(),
                     merge: Vec::new(),
+                    // Without the runtime-metrics feature this is the
+                    // Noop ZST; `default()` is the one spelling that
+                    // compiles under both cfgs.
+                    #[allow(clippy::default_constructed_unit_structs)]
                     stats: EngineMetrics::default(),
                 })
                 .collect(),
@@ -404,6 +408,7 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
             mail: (0..n * n)
                 .map(|_| MailSlot(Mutex::new(Vec::new())))
                 .collect(),
+            #[allow(clippy::default_constructed_unit_structs)]
             metrics: EngineMetrics::default(),
         }
     }
@@ -662,6 +667,7 @@ impl<L: ShardLogic, M: ShardMap> ParallelEngine<L, M> {
                     // returns it; the pool owner absorbs them after the
                     // join. Laps partition the worker's wall-clock time
                     // exactly, so attribution fractions sum to 1.
+                    #[allow(clippy::default_constructed_unit_structs)]
                     let mut tl = EngineMetrics::default();
                     if metrics_on {
                         tl.set_enabled(true);

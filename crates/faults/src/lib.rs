@@ -43,6 +43,7 @@
 mod model;
 mod plan;
 mod rng;
+pub mod text;
 
 pub use model::{FaultCounters, FaultModel, LinkConditioner, Verdict};
 pub use plan::{Condition, FaultPlan, FaultRule, LinkSel, NodeSel};

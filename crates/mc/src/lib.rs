@@ -50,7 +50,7 @@ pub use check::{
 };
 pub use net::{McNet, NetErr, SlotStatus, SweepOp};
 pub use props::{
-    always_system_invariants, no_correct_node_permanently_expunged, partition_heal_reconverges,
-    Property,
+    always_system_invariants, eventually_no_departed_pointer, no_correct_node_permanently_expunged,
+    partition_heal_reconverges, Property,
 };
 pub use shrink::{shrink, Repro};

@@ -129,6 +129,31 @@ fn expunged_correct_slot(net: &McNet) -> Option<usize> {
     None
 }
 
+fn no_departed_pointer(net: &McNet) -> Result<(), String> {
+    use peerwindow_core::id::NodeId;
+    for s in 0..net.len() {
+        if net.is_correct(s) || !net.ever_active(s) {
+            continue;
+        }
+        let departed = NodeId(net.table()[s]);
+        for o in 0..net.len() {
+            if o == s || !net.is_correct(o) {
+                continue;
+            }
+            let Some(obs) = net.machine(o).filter(|om| om.is_active()) else {
+                continue;
+            };
+            if obs.peers().contains(departed) {
+                return Err(format!(
+                    "slot {o} still holds a pointer to departed slot {s} after \
+                     the system settled (lazy detection never fired)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn not_expunged(net: &McNet) -> Result<(), String> {
     match expunged_correct_slot(net) {
         None => Ok(()),
@@ -170,5 +195,17 @@ pub fn no_correct_node_permanently_expunged() -> Property {
         name: "no-correct-node-permanently-expunged",
         premise: some_correct_node_expunged,
         conclusion: not_expunged,
+    }
+}
+
+/// `Eventually`: once the system settles, no active node still holds a
+/// pointer to a crashed or departed node — §4.5's lazy maintenance
+/// promise. This is the property the depth-4 run falsified before the
+/// cross-level fallback probe: a node alone in its eigenstring group
+/// was in nobody's §4.1 ring, so its crash went undetected forever.
+pub fn eventually_no_departed_pointer() -> Property {
+    Property::Eventually {
+        name: "eventually-no-departed-pointer",
+        pred: no_departed_pointer,
     }
 }

@@ -40,7 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
-mod json;
+pub mod json;
 pub mod jsonl;
 pub mod query;
 mod record;

@@ -502,10 +502,85 @@ mod tests {
         assert_eq!(decode(&w), Err(CodecError::BadLength));
     }
 
+    #[test]
+    fn duplicated_frame_is_trailing_bytes_not_a_panic() {
+        // A retransmit bug (or the shim's Duplicate verdict landing two
+        // datagrams in one read on a connected stream transport) must
+        // surface as a loud error, not a second silently-parsed message.
+        for msg in [
+            Message::Probe,
+            Message::Report {
+                event: sample_event(),
+            },
+            Message::TopListReply { tops: vec![] },
+        ] {
+            let one = encode(NodeId(1), Addr(2), &msg);
+            let mut two = one.clone();
+            two.extend_from_slice(&one);
+            assert_eq!(decode(&two), Err(CodecError::TrailingBytes));
+        }
+    }
+
+    #[test]
+    fn frames_straddling_the_64kib_datagram_boundary_roundtrip() {
+        // The runtime refuses to transmit frames over 65 000 bytes, but
+        // the codec itself must stay exact on either side of 64 KiB: a
+        // DownloadReply big enough to cross it still round-trips, and
+        // truncating it anywhere inside the last pointer errors cleanly.
+        let p = Pointer::with_info(
+            NodeId(0xFEED),
+            Addr(9),
+            Level::new(1),
+            Bytes::from(vec![0xA5u8; 1000]),
+        );
+        let mut pointers = Vec::new();
+        let mut msg = Message::DownloadReply {
+            scope: Prefix::from_bits_str("0").unwrap(),
+            pointers: pointers.clone(),
+            tops: vec![],
+        };
+        while encode(NodeId(1), Addr(2), &msg).len() <= 64 << 10 {
+            pointers.push(p.clone());
+            msg = Message::DownloadReply {
+                scope: Prefix::from_bits_str("0").unwrap(),
+                pointers: pointers.clone(),
+                tops: vec![],
+            };
+        }
+        let buf = encode(NodeId(1), Addr(2), &msg);
+        assert!(buf.len() > 64 << 10 && buf.len() < (64 << 10) + 2048);
+        assert_eq!(decode(&buf).unwrap().msg, msg);
+        for cut in [64 << 10, buf.len() - 1, buf.len() - 500] {
+            assert!(decode(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
     proptest! {
         #[test]
         fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
             let _ = decode(&data);
+        }
+
+        #[test]
+        fn single_bit_flips_never_panic_and_never_alias_the_sender(
+            seq in any::<u64>(),
+            step in any::<u8>(),
+            bit in 0usize..2048,
+        ) {
+            // Corrupt one bit of a real frame: decode must not panic, and
+            // if the frame still parses, a flip inside the 16-byte sender
+            // id field must change the reported sender (no aliasing).
+            let mut event = sample_event();
+            event.seq = seq;
+            let mut buf = encode(NodeId(42), Addr(7), &Message::Multicast { event, step });
+            let bit = bit % (buf.len() * 8);
+            buf[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(env) = decode(&buf) {
+                let id_field = 3 * 8..(3 + 16) * 8;
+                if id_field.contains(&bit) {
+                    prop_assert_ne!(env.from, NodeId(42));
+                }
+            }
         }
 
         #[test]

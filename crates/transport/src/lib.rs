@@ -1,19 +1,22 @@
 //! # peerwindow-transport
 //!
 //! Runs the sans-IO PeerWindow node over real UDP sockets: a versioned
-//! binary wire [`codec`], and a single-threaded [`runtime`] that drives
+//! binary wire [`codec`], a single-threaded [`runtime`] that drives
 //! one `NodeMachine` per node with timers, delayed sends, and an
-//! application control channel. The `pwnode` binary is a ready-to-run
-//! node for ad-hoc deployments.
+//! application control channel, and a userspace netem [`shim`] that
+//! applies the sims' seeded fault plans to real datagrams. The `pwnode`
+//! binary is a ready-to-run node for ad-hoc deployments.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod codec;
 pub mod runtime;
+pub mod shim;
 
 pub use codec::{decode, encode, CodecError, Envelope};
 pub use runtime::{
     spawn_node, Control, NodeHandle, RuntimeConfig, RuntimeStats, RuntimeStatsSnapshot, Snapshot,
     SpawnError,
 };
+pub use shim::{FaultingSocket, ShimSpec};

@@ -25,7 +25,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender as Sender, TrySendError};
+use std::sync::mpsc::{Receiver, SyncSender as Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -42,11 +42,37 @@ pub struct RuntimeStats {
     decode_errors: AtomicU64,
     oversized_frames: AtomicU64,
     timers_fired: AtomicU64,
+    shim_dropped: AtomicU64,
+    shim_duplicated: AtomicU64,
+    shim_delayed: AtomicU64,
+    send_retries: AtomicU64,
+    backoff_exhaustions: AtomicU64,
 }
 
 impl RuntimeStats {
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Hooks for the shim module, which shares these counters so the
+    // application sees one coherent table per node.
+    pub(crate) fn note_datagram_out(&self) {
+        Self::bump(&self.datagrams_out);
+    }
+    pub(crate) fn note_shim_dropped(&self) {
+        Self::bump(&self.shim_dropped);
+    }
+    pub(crate) fn note_shim_duplicated(&self) {
+        Self::bump(&self.shim_duplicated);
+    }
+    pub(crate) fn note_shim_delayed(&self) {
+        Self::bump(&self.shim_delayed);
+    }
+    pub(crate) fn note_send_retry(&self) {
+        Self::bump(&self.send_retries);
+    }
+    pub(crate) fn note_backoff_exhausted(&self) {
+        Self::bump(&self.backoff_exhaustions);
     }
 
     /// Point-in-time copy of every counter.
@@ -57,6 +83,11 @@ impl RuntimeStats {
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
             timers_fired: self.timers_fired.load(Ordering::Relaxed),
+            shim_dropped: self.shim_dropped.load(Ordering::Relaxed),
+            shim_duplicated: self.shim_duplicated.load(Ordering::Relaxed),
+            shim_delayed: self.shim_delayed.load(Ordering::Relaxed),
+            send_retries: self.send_retries.load(Ordering::Relaxed),
+            backoff_exhaustions: self.backoff_exhaustions.load(Ordering::Relaxed),
         }
     }
 }
@@ -74,18 +105,35 @@ pub struct RuntimeStatsSnapshot {
     pub oversized_frames: u64,
     /// Protocol timers fired.
     pub timers_fired: u64,
+    /// Outbound datagrams the netem shim swallowed (loss / blackhole).
+    pub shim_dropped: u64,
+    /// Outbound datagrams the shim duplicated.
+    pub shim_duplicated: u64,
+    /// Outbound datagrams the shim parked for delayed delivery (jitter,
+    /// or the trailing copy of a duplicate).
+    pub shim_delayed: u64,
+    /// Socket send attempts that failed transiently and were rescheduled
+    /// with backoff.
+    pub send_retries: u64,
+    /// Sends abandoned after the retry budget was exhausted.
+    pub backoff_exhaustions: u64,
 }
 
 impl RuntimeStatsSnapshot {
     /// `(name, value)` rows, in declaration order — the iteration the
     /// Prometheus renderer and table printers share.
-    pub fn rows(&self) -> [(&'static str, u64); 5] {
+    pub fn rows(&self) -> [(&'static str, u64); 10] {
         [
             ("datagrams_in", self.datagrams_in),
             ("datagrams_out", self.datagrams_out),
             ("decode_errors", self.decode_errors),
             ("oversized_frames", self.oversized_frames),
             ("timers_fired", self.timers_fired),
+            ("shim_dropped", self.shim_dropped),
+            ("shim_duplicated", self.shim_duplicated),
+            ("shim_delayed", self.shim_delayed),
+            ("send_retries", self.send_retries),
+            ("backoff_exhaustions", self.backoff_exhaustions),
         ]
     }
 }
@@ -97,8 +145,16 @@ fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
 }
 
 /// Commands the application can send to a running node.
+///
+/// The channel is bounded (64 entries) and [`NodeHandle::control`]
+/// blocks when it is full: a slow node thread exerts backpressure on
+/// the controller rather than silently dropping commands.
 pub enum Control {
     /// Request a state snapshot; the reply goes to the provided sender.
+    /// The node thread blocks on the reply channel (never a silent
+    /// `try_send` drop), so the requester must either `recv` promptly
+    /// or drop its receiver — [`NodeHandle::snapshot`] does the former
+    /// with a timeout.
     Snapshot(Sender<Snapshot>),
     /// Change the attached info (§3) and announce it.
     ChangeInfo(Bytes),
@@ -147,6 +203,17 @@ pub struct RuntimeConfig {
     pub info: Bytes,
     /// RNG seed (protocol choices such as which top node to report to).
     pub seed: u64,
+    /// Userspace netem shim spec. `None` (the default for direct
+    /// embedders) sends every datagram straight through; with a spec the
+    /// outbound path is conditioned by its fault plan — see
+    /// [`crate::shim`].
+    pub shim: Option<crate::shim::ShimSpec>,
+    /// Added to the monotonic elapsed clock, so `now_us` — and with it
+    /// every event origin timestamp this node stamps — is comparable
+    /// across processes that agree on a common epoch. A cluster run sets
+    /// this to [`crate::shim::ShimSpec::wall_offset_us`]; standalone
+    /// nodes leave it 0.
+    pub clock_offset_us: u64,
 }
 
 /// Handle to a node thread.
@@ -192,7 +259,7 @@ impl NodeHandle {
     }
 
     /// Point-in-time copy of the node thread's runtime counters. Cheap
-    /// (five relaxed loads), callable at any rate, and still valid after
+    /// (a handful of relaxed loads), callable at any rate, and still valid after
     /// the node stops.
     pub fn runtime_stats(&self) -> RuntimeStatsSnapshot {
         self.stats.snapshot()
@@ -338,9 +405,26 @@ pub fn spawn_node(cfg: RuntimeConfig) -> Result<NodeHandle, SpawnError> {
     let diag_thread = Arc::clone(&diag);
     let stats = Arc::new(RuntimeStats::default());
     let stats_thread = Arc::clone(&stats);
+    // Bootstrap discovery above ran on the raw socket: a node must be
+    // able to find its bootstrap even under a plan that would condition
+    // that link (the shim models the network misbehaving *after* the
+    // operator managed to start the process).
+    let fsock =
+        crate::shim::FaultingSocket::new(socket, Arc::clone(&stats), cfg.shim.as_ref(), local);
+    let clock_offset_us = cfg.clock_offset_us;
     let thread = std::thread::Builder::new()
         .name(format!("pwnode-{id}"))
-        .spawn(move || run_loop(socket, machine, initial, ctl_rx, diag_thread, stats_thread))
+        .spawn(move || {
+            run_loop(
+                fsock,
+                clock_offset_us,
+                machine,
+                initial,
+                ctl_rx,
+                diag_thread,
+                stats_thread,
+            )
+        })
         .map_err(SpawnError::Io)?;
     Ok(NodeHandle {
         id,
@@ -356,7 +440,22 @@ pub fn spawn_node(cfg: RuntimeConfig) -> Result<NodeHandle, SpawnError> {
 enum Due {
     Timer(Timer),
     Send(Target, Message),
+    /// A judged-and-admitted frame whose socket write failed transiently
+    /// (`EAGAIN`, `ECONNREFUSED`, …): retry it as-is, with backoff.
+    Resend(SocketAddrV4, Vec<u8>, u32),
 }
+
+/// First resend delay; subsequent attempts back off ×4 (50 ms, 200 ms,
+/// 800 ms — the same doubling-style policy as the protocol's §4.1 RPC
+/// backoff, compressed to socket timescales).
+const RESEND_BASE_US: u64 = 50_000;
+/// Socket write attempts per frame before giving up (the protocol's own
+/// RPC retry machinery owns recovery beyond the transport's budget).
+const RESEND_MAX_ATTEMPTS: u32 = 3;
+/// How long a shutting-down node keeps draining: long enough for the
+/// §4.3 leave multicast's first retries and any shim-delayed frames to
+/// flush, short enough that embedders' drop paths stay snappy.
+const DRAIN_US: u64 = 300_000;
 
 /// Runtime diagnostics, routed through the trace layer rather than
 /// stderr (library code never prints — the audit lint enforces this).
@@ -393,7 +492,8 @@ fn drain_machine(machine: &mut NodeMachine, shared: &Mutex<Vec<TraceRecord>>) {
 }
 
 fn run_loop(
-    socket: UdpSocket,
+    mut fsock: crate::shim::FaultingSocket,
+    clock_offset_us: u64,
     mut machine: NodeMachine,
     initial: Vec<Output>,
     ctl: Receiver<Control>,
@@ -401,7 +501,7 @@ fn run_loop(
     stats: Arc<RuntimeStats>,
 ) {
     let start = Instant::now();
-    let now_us = |start: &Instant| start.elapsed().as_micros() as u64;
+    let now_us = |start: &Instant| clock_offset_us + start.elapsed().as_micros() as u64;
     let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
     let mut parked: Vec<Option<Due>> = Vec::new();
     let mut seq = 0u64;
@@ -409,6 +509,11 @@ fn run_loop(
     let me = machine.id();
     let my_addr = machine.addr();
     let mut stopping = false;
+    // Once set, the loop keeps servicing timers, retries, and inbound
+    // acks until the deadline, then exits: drain-then-close, so a leave
+    // multicast (and its first retries) survives the shutdown request.
+    let mut drain_until: Option<u64> = None;
+    let mut recv_errors_in_a_row = 0u32;
     let mut diag = Diag::new(me, diag_log);
 
     let schedule = |heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
@@ -421,9 +526,30 @@ fn run_loop(
         heap.push(Reverse((at, *seq, parked.len() - 1)));
     };
 
+    // Judge-and-transmit one encoded frame; a transient socket failure
+    // schedules the first resend rather than losing the frame.
+    let transmit = |frame: Vec<u8>,
+                    dest: SocketAddrV4,
+                    now: u64,
+                    fsock: &mut crate::shim::FaultingSocket,
+                    heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+                    parked: &mut Vec<Option<Due>>,
+                    seq: &mut u64| {
+        if fsock.send_judged(now, &frame, dest).is_err() {
+            stats.note_send_retry();
+            schedule(
+                heap,
+                parked,
+                seq,
+                now + RESEND_BASE_US,
+                Due::Resend(dest, frame, 1),
+            );
+        }
+    };
+
     let process = |outs: Vec<Output>,
                    now: u64,
-                   socket: &UdpSocket,
+                   fsock: &mut crate::shim::FaultingSocket,
                    heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
                    parked: &mut Vec<Option<Due>>,
                    seq: &mut u64,
@@ -440,8 +566,7 @@ fn run_loop(
                             RuntimeStats::bump(&stats.oversized_frames);
                             diag.emit(now, DiagCode::OversizedFrame);
                         } else {
-                            RuntimeStats::bump(&stats.datagrams_out);
-                            let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
+                            transmit(frame, sock_of(to.addr), now, fsock, heap, parked, seq);
                         }
                     } else {
                         schedule(heap, parked, seq, now + delay_us, Due::Send(to, msg));
@@ -468,7 +593,7 @@ fn run_loop(
         process(
             outs,
             now,
-            &socket,
+            &mut fsock,
             &mut heap,
             &mut parked,
             &mut seq,
@@ -480,8 +605,15 @@ fn run_loop(
             return;
         }
 
-        // Fire due timers and delayed sends.
+        // Flush shim-delayed frames that have come due, then fire due
+        // timers and delayed sends.
         let now = now_us(&start);
+        fsock.pump(now);
+        if let Some(deadline) = drain_until {
+            if now >= deadline || (!fsock.has_pending() && heap.is_empty()) {
+                return;
+            }
+        }
         while let Some(&Reverse((at, _, idx))) = heap.peek() {
             if at > now {
                 break;
@@ -496,7 +628,7 @@ fn run_loop(
                     process(
                         o,
                         now,
-                        &socket,
+                        &mut fsock,
                         &mut heap,
                         &mut parked,
                         &mut seq,
@@ -505,9 +637,43 @@ fn run_loop(
                     );
                 }
                 Some(Due::Send(to, msg)) => {
-                    RuntimeStats::bump(&stats.datagrams_out);
                     let frame = encode(me, my_addr, &msg);
-                    let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
+                    if frame.len() > 65_000 {
+                        RuntimeStats::bump(&stats.oversized_frames);
+                        diag.emit(now, DiagCode::OversizedFrame);
+                    } else {
+                        transmit(
+                            frame,
+                            sock_of(to.addr),
+                            now,
+                            &mut fsock,
+                            &mut heap,
+                            &mut parked,
+                            &mut seq,
+                        );
+                    }
+                }
+                Some(Due::Resend(dest, frame, attempt)) => {
+                    // Already judged and admitted: retries bypass the
+                    // shim so one frame cannot be charged two verdicts.
+                    match fsock.send_raw(&frame, dest) {
+                        Ok(()) => {}
+                        Err(_) if attempt < RESEND_MAX_ATTEMPTS => {
+                            stats.note_send_retry();
+                            let wait = RESEND_BASE_US << (2 * attempt);
+                            schedule(
+                                &mut heap,
+                                &mut parked,
+                                &mut seq,
+                                now + wait,
+                                Due::Resend(dest, frame, attempt + 1),
+                            );
+                        }
+                        Err(_) => {
+                            stats.note_backoff_exhausted();
+                            diag.emit(now, DiagCode::SocketError);
+                        }
+                    }
                 }
                 None => {}
             }
@@ -529,11 +695,11 @@ fn run_loop(
                         tops: machine.tops().entries().to_vec(),
                         stats: machine.stats(),
                     };
-                    match reply.try_send(snap) {
-                        Ok(())
-                        | Err(TrySendError::Full(_))
-                        | Err(TrySendError::Disconnected(_)) => {}
-                    }
+                    // Blocking send: the requester either receives the
+                    // snapshot or has dropped its receiver (in which
+                    // case this returns an error immediately). Never a
+                    // silent try_send drop.
+                    let _ = reply.send(snap);
                 }
                 Control::ChangeInfo(info) => {
                     let o = machine.handle(now, Input::Command(Command::ChangeInfo(info)));
@@ -542,7 +708,7 @@ fn run_loop(
                     process(
                         o,
                         now,
-                        &socket,
+                        &mut fsock,
                         &mut heap,
                         &mut parked,
                         &mut seq,
@@ -561,7 +727,7 @@ fn run_loop(
                     process(
                         o,
                         now,
-                        &socket,
+                        &mut fsock,
                         &mut heap,
                         &mut parked,
                         &mut seq,
@@ -570,25 +736,34 @@ fn run_loop(
                     );
                 }
                 Control::Shutdown => {
-                    let o = machine.handle(now, Input::Command(Command::Shutdown));
-                    #[cfg(feature = "trace")]
-                    drain_machine(&mut machine, &diag.shared);
-                    // Flush the leave announcement synchronously.
-                    for out in o {
-                        if let Output::Send { to, msg, .. } = out {
-                            RuntimeStats::bump(&stats.datagrams_out);
-                            let frame = encode(me, my_addr, &msg);
-                            let _ = socket.send_to(&frame, SocketAddr::V4(sock_of(to.addr)));
-                        }
+                    if drain_until.is_none() {
+                        let o = machine.handle(now, Input::Command(Command::Shutdown));
+                        #[cfg(feature = "trace")]
+                        drain_machine(&mut machine, &diag.shared);
+                        // The leave announcement goes through the normal
+                        // send path (shim, retries, delayed copies); the
+                        // drain window below keeps the loop alive long
+                        // enough to flush it and service the first acks.
+                        process(
+                            o,
+                            now,
+                            &mut fsock,
+                            &mut heap,
+                            &mut parked,
+                            &mut seq,
+                            &mut stopping,
+                            &mut diag,
+                        );
+                        drain_until = Some(now + DRAIN_US);
                     }
-                    return;
                 }
             }
         }
 
         // Network input (10 ms read timeout set at bind).
-        match socket.recv_from(&mut buf) {
+        match fsock.recv_from(&mut buf) {
             Ok((n, _peer)) => {
+                recv_errors_in_a_row = 0;
                 RuntimeStats::bump(&stats.datagrams_in);
                 match decode(&buf[..n]) {
                     Ok(env) => {
@@ -610,10 +785,23 @@ fn run_loop(
             }
             Err(ref e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                recv_errors_in_a_row = 0;
+            }
             Err(_e) => {
+                // A recv error is usually transient (Linux queues an
+                // ICMP port-unreachable as ECONNREFUSED on the next
+                // read after a send to a dead peer — exactly what a
+                // crashed neighbour produces). Log it and keep serving;
+                // only a persistently broken socket is fatal.
                 diag.emit(now_us(&start), DiagCode::SocketError);
-                return;
+                recv_errors_in_a_row += 1;
+                if recv_errors_in_a_row > 100 {
+                    diag.emit(now_us(&start), DiagCode::Fatal);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
             }
         }
     }
@@ -632,12 +820,23 @@ mod tests {
         RuntimeStats::bump(&stats.decode_errors);
         RuntimeStats::bump(&stats.oversized_frames);
         RuntimeStats::bump(&stats.timers_fired);
+        stats.note_shim_dropped();
+        stats.note_shim_dropped();
+        stats.note_shim_duplicated();
+        stats.note_shim_delayed();
+        stats.note_send_retry();
+        stats.note_backoff_exhausted();
         let snap = stats.snapshot();
         assert_eq!(snap.datagrams_in, 2);
         assert_eq!(snap.datagrams_out, 1);
         assert_eq!(snap.decode_errors, 1);
         assert_eq!(snap.oversized_frames, 1);
         assert_eq!(snap.timers_fired, 1);
+        assert_eq!(snap.shim_dropped, 2);
+        assert_eq!(snap.shim_duplicated, 1);
+        assert_eq!(snap.shim_delayed, 1);
+        assert_eq!(snap.send_retries, 1);
+        assert_eq!(snap.backoff_exhaustions, 1);
     }
 
     #[test]
@@ -648,11 +847,18 @@ mod tests {
             decode_errors: 3,
             oversized_frames: 4,
             timers_fired: 5,
+            shim_dropped: 6,
+            shim_duplicated: 7,
+            shim_delayed: 8,
+            send_retries: 9,
+            backoff_exhaustions: 10,
         };
         let rows = snap.rows();
         assert_eq!(rows[0], ("datagrams_in", 1));
         assert_eq!(rows[4], ("timers_fired", 5));
-        assert_eq!(rows.iter().map(|(_, v)| v).sum::<u64>(), 15);
+        assert_eq!(rows[5], ("shim_dropped", 6));
+        assert_eq!(rows[9], ("backoff_exhaustions", 10));
+        assert_eq!(rows.iter().map(|(_, v)| v).sum::<u64>(), 55);
     }
 
     #[test]

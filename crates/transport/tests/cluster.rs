@@ -1,0 +1,241 @@
+//! Cross-process robustness tests: a real `pwnode` child killed with
+//! SIGKILL mid-protocol and re-admitted after restart, and a two-node
+//! partition ridden out through the userspace netem shim.
+//!
+//! Both tests anchor every participant's clock to one shared epoch (the
+//! shim-spec contract): event `origin_us` stamps are only comparable
+//! across processes when they count from the same zero, and the §4.3
+//! dedup origin clause — which is what re-admits a crash-restarted node
+//! under its old identity — depends on that comparability.
+
+use bytes::Bytes;
+use peerwindow_core::prelude::*;
+use peerwindow_faults::{Condition, FaultPlan, FaultRule, LinkSel, NodeSel};
+use peerwindow_transport::{spawn_node, NodeHandle, RuntimeConfig, ShimSpec, Snapshot};
+use std::net::{SocketAddr, SocketAddrV4, UdpSocket};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn cfg(id: u128, listen: SocketAddrV4, bootstrap: Option<SocketAddrV4>) -> RuntimeConfig {
+    RuntimeConfig {
+        protocol: ProtocolConfig {
+            processing_delay_us: 0,
+            probe_interval_us: 300_000,
+            rpc_timeout_us: 150_000,
+            bandwidth_window_us: 2_000_000,
+            ..ProtocolConfig::default()
+        },
+        id: NodeId(id),
+        listen,
+        bootstrap,
+        threshold_bps: 1e9,
+        info: Bytes::from_static(b"in-process"),
+        seed: id as u64 | 1,
+        shim: None,
+        clock_offset_us: 0,
+    }
+}
+
+fn wait_for(handles: &[&NodeHandle], deadline: Duration, pred: impl Fn(&Snapshot) -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        let ok = handles.iter().all(|h| {
+            h.snapshot(Duration::from_millis(500))
+                .map(|s| pred(&s))
+                .unwrap_or(false)
+        });
+        if ok {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    false
+}
+
+/// Reserves `N` distinct loopback ports by holding all the binds before
+/// releasing any. Racy in principle; in practice the ports stay free
+/// for the nodes to claim.
+fn free_ports<const N: usize>() -> [SocketAddrV4; N] {
+    let socks: Vec<UdpSocket> = (0..N)
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    socks
+        .iter()
+        .map(|s| match s.local_addr().expect("addr") {
+            SocketAddr::V4(v) => v,
+            _ => unreachable!(),
+        })
+        .collect::<Vec<_>>()
+        .try_into()
+        .expect("N addresses")
+}
+
+fn spawn_pwnode(
+    listen: SocketAddrV4,
+    bootstrap: SocketAddrV4,
+    spec_path: &std::path::Path,
+) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_pwnode"))
+        .arg("--listen")
+        .arg(listen.to_string())
+        .arg("--bootstrap")
+        .arg(bootstrap.to_string())
+        .arg("--fault-plan")
+        .arg(spec_path)
+        .arg("--fast")
+        .arg("--budget")
+        .arg("1e9")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("pwnode spawns")
+}
+
+#[test]
+fn killed_child_process_is_expunged_then_readmitted_on_restart() {
+    // Shared epoch: a reliable (no-fault) spec whose only job is the
+    // clock anchor. The child reads it from disk; the in-process nodes
+    // take the same offset directly.
+    let spec = ShimSpec {
+        plan: FaultPlan::reliable(1),
+        epoch_unix_us: std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0),
+        roster: Vec::new(),
+    };
+    let spec_path =
+        std::env::temp_dir().join(format!("pwnode-restart-{}.shim", std::process::id()));
+    std::fs::write(&spec_path, spec.to_text()).expect("spec written");
+
+    let mut seed_cfg = cfg(0x1111, "127.0.0.1:0".parse().unwrap(), None);
+    seed_cfg.clock_offset_us = spec.wall_offset_us();
+    let seed = spawn_node(seed_cfg).expect("seed starts");
+    let boot = seed.local_addr;
+    let mut peer_cfg = cfg(
+        0x9999_0000_0000_0000_0000_0000_0000_0002,
+        "127.0.0.1:0".parse().unwrap(),
+        Some(boot),
+    );
+    peer_cfg.clock_offset_us = spec.wall_offset_us();
+    let peer = spawn_node(peer_cfg).expect("peer starts");
+    let survivors = [&seed, &peer];
+
+    let [child_addr] = free_ports::<1>();
+    let mut child = spawn_pwnode(child_addr, boot, &spec_path);
+
+    // All three converge; learn the child's derived id from a survivor.
+    assert!(
+        wait_for(&survivors, Duration::from_secs(15), |s| s.is_active
+            && s.peers.len() == 2),
+        "child never joined"
+    );
+    let known = seed.snapshot(Duration::from_secs(1)).expect("snap");
+    let child_id = known
+        .peers
+        .iter()
+        .map(|p| p.id)
+        .find(|id| *id != peer.id)
+        .expect("child id visible");
+
+    // SIGKILL mid-protocol: no leave, no drain. Survivors must detect
+    // the silence (§4.1) and expunge the pointer.
+    child.kill().expect("kill");
+    child.wait().expect("reaped");
+    assert!(
+        wait_for(&survivors, Duration::from_secs(15), |s| s
+            .peers
+            .iter()
+            .all(|p| p.id != child_id)),
+        "killed child was never expunged"
+    );
+
+    // Restart on the same address → same derived identity. The §4.3
+    // origin clause admits the seq-0 rejoin because its origin stamp
+    // (shared epoch) is fresher than everything recorded before.
+    let mut child = spawn_pwnode(child_addr, boot, &spec_path);
+    assert!(
+        wait_for(&survivors, Duration::from_secs(20), |s| s
+            .peers
+            .iter()
+            .any(|p| p.id == child_id)),
+        "restarted child was not re-admitted"
+    );
+    // No departed pointer lingers: exactly the three live ids, no dupes.
+    for h in survivors {
+        let s = h.snapshot(Duration::from_secs(1)).expect("snap");
+        assert_eq!(s.peers.len(), 2, "unexpected peer set: {:?}", s.peers);
+    }
+
+    child.kill().expect("kill");
+    child.wait().expect("reaped");
+    peer.shutdown();
+    seed.shutdown();
+    let _ = std::fs::remove_file(&spec_path);
+}
+
+#[test]
+fn two_process_partition_heals_without_false_expunge() {
+    // Two runtimes, each judging its sends through the same plan: a
+    // symmetric blackhole between them for 2 s, starting 1.5 s in. The
+    // give-up schedule (6 backed-off attempts ≈ 9.5 s) outlasts the
+    // window, so neither side may ever declare the other dead.
+    let [a_addr, b_addr] = free_ports::<2>();
+    let spec = ShimSpec {
+        plan: FaultPlan::reliable(7).with_rule(FaultRule {
+            from_us: 1_500_000,
+            until_us: 3_500_000,
+            links: LinkSel::between(NodeSel::One(0), NodeSel::One(1)),
+            condition: Condition::Blackhole,
+        }),
+        epoch_unix_us: std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0),
+        roster: vec![a_addr, b_addr],
+    };
+
+    let mk = |id: u128, addr: SocketAddrV4, boot: Option<SocketAddrV4>| {
+        let mut c = cfg(id, addr, boot);
+        c.protocol.max_attempts = 6;
+        c.shim = Some(spec.clone());
+        c.clock_offset_us = spec.wall_offset_us();
+        c
+    };
+    let a = spawn_node(mk(0x0AAA, a_addr, None)).expect("a starts");
+    let b = spawn_node(mk(
+        0xF000_0000_0000_0000_0000_0000_0000_0BBB,
+        b_addr,
+        Some(a_addr),
+    ))
+    .expect("b starts");
+    let both = [&a, &b];
+    assert!(
+        wait_for(&both, Duration::from_secs(10), |s| s.is_active
+            && s.peers.len() == 1),
+        "pair never converged"
+    );
+
+    // Ride out the window plus one §4.1 retry gap.
+    std::thread::sleep(Duration::from_secs(5));
+
+    // Healed: both still alive, still mutually known, nobody expunged.
+    assert!(
+        wait_for(&both, Duration::from_secs(10), |s| s.is_active
+            && s.peers.len() == 1),
+        "partition was not survived"
+    );
+    for h in both {
+        let s = h.snapshot(Duration::from_secs(1)).expect("snap");
+        assert_eq!(
+            s.stats.failures_detected, 0,
+            "blackhole was mistaken for a crash"
+        );
+    }
+    // The shim actually bit: probes sent into the window were swallowed.
+    let dropped = a.runtime_stats().shim_dropped + b.runtime_stats().shim_dropped;
+    assert!(dropped > 0, "no datagram was ever blackholed");
+
+    b.shutdown();
+    a.shutdown();
+}

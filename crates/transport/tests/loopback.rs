@@ -28,6 +28,8 @@ fn cfg(
         threshold_bps: 1e9,
         info: Bytes::from_static(info),
         seed: id as u64 | 1,
+        shim: None,
+        clock_offset_us: 0,
     }
 }
 

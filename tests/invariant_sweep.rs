@@ -17,8 +17,9 @@ use peerwindow::sim::FullSim;
 use peerwindow::topology::UniformNetwork;
 use peerwindow_faults::{Condition, FaultPlan, FaultRule, LinkSel, NodeSel};
 use peerwindow_mc::{
-    always_system_invariants, check, mc_protocol_config, no_correct_node_permanently_expunged,
-    partition_heal_reconverges, replay, shrink, McConfig,
+    always_system_invariants, check, eventually_no_departed_pointer, mc_protocol_config,
+    no_correct_node_permanently_expunged, partition_heal_reconverges, replay, shrink, McConfig,
+    SweepOp,
 };
 
 // First-bit-diverse ids so shifts to level 1 split the part in two, and
@@ -176,6 +177,66 @@ fn gap13_reintroduction_is_caught_with_shrunk_trace() {
         replay(&fixed, &props, &repro.trace).is_none(),
         "repro trace fails even without the bug — the scenario is not \
          isolating gap-13: {repro}"
+    );
+}
+
+/// The PR 7 depth-4 finding, now a passing regression: after
+/// `[Join(1), Join(2), Shift(0→1), Crash(0)]` the seed dies alone at
+/// level 1 — in nobody's §4.1 group ring, and with no lifetime samples
+/// at its level the §4.6 expiry deadline degenerates to "never". Before
+/// the cross-level fallback probe, survivors held the departed pointer
+/// forever; now every observer alternates its probe interval onto such
+/// "lonely" peers and the crash is detected.
+#[test]
+fn depth4_off_level_crash_is_eventually_detected() {
+    let mut cfg = McConfig::new(&[A, B, C]);
+    cfg.max_ops = 4;
+    cfg.allow_crash = true;
+    cfg.levels = vec![0, 1];
+    cfg.protocol = mc_protocol_config();
+    let props = [always_system_invariants(), eventually_no_departed_pointer()];
+
+    // The exact counterexample trace the checker produced in PR 7.
+    let trace = [
+        SweepOp::Join(1),
+        SweepOp::Join(2),
+        SweepOp::Shift(0, 1),
+        SweepOp::Crash(0),
+    ];
+    if let Some(failure) = replay(&cfg, &props, &trace) {
+        panic!("depth-4 off-level crash still undetected: {failure}");
+    }
+    // Two more depth-4 traces the full sweep surfaced once the first
+    // failure stopped masking them: a level raise importing a stale top
+    // entry into scope, and the crash *detector* skipping the §4.6
+    // lifetime sample so its refresh lagged every peer's tightened
+    // expiry horizon.
+    for trace in [
+        [
+            SweepOp::Join(1),
+            SweepOp::Join(2),
+            SweepOp::Shift(1, 1),
+            SweepOp::Leave(2),
+        ],
+        [
+            SweepOp::Join(1),
+            SweepOp::Join(2),
+            SweepOp::Crash(2),
+            SweepOp::Shift(0, 1),
+        ],
+    ] {
+        if let Some(failure) = replay(&cfg, &props, &trace) {
+            panic!("depth-4 regression trace {trace:?} fails again: {failure}");
+        }
+    }
+
+    // And the full depth-4 space around it is clean too.
+    let stats = check(&cfg, &props).unwrap_or_else(|failure| panic!("{failure}"));
+    assert!(stats.completed);
+    assert!(
+        stats.raw_states > 50,
+        "only {} states explored",
+        stats.raw_states
     );
 }
 
