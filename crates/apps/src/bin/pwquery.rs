@@ -1,0 +1,693 @@
+//! pwquery — the serving-layer benchmark (PR 10's `BENCH_PR10.json`).
+//!
+//! Builds an N = 100k..1M-pointer peer list from the seeded §5.1 churn
+//! workload, publishes it through the lock-free snapshot path, and
+//! hammers the [`QueryEngine`] from `--threads` query threads while a
+//! churn thread keeps mutating and re-publishing the list at full speed.
+//! Records, per query class, a `query_qps_*` entry, plus the
+//! snapshot-publication overhead on mutation throughput and the prepare
+//! cost per epoch:
+//!
+//! ```text
+//! pwquery [--n N] [--secs S] [--threads T] [--seed X] [--batch B]
+//!         [--out PATH] [--quick]
+//! ```
+//!
+//! * `--n` — steady-state population (default 100 000).
+//! * `--secs` — measurement window per query class (default 3).
+//! * `--threads` — concurrent query threads (default 4).
+//! * `--batch` — churn ops per snapshot publication (default 256; the
+//!   generation gate coalesces, publication is per batch).
+//! * `--quick` — CI smoke scale: N = 10 000, 1 s windows.
+//!
+//! Query classes: `partners_eq` (string-index lookup), `k_lightest`
+//! (presorted numeric column), `strongest` (level order), and the two
+//! bloom holder paths — `holders_batch` (one precomputed probe across
+//! all filters, zero-copy) vs `holders_single` (the old per-pointer
+//! deserialize-and-hash path) — so the batching win is measured, not
+//! asserted.
+
+use bytes::Bytes;
+use peerwindow_apps::query::{QueryEngine, QueryPlan};
+use peerwindow_apps::{Bloom, InfoMap};
+use peerwindow_core::prelude::*;
+use peerwindow_workload::ChurnConfig;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+const OSES: [&str; 5] = ["linux", "windows", "macos", "bsd", "solaris"];
+/// The document every holders query probes for; ~1 in 6 bloom carriers
+/// insert it, so holder queries return real (plus false-positive) hits.
+const TARGET_DOC: &[u8] = b"doc-42";
+
+/// Attached-info mix: 80% typed `InfoMap`s, 15% bloom attachments, 5%
+/// foreign garbage (fails both decoders — exercises `decode_errors`).
+fn info_for(id: u128, bandwidth_bps: f64) -> Bytes {
+    let mut h = id as u64 ^ (id >> 64) as u64;
+    let roll = splitmix(&mut h) % 100;
+    if roll < 80 {
+        let mut m = InfoMap::new();
+        m.set_str("os", OSES[(splitmix(&mut h) % OSES.len() as u64) as usize])
+            .set_f64("load", (splitmix(&mut h) % 1000) as f64 / 1000.0)
+            .set_u64("files", splitmix(&mut h) % 10_000)
+            .set_f64("bw", bandwidth_bps);
+        m.encode().expect("within MAX_ENCODED")
+    } else if roll < 95 {
+        let mut f = Bloom::for_items(32, 0.01);
+        for _ in 0..24 {
+            f.insert(format!("doc-{}", splitmix(&mut h) % 4096).as_bytes());
+        }
+        if splitmix(&mut h) % 6 == 0 {
+            f.insert(TARGET_DOC);
+        }
+        f.to_bytes()
+    } else {
+        // Leading 0x00 fails BloomView (k = 0), tag 0xFF fails InfoMap.
+        Bytes::from_static(&[0x00, 0xFF, 0xFF])
+    }
+}
+
+/// Stronger pipes pick stronger (lower-value) levels, coarsely mirroring
+/// §5.1's bandwidth-driven level choice.
+fn level_for(bandwidth_bps: f64) -> Level {
+    let l = match bandwidth_bps {
+        b if b >= 10_000_000.0 => 0,
+        b if b >= 1_000_000.0 => 1,
+        b if b >= 300_000.0 => 2,
+        b if b >= 100_000.0 => 3,
+        _ => 4,
+    };
+    Level::new(l)
+}
+
+fn pointer_for(id_raw: u128, bandwidth_bps: f64, now_us: u64) -> Pointer {
+    let mut p = Pointer::with_info(
+        NodeId(id_raw),
+        Addr(id_raw as u64),
+        level_for(bandwidth_bps),
+        info_for(id_raw, bandwidth_bps),
+    );
+    p.last_refresh_us = now_us;
+    p
+}
+
+struct Opts {
+    n: usize,
+    secs: f64,
+    threads: usize,
+    seed: u64,
+    batch: usize,
+    out: String,
+    quick: bool,
+}
+
+fn parse_args() -> Opts {
+    let usage =
+        "usage: pwquery [--n N] [--secs S] [--threads T] [--seed X] [--batch B] [--out PATH] [--quick]";
+    let mut o = Opts {
+        n: 100_000,
+        secs: 3.0,
+        threads: 4,
+        seed: 0xC0FFEE,
+        batch: 256,
+        out: "BENCH_PR10.json".to_string(),
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, what: &str| {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{usage} ({what} takes a value)");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => o.n = need(&mut it, "--n").parse().expect("number"),
+            "--secs" => o.secs = need(&mut it, "--secs").parse().expect("number"),
+            "--threads" => o.threads = need(&mut it, "--threads").parse().expect("number"),
+            "--seed" => o.seed = need(&mut it, "--seed").parse().expect("number"),
+            "--batch" => o.batch = need(&mut it, "--batch").parse().expect("number"),
+            "--out" => o.out = need(&mut it, "--out"),
+            "--quick" => o.quick = true,
+            other => {
+                eprintln!("unknown argument {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if o.quick {
+        o.n = o.n.min(10_000);
+        o.secs = 1.0;
+    }
+    o.threads = o.threads.max(1);
+    o.batch = o.batch.max(1);
+    o
+}
+
+/// One churn op against the live list. Mix: enough inserts/removes to
+/// keep membership turning over, a majority of touch/update traffic (the
+/// protocol's steady-state refresh pattern).
+enum Op {
+    Insert(u128, f64),
+    Remove,
+    Touch,
+    UpdateInfo,
+}
+
+struct ChurnState {
+    list: PeerList,
+    ids: Vec<NodeId>,
+    spec_pool: Vec<(u128, f64)>,
+    next_spec: usize,
+    rng: u64,
+    now_us: u64,
+}
+
+impl ChurnState {
+    fn apply(&mut self, op: Op) {
+        self.now_us += 1_000;
+        match op {
+            Op::Insert(id_raw, bw) => {
+                let p = pointer_for(id_raw, bw, self.now_us);
+                if self.list.insert(p).is_none() {
+                    self.ids.push(NodeId(id_raw));
+                }
+            }
+            Op::Remove => {
+                if self.ids.len() > 1 {
+                    let i = (splitmix(&mut self.rng) % self.ids.len() as u64) as usize;
+                    let id = self.ids.swap_remove(i);
+                    self.list.remove(id);
+                }
+            }
+            Op::Touch => {
+                if !self.ids.is_empty() {
+                    let i = (splitmix(&mut self.rng) % self.ids.len() as u64) as usize;
+                    self.list.touch(self.ids[i], self.now_us);
+                }
+            }
+            Op::UpdateInfo => {
+                if !self.ids.is_empty() {
+                    let i = (splitmix(&mut self.rng) % self.ids.len() as u64) as usize;
+                    let id = self.ids[i];
+                    let bw = 100_000.0 + (splitmix(&mut self.rng) % 1_000_000) as f64;
+                    self.list
+                        .update_info(id, info_for(id.raw(), bw), self.now_us);
+                }
+            }
+        }
+    }
+
+    fn next_op(&mut self) -> Op {
+        match splitmix(&mut self.rng) % 100 {
+            0..=19 => {
+                let (id, bw) = self.spec_pool[self.next_spec % self.spec_pool.len()];
+                self.next_spec += 1;
+                // Perturb reused ids so recycled specs rejoin as new nodes.
+                let salt = (self.next_spec / self.spec_pool.len()) as u128;
+                Op::Insert(id ^ (salt << 96), bw)
+            }
+            20..=39 => Op::Remove,
+            40..=89 => Op::Touch,
+            _ => Op::UpdateInfo,
+        }
+    }
+}
+
+fn build_initial(cfg: &ChurnConfig) -> ChurnState {
+    let pop = cfg.initial_population();
+    let mut list = PeerList::new(Prefix::EMPTY);
+    let mut ids = Vec::with_capacity(pop.len());
+    let mut now_us = 0u64;
+    for (spec, _residual) in &pop {
+        now_us += 1_000;
+        list.insert(pointer_for(spec.id_raw, spec.bandwidth_bps, now_us));
+        ids.push(NodeId(spec.id_raw));
+    }
+    // Arrival specs to draw joins from while churning (recycled with an
+    // id salt once exhausted).
+    let spec_pool: Vec<(u128, f64)> = cfg
+        .arrivals(4.0 * cfg.mean_lifetime_s())
+        .into_iter()
+        .map(|(_, s)| (s.id_raw, s.bandwidth_bps))
+        .collect();
+    ChurnState {
+        list,
+        ids,
+        spec_pool: if spec_pool.is_empty() {
+            vec![(0xDEAD_BEEF, 500_000.0)]
+        } else {
+            spec_pool
+        },
+        next_spec: 0,
+        rng: cfg.seed ^ 0x51AB_71E5,
+        now_us,
+    }
+}
+
+/// Mutation throughput with and without per-batch snapshot publication:
+/// the honest cost of the serving layer on the write side.
+fn publish_overhead(
+    state: &ChurnState,
+    me: NodeIdentity,
+    ops: usize,
+    batch: usize,
+) -> (f64, f64, u64) {
+    let run = |publish: bool| -> (f64, u64) {
+        let mut s = ChurnState {
+            list: state.list.clone(),
+            ids: state.ids.clone(),
+            spec_pool: state.spec_pool.clone(),
+            next_spec: state.next_spec,
+            rng: state.rng,
+            now_us: state.now_us,
+        };
+        let mut publisher = SnapshotPublisher::new();
+        let mut published = 0u64;
+        let t = Instant::now();
+        let mut in_batch = 0;
+        for _ in 0..ops {
+            let op = s.next_op();
+            s.apply(op);
+            in_batch += 1;
+            if publish && in_batch >= batch {
+                in_batch = 0;
+                if publisher.maybe_publish_list(me, Addr(1), &s.list, s.now_us) {
+                    published += 1;
+                }
+            }
+        }
+        if publish && publisher.maybe_publish_list(me, Addr(1), &s.list, s.now_us) {
+            published += 1;
+        }
+        (ops as f64 / t.elapsed().as_secs_f64(), published)
+    };
+    // Interleave and keep the best of each so a scheduler hiccup on one
+    // side doesn't masquerade as publication cost.
+    let mut plain: f64 = 0.0;
+    let mut with_pub: f64 = 0.0;
+    let mut published = 0;
+    for _ in 0..3 {
+        plain = plain.max(run(false).0);
+        let (q, p) = run(true);
+        with_pub = with_pub.max(q);
+        published = p;
+    }
+    (plain, with_pub, published)
+}
+
+struct ClassResult {
+    queries: u64,
+    qps: f64,
+    hits: u64,
+    secs: f64,
+}
+
+/// Runs `threads` query workers against `engine` for `secs`, each
+/// executing the plan produced by `make_plan` (varied per worker so the
+/// string index sees different keys).
+fn run_class(
+    engine: &Arc<QueryEngine>,
+    threads: usize,
+    secs: f64,
+    make_plan: impl Fn(usize) -> QueryPlan,
+) -> ClassResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let hits = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    for w in 0..threads {
+        let engine = Arc::clone(engine);
+        let stop = Arc::clone(&stop);
+        let queries = Arc::clone(&queries);
+        let hits = Arc::clone(&hits);
+        let plan = make_plan(w);
+        workers.push(std::thread::spawn(move || {
+            let mut local_q = 0u64;
+            let mut local_h = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Re-load per iteration: each query observes the newest
+                // prepared epoch, like a real serving loop would.
+                let ps = engine.prepared();
+                for _ in 0..32 {
+                    let r = plan.execute(&ps);
+                    local_h += std::hint::black_box(r.len()) as u64;
+                    local_q += 1;
+                }
+            }
+            queries.fetch_add(local_q, Ordering::Relaxed);
+            hits.fetch_add(local_h, Ordering::Relaxed);
+        }));
+    }
+    let t = Instant::now();
+    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    let q = queries.load(Ordering::Relaxed);
+    ClassResult {
+        queries: q,
+        qps: q as f64 / elapsed,
+        hits: hits.load(Ordering::Relaxed),
+        secs: elapsed,
+    }
+}
+
+/// The pre-batching holders path, measured for comparison: per query,
+/// deserialize every pointer's filter and hash the document against each
+/// (`select::probable_holders` semantics, run against snapshot content).
+fn run_holders_single(engine: &Arc<QueryEngine>, threads: usize, secs: f64) -> ClassResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let hits = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    for _ in 0..threads {
+        let engine = Arc::clone(engine);
+        let stop = Arc::clone(&stop);
+        let queries = Arc::clone(&queries);
+        let hits = Arc::clone(&hits);
+        workers.push(std::thread::spawn(move || {
+            let mut local_q = 0u64;
+            let mut local_h = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let ps = engine.prepared();
+                let h = ps
+                    .snapshot()
+                    .pointers()
+                    .iter()
+                    .filter(|p| {
+                        Bloom::from_bytes(&p.info)
+                            .map(|f| f.maybe_contains(TARGET_DOC))
+                            .unwrap_or(false)
+                    })
+                    .count();
+                local_h += std::hint::black_box(h) as u64;
+                local_q += 1;
+            }
+            queries.fetch_add(local_q, Ordering::Relaxed);
+            hits.fetch_add(local_h, Ordering::Relaxed);
+        }));
+    }
+    let t = Instant::now();
+    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    let q = queries.load(Ordering::Relaxed);
+    ClassResult {
+        queries: q,
+        qps: q as f64 / elapsed,
+        hits: hits.load(Ordering::Relaxed),
+        secs: elapsed,
+    }
+}
+
+// ----------------------------------------------------------------- json out
+
+struct Json {
+    out: String,
+    depth: usize,
+    need_comma: bool,
+}
+
+impl Json {
+    fn new() -> Self {
+        Json {
+            out: String::new(),
+            depth: 0,
+            need_comma: false,
+        }
+    }
+    fn pad(&mut self) {
+        if self.need_comma {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+    fn open(&mut self, key: Option<&str>) {
+        self.pad();
+        if let Some(k) = key {
+            let _ = write!(self.out, "\"{k}\": ");
+        }
+        self.out.push('{');
+        self.depth += 1;
+        self.need_comma = false;
+    }
+    fn close(&mut self) {
+        self.depth -= 1;
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+        self.out.push('}');
+        self.need_comma = true;
+    }
+    fn num(&mut self, key: &str, v: f64) {
+        self.pad();
+        let _ = write!(self.out, "\"{key}\": {v:.1}");
+        self.need_comma = true;
+    }
+    fn num3(&mut self, key: &str, v: f64) {
+        self.pad();
+        let _ = write!(self.out, "\"{key}\": {v:.3}");
+        self.need_comma = true;
+    }
+    fn int(&mut self, key: &str, v: u64) {
+        self.pad();
+        let _ = write!(self.out, "\"{key}\": {v}");
+        self.need_comma = true;
+    }
+    fn str(&mut self, key: &str, v: &str) {
+        self.pad();
+        let _ = write!(self.out, "\"{key}\": \"{v}\"");
+        self.need_comma = true;
+    }
+    fn class(&mut self, name: &str, r: &ClassResult, threads: usize) {
+        self.open(Some(name));
+        self.num("qps", r.qps);
+        self.int("queries", r.queries);
+        self.int("hits", r.hits);
+        self.num3("secs", r.secs);
+        self.int("threads", threads as u64);
+        self.close();
+    }
+    fn finish(mut self) -> String {
+        while self.depth > 0 {
+            self.close();
+        }
+        self.out.push('\n');
+        self.out.remove(0); // leading newline from the first pad
+        self.out
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    let me = NodeIdentity::new(NodeId(1), Level::new(0));
+    eprintln!("pwquery: building N={} list (seed {})", o.n, o.seed);
+    let cfg = ChurnConfig::paper_common(o.n, o.seed);
+    let mut state = build_initial(&cfg);
+    let state_len = state.list.len();
+
+    // --- snapshot publication overhead on the write side -----------------
+    // Direct capture cost: what one publication of the full list costs.
+    let capture_ms = {
+        let mut p = SnapshotPublisher::new();
+        let t = Instant::now();
+        p.maybe_publish_list(me, Addr(1), &state.list, state.now_us);
+        t.elapsed().as_secs_f64() * 1_000.0
+    };
+    let overhead_ops = if o.quick { 20_000 } else { 100_000 };
+    let (plain_ops_s, pub_ops_s, published) = publish_overhead(&state, me, overhead_ops, o.batch);
+    // Against a synthetic 1M-ops/s mutation loop this percentage is a
+    // worst case by construction: real protocol events cost orders of
+    // magnitude more per op than a bare list mutation, so the amortized
+    // capture cost (capture_ms / batch) is the transferable number. The
+    // <1%-on-the-protocol-hot-path claim is gated separately by
+    // bench/tests/snapshot_overhead.rs.
+    let overhead_pct = (plain_ops_s / pub_ops_s - 1.0) * 100.0;
+    eprintln!(
+        "pwquery: capture {capture_ms:.2} ms/snapshot; synthetic mutation throughput \
+         plain {plain_ops_s:.0}/s, published {pub_ops_s:.0}/s \
+         ({overhead_pct:+.2}% worst-case overhead, batch {})",
+        o.batch
+    );
+
+    // --- initial publication + prepare -----------------------------------
+    let mut publisher = SnapshotPublisher::new();
+    publisher.maybe_publish_list(me, Addr(1), &state.list, state.now_us);
+    let reader = publisher.reader();
+    let t = Instant::now();
+    let engine = Arc::new(QueryEngine::new(reader));
+    let prepare_ms = t.elapsed().as_secs_f64() * 1_000.0;
+    let initial_errors = engine.prepared().decode_errors();
+    eprintln!(
+        "pwquery: prepared epoch {} ({} pointers, {} decode errors) in {prepare_ms:.1} ms",
+        engine.prepared().epoch(),
+        engine.prepared().len(),
+        initial_errors,
+    );
+
+    // --- live churn + refresher -------------------------------------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn_ops = Arc::new(AtomicU64::new(0));
+    let published_live = Arc::new(AtomicU64::new(0));
+    let churn_thread = {
+        let stop = Arc::clone(&stop);
+        let churn_ops = Arc::clone(&churn_ops);
+        let published_live = Arc::clone(&published_live);
+        let batch = o.batch;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..batch {
+                    let op = state.next_op();
+                    state.apply(op);
+                }
+                churn_ops.fetch_add(batch as u64, Ordering::Relaxed);
+                if publisher.maybe_publish_list(me, Addr(1), &state.list, state.now_us) {
+                    published_live.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            publisher.epoch()
+        })
+    };
+    let refresher = {
+        let stop = Arc::clone(&stop);
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let mut refreshes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if engine.refresh() {
+                    refreshes += 1;
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            refreshes
+        })
+    };
+
+    // --- query classes under live churn -----------------------------------
+    let churn_t = Instant::now();
+    eprintln!(
+        "pwquery: measuring query classes ({} threads, {:.0} s each)",
+        o.threads, o.secs
+    );
+    let partners = run_class(&engine, o.threads, o.secs, |w| QueryPlan::PartnersEq {
+        key: "os".to_string(),
+        value: OSES[w % OSES.len()].to_string(),
+        limit: 16,
+    });
+    let k_lightest = run_class(&engine, o.threads, o.secs, |_| QueryPlan::KSmallest {
+        key: "load".to_string(),
+        k: 16,
+    });
+    let strongest = run_class(&engine, o.threads, o.secs, |_| QueryPlan::Strongest {
+        k: 16,
+    });
+    let holders_batch = run_class(&engine, o.threads, o.secs, |_| {
+        QueryPlan::holders(TARGET_DOC)
+    });
+    let holders_single = run_holders_single(&engine, o.threads, o.secs.min(2.0));
+    let churn_secs = churn_t.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::Relaxed);
+    let final_epoch = churn_thread.join().expect("churn thread");
+    let refreshes = refresher.join().expect("refresher thread");
+    let ops = churn_ops.load(Ordering::Relaxed);
+    let ps = engine.prepared();
+    eprintln!(
+        "pwquery: churned {ops} ops across {} epochs ({} refreshes); served epoch {} with {} pointers",
+        final_epoch, refreshes, ps.epoch(), ps.len()
+    );
+    for c in [
+        ("partners_eq", &partners),
+        ("k_lightest", &k_lightest),
+        ("strongest", &strongest),
+        ("holders_batch", &holders_batch),
+        ("holders_single", &holders_single),
+    ] {
+        eprintln!(
+            "  query_qps_{}: {:.0}/s ({} queries)",
+            c.0, c.1.qps, c.1.queries
+        );
+    }
+
+    // --- write BENCH_PR10.json --------------------------------------------
+    let mut j = Json::new();
+    j.open(None);
+    j.str("generated_by", "pwquery");
+    j.int("pr", 10);
+    j.str("mode", if o.quick { "quick" } else { "full" });
+    j.open(Some("host"));
+    j.int(
+        "parallelism",
+        std::thread::available_parallelism().map_or(1, |p| p.get() as u64),
+    );
+    j.close();
+    j.open(Some("config"));
+    j.int("n", o.n as u64);
+    j.int("threads", o.threads as u64);
+    j.num3("secs_per_class", o.secs);
+    j.int("seed", o.seed);
+    j.int("publish_batch_ops", o.batch as u64);
+    j.close();
+    j.open(Some("snapshot_publication"));
+    j.num3("capture_ms_per_snapshot", capture_ms);
+    j.num3(
+        "capture_ns_per_pointer",
+        capture_ms * 1e6 / state_len as f64,
+    );
+    j.num("mutation_ops_per_s_plain", plain_ops_s);
+    j.num("mutation_ops_per_s_published", pub_ops_s);
+    j.num3("synthetic_worst_case_overhead_pct", overhead_pct);
+    j.int("overhead_probe_ops", overhead_ops as u64);
+    j.int("overhead_probe_published", published);
+    j.close();
+    j.open(Some("prepare"));
+    j.num3("initial_ms", prepare_ms);
+    j.int("pointers", ps.len() as u64);
+    j.int("decode_errors_initial", initial_errors);
+    j.close();
+    j.open(Some("live_churn"));
+    j.int("ops_applied", ops);
+    j.num("ops_per_s", ops as f64 / churn_secs);
+    j.int("epochs_published", final_epoch);
+    j.int("epochs_prepared", refreshes);
+    j.int("served_epoch", ps.epoch());
+    j.int("served_pointers", ps.len() as u64);
+    j.close();
+    j.open(Some("benches"));
+    j.class("query_qps_partners_eq", &partners, o.threads);
+    j.class("query_qps_k_lightest", &k_lightest, o.threads);
+    j.class("query_qps_strongest", &strongest, o.threads);
+    j.class("query_qps_holders_batch", &holders_batch, o.threads);
+    j.class("query_qps_holders_single", &holders_single, o.threads);
+    j.close();
+    j.int("decode_errors_total", engine.decode_errors_total());
+    j.int("diag_records", engine.take_diagnostics().len() as u64);
+    let json = j.finish();
+    std::fs::write(&o.out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", o.out);
+        std::process::exit(1);
+    });
+    println!("{json}");
+    eprintln!("pwquery: wrote {}", o.out);
+}

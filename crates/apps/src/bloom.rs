@@ -27,6 +27,67 @@ fn hash2(item: &[u8]) -> (u64, u64) {
     (h1, h2 | 1)
 }
 
+/// A precomputed probe set: the two double-hash bases for one item.
+///
+/// Hashing the item is the only per-item cost that doesn't depend on the
+/// filter, so a query that tests one document against *many* pointers'
+/// filters computes the probe once ([`Bloom::probe`]) and evaluates it
+/// against each filter ([`Bloom::contains_probe`] /
+/// [`BloomView::contains_probe`]) — the batched path of
+/// `probable_holders`. Probe evaluation adapts to each filter's own `m`
+/// and `k`, so one probe is valid against filters of any size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BloomProbe {
+    /// First double-hash base.
+    pub h1: u64,
+    /// Second double-hash base (always odd).
+    pub h2: u64,
+}
+
+fn probe_hits(bits: &[u8], k: u32, probe: BloomProbe) -> bool {
+    let m = (bits.len() * 8) as u64;
+    (0..k as u64).all(|i| {
+        let bit = probe.h1.wrapping_add(i.wrapping_mul(probe.h2)) % m;
+        bits[(bit / 8) as usize] & (1 << (bit % 8)) != 0
+    })
+}
+
+/// A zero-copy view over a serialized filter (`k:u8` + bits), for
+/// membership tests straight out of a pointer's attached-info bytes —
+/// no `Vec` allocation, no copy. Accepts exactly the inputs
+/// [`Bloom::from_bytes`] accepts.
+#[derive(Clone, Copy, Debug)]
+pub struct BloomView<'a> {
+    k: u32,
+    bits: &'a [u8],
+}
+
+impl<'a> BloomView<'a> {
+    /// Parses a view; `None` on malformed input (same acceptance rule as
+    /// [`Bloom::from_bytes`]).
+    pub fn parse(buf: &'a [u8]) -> Option<BloomView<'a>> {
+        if buf.len() < 2 || buf[0] == 0 {
+            return None;
+        }
+        Some(BloomView {
+            k: buf[0] as u32,
+            bits: &buf[1..],
+        })
+    }
+
+    /// Number of hash probes.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Whether the probed item is *possibly* present. Identical result to
+    /// deserializing with [`Bloom::from_bytes`] and calling
+    /// [`Bloom::maybe_contains`] on the probed item.
+    pub fn contains_probe(&self, probe: BloomProbe) -> bool {
+        probe_hits(self.bits, self.k, probe)
+    }
+}
+
 impl Bloom {
     /// Creates an empty filter of `bytes` bytes with `k` hash probes.
     ///
@@ -73,12 +134,20 @@ impl Bloom {
     /// Whether the item is *possibly* present (false positives allowed,
     /// false negatives impossible).
     pub fn maybe_contains(&self, item: &[u8]) -> bool {
-        let m = (self.bits.len() * 8) as u64;
+        self.contains_probe(Bloom::probe(item))
+    }
+
+    /// Precomputes the probe set for `item`, reusable against any number
+    /// of filters of any size (see [`BloomProbe`]).
+    pub fn probe(item: &[u8]) -> BloomProbe {
         let (h1, h2) = hash2(item);
-        (0..self.k as u64).all(|i| {
-            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % m;
-            self.bits[(bit / 8) as usize] & (1 << (bit % 8)) != 0
-        })
+        BloomProbe { h1, h2 }
+    }
+
+    /// Whether the probed item is *possibly* present — `maybe_contains`
+    /// with the item hashing hoisted out.
+    pub fn contains_probe(&self, probe: BloomProbe) -> bool {
+        probe_hits(&self.bits, self.k, probe)
     }
 
     /// Serializes as `k:u8` + bits, for pointer attachment.
@@ -157,6 +226,28 @@ mod tests {
         assert_eq!(f, g);
         assert!(Bloom::from_bytes(&[]).is_none());
         assert!(Bloom::from_bytes(&[0, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn probe_and_view_match_owned_path() {
+        let mut f = Bloom::for_items(64, 0.02);
+        for i in 0..64 {
+            f.insert(format!("d{i}").as_bytes());
+        }
+        let wire = f.to_bytes();
+        let view = BloomView::parse(&wire).unwrap();
+        assert_eq!(view.k(), f.k());
+        for i in 0..256 {
+            let item = format!("d{i}");
+            let probe = Bloom::probe(item.as_bytes());
+            let owned = f.maybe_contains(item.as_bytes());
+            assert_eq!(f.contains_probe(probe), owned);
+            assert_eq!(view.contains_probe(probe), owned);
+        }
+        // View acceptance matches from_bytes.
+        assert!(BloomView::parse(&[]).is_none());
+        assert!(BloomView::parse(&[4]).is_none());
+        assert!(BloomView::parse(&[0, 1, 2]).is_none());
     }
 
     #[test]

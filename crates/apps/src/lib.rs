@@ -3,18 +3,25 @@
 //! The application layer §3 sketches on top of PeerWindow's attached
 //! info: a compact typed [`info::InfoMap`] schema (GUESS file counts,
 //! backup-system OS tags, bidding status), [`bloom`] filter attachments
-//! (the LOCKSS document-advertisement pattern), and [`select`] — local
+//! (the LOCKSS document-advertisement pattern), [`select`] — local
 //! peer-selection queries over a collected peer list (partner search,
 //! k-lightest load shedding, probable document holders, the
-//! powerful-nodes level heuristic).
+//! powerful-nodes level heuristic) — and [`query`], the serving-layer
+//! version of [`select`]: a lock-free [`query::QueryEngine`] over
+//! published peer-list snapshots with prepared indexes, reusable
+//! [`query::QueryPlan`]s, and batched bloom evaluation.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bloom;
 pub mod info;
+pub mod query;
 pub mod select;
 
-pub use bloom::Bloom;
+pub use bloom::{Bloom, BloomProbe, BloomView};
 pub use info::{InfoError, InfoMap, Value};
-pub use select::{find_partners, info_of, k_smallest_by, probable_holders, strongest_nodes};
+pub use query::{PreparedSnapshot, QueryEngine, QueryPlan};
+pub use select::{
+    find_partners, info_of, k_smallest_by, probable_holders, strongest_nodes, try_info_of,
+};

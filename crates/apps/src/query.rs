@@ -1,0 +1,582 @@
+//! The pwquery serving engine: high-QPS queries over published snapshots.
+//!
+//! [`select`](crate::select) answers the paper's §1/§3 queries directly
+//! against a [`PeerList`](peerwindow_core::peer_list::PeerList) — correct,
+//! but every call re-decodes every pointer's attached info and the caller
+//! must hold the list (and therefore the protocol) still. This module is
+//! the serving-layer version: it consumes the immutable
+//! [`PeerSnapshot`]s the protocol publishes (`peerwindow_core::snapshot`)
+//! and amortizes all per-pointer work into a one-time *prepare* pass, so
+//! steady-state queries are index lookups.
+//!
+//! * [`PreparedSnapshot`] — one snapshot plus its decoded infos and
+//!   indexes (sorted numeric columns, a string-equality index, the
+//!   level order, the bloom-bearing subset). Prepared once per epoch.
+//! * [`QueryPlan`] — a reusable, snapshot-independent compiled query:
+//!   holders plans precompute their [`BloomProbe`] once and reuse it
+//!   across every snapshot and every pointer's filter (the batched
+//!   bloom evaluation of the PR's tentpole).
+//! * [`QueryEngine`] — ties a [`SnapshotReader`] to a lock-free
+//!   [`Published`] cell of the latest [`PreparedSnapshot`]: a refresher
+//!   thread calls [`QueryEngine::refresh`], any number of query threads
+//!   call [`QueryEngine::prepared`] and execute plans without ever
+//!   taking a lock.
+//!
+//! Every query here is *result-identical* to its [`select`](crate::select)
+//! counterpart on the same list content — pinned by proptests in
+//! `tests/` — so callers can move from list-querying to snapshot-serving
+//! without behavioral drift.
+//!
+//! Decode failures are not swallowed: each prepare counts pointers whose
+//! non-empty info decodes as neither an [`InfoMap`] nor a bloom
+//! attachment, and the engine surfaces the total plus a
+//! `DiagCode::InfoDecodeError` trace record per affected refresh.
+
+use crate::bloom::{Bloom, BloomProbe, BloomView};
+use crate::info::InfoMap;
+use crate::select;
+use peerwindow_core::pointer::Pointer;
+use peerwindow_core::snapshot::{PeerSnapshot, Published, SnapshotReader};
+use peerwindow_trace::{CauseId, DiagCode, NodeTrace, TraceEventKind, TraceRecord};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A snapshot with all per-pointer work done up front: infos decoded,
+/// numeric columns sorted, string values indexed, level order
+/// materialized, bloom-bearing pointers collected. Queries against a
+/// prepared snapshot are allocation-light index walks.
+#[derive(Debug)]
+pub struct PreparedSnapshot {
+    snap: Arc<PeerSnapshot>,
+    /// Decoded info per pointer (index-parallel with `snap.pointers()`);
+    /// empty on decode failure, mirroring [`select::info_of`].
+    infos: Vec<InfoMap>,
+    /// Pointers whose non-empty info decoded as neither an `InfoMap` nor
+    /// a bloom attachment — foreign-attachment rot, surfaced not hidden.
+    decode_errors: u64,
+    /// Pointer indices sorted by `(level value, id)` — the
+    /// strongest-nodes order.
+    by_level: Vec<u32>,
+    /// Per-key numeric columns: `(value, pointer index)` in ascending
+    /// value order (ties keep id order — same stable order as
+    /// [`select::k_smallest_by`]).
+    f64_cols: BTreeMap<String, Vec<(f64, u32)>>,
+    /// Exact-match string index: `(key, value)` → pointer indices in id
+    /// order.
+    str_index: BTreeMap<(String, String), Vec<u32>>,
+    /// Indices of pointers whose info parses as a serialized bloom
+    /// filter (the [`BloomView::parse`] acceptance rule — identical to
+    /// what [`select::probable_holders`] would consider).
+    bloom_idxs: Vec<u32>,
+}
+
+impl PreparedSnapshot {
+    /// Runs the prepare pass over `snap`. `O(n · info size)` — done once
+    /// per published epoch, off the query path.
+    pub fn prepare(snap: Arc<PeerSnapshot>) -> Self {
+        let n = snap.len();
+        let mut infos = Vec::with_capacity(n);
+        let mut decode_errors = 0u64;
+        let mut f64_cols: BTreeMap<String, Vec<(f64, u32)>> = BTreeMap::new();
+        let mut str_index: BTreeMap<(String, String), Vec<u32>> = BTreeMap::new();
+        let mut bloom_idxs = Vec::new();
+        for (i, p) in snap.pointers().iter().enumerate() {
+            let idx = i as u32;
+            // Bloom candidacy is independent of InfoMap decodability so
+            // the batched holders path accepts exactly the filters the
+            // per-pointer path accepts.
+            if BloomView::parse(&p.info).is_some() {
+                bloom_idxs.push(idx);
+            }
+            let info = match select::try_info_of(p) {
+                Ok(m) => m,
+                Err(_) => {
+                    if BloomView::parse(&p.info).is_none() {
+                        decode_errors += 1;
+                    }
+                    InfoMap::default()
+                }
+            };
+            for (key, value) in info.iter() {
+                match value {
+                    crate::info::Value::F64(v) => {
+                        f64_cols.entry(key.to_string()).or_default().push((*v, idx));
+                    }
+                    // u64 counters are not coerced into numeric columns:
+                    // `InfoMap::get_f64` doesn't coerce either, and the
+                    // columns must answer exactly what select answers.
+                    crate::info::Value::U64(_) => {}
+                    crate::info::Value::Str(s) => {
+                        str_index
+                            .entry((key.to_string(), s.clone()))
+                            .or_default()
+                            .push(idx);
+                    }
+                }
+            }
+            infos.push(info);
+        }
+        for col in f64_cols.values_mut() {
+            // Stable by-value sort: ties keep pointer-id order, exactly
+            // like select::k_smallest_by's stable sort over an id-ordered
+            // scan.
+            col.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        let mut by_level: Vec<u32> = (0..n as u32).collect();
+        by_level.sort_by_key(|&i| {
+            let p = &snap.pointers()[i as usize];
+            (p.level.value(), p.id)
+        });
+        PreparedSnapshot {
+            snap,
+            infos,
+            decode_errors,
+            by_level,
+            f64_cols,
+            str_index,
+            bloom_idxs,
+        }
+    }
+
+    /// A prepared view of the empty snapshot (what a fresh engine serves
+    /// before the first publication).
+    pub fn empty() -> Self {
+        Self::prepare(Arc::new(PeerSnapshot::empty()))
+    }
+
+    /// The underlying snapshot.
+    #[inline]
+    pub fn snapshot(&self) -> &Arc<PeerSnapshot> {
+        &self.snap
+    }
+
+    /// Snapshot epoch (shorthand for `snapshot().epoch`).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch
+    }
+
+    /// Number of pointers served.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.snap.len()
+    }
+
+    /// Whether the snapshot holds no pointers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.snap.is_empty()
+    }
+
+    /// Pointers whose info decoded as neither schema (this snapshot
+    /// only; the engine accumulates across refreshes).
+    #[inline]
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// The decoded info of pointer index `i` (empty map on decode
+    /// failure, like [`select::info_of`]).
+    pub fn info(&self, i: usize) -> &InfoMap {
+        &self.infos[i]
+    }
+
+    /// All pointers whose decoded info satisfies `pred` — the
+    /// full-scan partner query, with decoding already paid.
+    pub fn find_partners(&self, mut pred: impl FnMut(&Pointer, &InfoMap) -> bool) -> Vec<&Pointer> {
+        self.snap
+            .pointers()
+            .iter()
+            .zip(&self.infos)
+            .filter(|(p, m)| pred(p, m))
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Partners whose string field `key` equals `value` exactly — the
+    /// indexed fast path (`O(log n + hits)`). `limit` caps the result
+    /// (id order, so it pages deterministically); pass `usize::MAX` for
+    /// all matches.
+    pub fn partners_eq(&self, key: &str, value: &str, limit: usize) -> Vec<&Pointer> {
+        match self.str_index.get(&(key.to_string(), value.to_string())) {
+            Some(idxs) => idxs
+                .iter()
+                .take(limit)
+                .map(|&i| &self.snap.pointers()[i as usize])
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The `k` pointers with the smallest value of numeric field `key`
+    /// (`O(k)` off the presorted column).
+    pub fn k_smallest_by(&self, key: &str, k: usize) -> Vec<&Pointer> {
+        match self.f64_cols.get(key) {
+            Some(col) => col
+                .iter()
+                .take(k)
+                .map(|&(_, i)| &self.snap.pointers()[i as usize])
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Up to `k` pointers at the strongest levels (`O(k)` off the level
+    /// order).
+    pub fn strongest(&self, k: usize) -> Vec<&Pointer> {
+        self.by_level
+            .iter()
+            .take(k)
+            .map(|&i| &self.snap.pointers()[i as usize])
+            .collect()
+    }
+
+    /// Pointers that *probably* hold the probed document: the batched
+    /// bloom path — one precomputed probe set evaluated across all
+    /// bloom-bearing pointers in a single pass, zero-copy over each
+    /// pointer's attached bytes.
+    pub fn probable_holders_probe(&self, probe: BloomProbe) -> Vec<&Pointer> {
+        self.bloom_idxs
+            .iter()
+            .filter_map(|&i| {
+                let p = &self.snap.pointers()[i as usize];
+                // Parse can't fail: membership in bloom_idxs means it
+                // parsed at prepare time and the bytes are immutable.
+                BloomView::parse(&p.info)
+                    .filter(|v| v.contains_probe(probe))
+                    .map(|_| p)
+            })
+            .collect()
+    }
+
+    /// Convenience: hash `document` and run the batched holders query.
+    pub fn probable_holders(&self, document: &[u8]) -> Vec<&Pointer> {
+        self.probable_holders_probe(Bloom::probe(document))
+    }
+}
+
+/// A compiled, snapshot-independent query: build once, execute against
+/// every prepared snapshot the engine publishes. The payoff is in
+/// [`QueryPlan::holders`], which hashes the document once at plan-build
+/// time; the other variants pre-own their parameters so the hot path
+/// does no allocation.
+#[derive(Clone, Debug)]
+pub enum QueryPlan {
+    /// Partners whose string field `key` equals `value`.
+    PartnersEq {
+        /// Info field name.
+        key: String,
+        /// Required exact value.
+        value: String,
+        /// Result budget (`usize::MAX` for all matches).
+        limit: usize,
+    },
+    /// The `k` pointers with the smallest numeric field `key`.
+    KSmallest {
+        /// Info field name.
+        key: String,
+        /// Result budget.
+        k: usize,
+    },
+    /// Up to `k` pointers at the strongest levels.
+    Strongest {
+        /// Result budget.
+        k: usize,
+    },
+    /// Probable holders of a document (probe precomputed).
+    Holders {
+        /// The document's precomputed probe set.
+        probe: BloomProbe,
+    },
+}
+
+impl QueryPlan {
+    /// A holders plan for `document`, hashing it exactly once.
+    pub fn holders(document: &[u8]) -> Self {
+        QueryPlan::Holders {
+            probe: Bloom::probe(document),
+        }
+    }
+
+    /// Executes the plan against a prepared snapshot.
+    pub fn execute<'s>(&self, ps: &'s PreparedSnapshot) -> Vec<&'s Pointer> {
+        match self {
+            QueryPlan::PartnersEq { key, value, limit } => ps.partners_eq(key, value, *limit),
+            QueryPlan::KSmallest { key, k } => ps.k_smallest_by(key, *k),
+            QueryPlan::Strongest { k } => ps.strongest(*k),
+            QueryPlan::Holders { probe } => ps.probable_holders_probe(*probe),
+        }
+    }
+}
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The serving engine: one node's [`SnapshotReader`] on the write side,
+/// a lock-free [`Published`] cell of the latest [`PreparedSnapshot`] on
+/// the read side.
+///
+/// Threading model: any number of query threads call [`Self::prepared`]
+/// (wait-free load) and execute plans; one or more refresher threads
+/// call [`Self::refresh`] (serialized internally) to fold newly
+/// published protocol snapshots into prepared form. Queries never block
+/// on a refresh in progress — they keep serving the previous epoch
+/// until the swap.
+#[derive(Debug)]
+pub struct QueryEngine {
+    source: SnapshotReader,
+    prepared: Arc<Published<PreparedSnapshot>>,
+    /// Cumulative decode errors across all refreshed epochs.
+    decode_errors_total: AtomicU64,
+    refresh_lock: Mutex<()>,
+    diag: Mutex<NodeTrace>,
+}
+
+impl QueryEngine {
+    /// Builds an engine over `source`, preparing its current snapshot
+    /// immediately.
+    pub fn new(source: SnapshotReader) -> Self {
+        let first = PreparedSnapshot::prepare(source.load());
+        let me = first.snapshot().me.id.raw();
+        let mut trace = NodeTrace::new(me);
+        trace.set_enabled(true);
+        let engine = QueryEngine {
+            source,
+            decode_errors_total: AtomicU64::new(0),
+            refresh_lock: Mutex::new(()),
+            diag: Mutex::new(trace),
+            prepared: Arc::new(Published::new(Arc::new(PreparedSnapshot::empty()))),
+        };
+        engine.install(first);
+        engine
+    }
+
+    fn install(&self, ps: PreparedSnapshot) {
+        let errs = ps.decode_errors();
+        if errs > 0 {
+            self.decode_errors_total.fetch_add(errs, Ordering::Relaxed);
+            let mut diag = unpoison(self.diag.lock());
+            diag.set_now(ps.snapshot().at_us);
+            diag.emit(
+                ps.snapshot().me.level.value(),
+                TraceEventKind::Diag {
+                    code: DiagCode::InfoDecodeError,
+                },
+                CauseId::NONE,
+            );
+        }
+        self.prepared.publish(Arc::new(ps));
+    }
+
+    /// Folds the source's latest snapshot into prepared form if its
+    /// epoch advanced past what we serve. Returns `true` when a new
+    /// prepared snapshot was published. Concurrent callers are
+    /// serialized; queries are never blocked.
+    pub fn refresh(&self) -> bool {
+        let _g = unpoison(self.refresh_lock.lock());
+        let snap = self.source.load();
+        if snap.epoch <= self.prepared.load().epoch() {
+            return false;
+        }
+        self.install(PreparedSnapshot::prepare(snap));
+        true
+    }
+
+    /// The latest prepared snapshot — wait-free, never torn; hold the
+    /// `Arc` for as long as the query runs.
+    #[inline]
+    pub fn prepared(&self) -> Arc<PreparedSnapshot> {
+        self.prepared.load()
+    }
+
+    /// Executes a plan against the latest prepared snapshot, cloning the
+    /// results out (borrow-free convenience; hot loops should hold
+    /// [`Self::prepared`] and use [`QueryPlan::execute`]).
+    pub fn execute(&self, plan: &QueryPlan) -> Vec<Pointer> {
+        let ps = self.prepared();
+        plan.execute(&ps).into_iter().cloned().collect()
+    }
+
+    /// Cumulative count of undecodable attached infos seen across all
+    /// refreshes (per-snapshot counts are on [`PreparedSnapshot`]).
+    pub fn decode_errors_total(&self) -> u64 {
+        self.decode_errors_total.load(Ordering::Relaxed)
+    }
+
+    /// Drains the engine's diagnostic trace records (one
+    /// `info_decode_error` record per refresh that surfaced errors).
+    pub fn take_diagnostics(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        unpoison(self.diag.lock()).drain_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use peerwindow_core::peer_list::PeerList;
+    use peerwindow_core::prelude::*;
+    use peerwindow_core::snapshot::SnapshotPublisher;
+
+    fn info(os: &str, load: f64) -> Bytes {
+        let mut m = InfoMap::new();
+        m.set_str("os", os).set_f64("load", load);
+        m.encode().unwrap()
+    }
+
+    fn seeded_list() -> PeerList {
+        let mut l = PeerList::new(Prefix::EMPTY);
+        let mut holder = Bloom::for_items(10, 0.01);
+        holder.insert(b"doc-42");
+        for (id, level, bytes) in [
+            (1u128, 0u8, info("linux", 0.9)),
+            (2, 1, info("windows", 0.1)),
+            (3, 2, info("linux", 0.4)),
+            (4, 0, holder.to_bytes()),
+            (5, 3, Bytes::from_static(b"\xff")), // undecodable rot
+            (6, 2, Bytes::new()),                // no attachment: fine
+        ] {
+            l.insert(Pointer::with_info(
+                NodeId(id),
+                Addr(id as u64),
+                Level::new(level),
+                bytes,
+            ));
+        }
+        l
+    }
+
+    fn publish(list: &PeerList) -> SnapshotReader {
+        let mut p = SnapshotPublisher::new();
+        p.maybe_publish_list(
+            NodeIdentity::new(NodeId(99), Level::new(0)),
+            Addr(99),
+            list,
+            1_000,
+        );
+        p.reader()
+    }
+
+    #[test]
+    fn prepared_queries_match_select_on_same_content() {
+        let list = seeded_list();
+        let ps = PreparedSnapshot::prepare(publish(&list).load());
+
+        let sel: Vec<u128> = select::find_partners(&list, |_, i| i.get_str("os") == Some("linux"))
+            .map(|p| p.id.raw())
+            .collect();
+        let eng: Vec<u128> = ps
+            .partners_eq("os", "linux", usize::MAX)
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(sel, eng);
+        // Limits page in id order: a prefix of the full result.
+        let limited: Vec<u128> = ps
+            .partners_eq("os", "linux", 1)
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(limited, sel[..1]);
+        let scan: Vec<u128> = ps
+            .find_partners(|_, i| i.get_str("os") == Some("linux"))
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(sel, scan);
+
+        let sel: Vec<u128> = select::k_smallest_by(&list, "load", 2)
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        let eng: Vec<u128> = ps
+            .k_smallest_by("load", 2)
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(sel, eng);
+
+        let sel: Vec<u128> = select::strongest_nodes(&list, 3)
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        let eng: Vec<u128> = ps.strongest(3).iter().map(|p| p.id.raw()).collect();
+        assert_eq!(sel, eng);
+
+        let sel: Vec<u128> = select::probable_holders(&list, b"doc-42")
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        let eng: Vec<u128> = ps
+            .probable_holders(b"doc-42")
+            .iter()
+            .map(|p| p.id.raw())
+            .collect();
+        assert_eq!(sel, eng);
+        assert_eq!(sel, vec![4]);
+    }
+
+    #[test]
+    fn decode_errors_are_counted_not_swallowed() {
+        let list = seeded_list();
+        // Node 5's garbage info is an error; node 6's empty info and node
+        // 4's bloom are not.
+        let ps = PreparedSnapshot::prepare(publish(&list).load());
+        assert_eq!(ps.decode_errors(), 1);
+    }
+
+    #[test]
+    fn engine_refresh_tracks_epochs_and_diagnostics() {
+        let mut list = seeded_list();
+        let mut publisher = SnapshotPublisher::new();
+        let me = NodeIdentity::new(NodeId(99), Level::new(0));
+        publisher.maybe_publish_list(me, Addr(99), &list, 1_000);
+        let engine = QueryEngine::new(publisher.reader());
+        assert_eq!(engine.prepared().epoch(), 1);
+        assert_eq!(engine.decode_errors_total(), 1);
+        assert!(!engine.refresh(), "no new epoch yet");
+
+        list.remove(NodeId(5)); // the rot leaves the network
+        publisher.maybe_publish_list(me, Addr(99), &list, 2_000);
+        assert!(engine.refresh());
+        let ps = engine.prepared();
+        assert_eq!(ps.epoch(), 2);
+        assert_eq!(ps.decode_errors(), 0);
+        assert_eq!(engine.decode_errors_total(), 1);
+
+        let diags = engine.take_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert!(matches!(
+            diags[0].kind,
+            TraceEventKind::Diag {
+                code: DiagCode::InfoDecodeError
+            }
+        ));
+        assert!(engine.take_diagnostics().is_empty(), "drained");
+    }
+
+    #[test]
+    fn plans_are_reusable_across_epochs() {
+        let mut list = seeded_list();
+        let mut publisher = SnapshotPublisher::new();
+        let me = NodeIdentity::new(NodeId(99), Level::new(0));
+        publisher.maybe_publish_list(me, Addr(99), &list, 1_000);
+        let engine = QueryEngine::new(publisher.reader());
+
+        let plan = QueryPlan::holders(b"doc-42");
+        let ids = |v: Vec<Pointer>| v.iter().map(|p| p.id.raw()).collect::<Vec<_>>();
+        assert_eq!(ids(engine.execute(&plan)), vec![4]);
+
+        list.remove(NodeId(4));
+        publisher.maybe_publish_list(me, Addr(99), &list, 2_000);
+        engine.refresh();
+        assert!(engine.execute(&plan).is_empty());
+
+        let strongest = QueryPlan::Strongest { k: 2 };
+        assert_eq!(ids(engine.execute(&strongest)), vec![1, 2]);
+    }
+}

@@ -8,14 +8,23 @@
 //! value for powerful nodes" heuristic.
 
 use crate::bloom::Bloom;
-use crate::info::InfoMap;
+use crate::info::{InfoError, InfoMap};
 use peerwindow_core::peer_list::PeerList;
 use peerwindow_core::pointer::Pointer;
 
 /// Decodes a pointer's attached info as an [`InfoMap`] (empty on decode
-/// failure — foreign attachments are not ours to judge).
+/// failure — foreign attachments are not ours to judge). Callers that
+/// need to *observe* decode failures — the query engine's
+/// `decode_errors` counter — use [`try_info_of`] instead.
 pub fn info_of(p: &Pointer) -> InfoMap {
-    InfoMap::decode(&p.info).unwrap_or_default()
+    try_info_of(p).unwrap_or_default()
+}
+
+/// Decodes a pointer's attached info as an [`InfoMap`], surfacing the
+/// decode failure instead of swallowing it. Empty info decodes to an
+/// empty map (absence of attachment is not rot).
+pub fn try_info_of(p: &Pointer) -> Result<InfoMap, InfoError> {
+    InfoMap::decode(&p.info)
 }
 
 /// All pointers whose decoded info satisfies `pred`.

@@ -29,6 +29,7 @@
 //! * [`parts`] — split-system parts (§4.4).
 //! * [`messages`] — wire messages and size accounting.
 //! * [`node`] — the full sans-IO protocol state machine (§4).
+//! * [`snapshot`] — lock-free peer-list snapshot publication (serving layer).
 //! * [`config`] — protocol constants (paper defaults).
 //! * [`model`] — the §2 analytic performance model.
 //! * [`error`] — typed protocol errors (no panics in handling paths).
@@ -67,6 +68,7 @@ pub mod node;
 pub mod parts;
 pub mod peer_list;
 pub mod pointer;
+pub mod snapshot;
 pub mod top_list;
 
 /// Convenient re-exports of the most used types.
@@ -85,5 +87,8 @@ pub mod prelude {
     pub use crate::parts::{audit_parts, PartAudit, PartMap};
     pub use crate::peer_list::PeerList;
     pub use crate::pointer::{Addr, Pointer};
+    pub use crate::snapshot::{
+        PeerSnapshot, Published, SnapshotDirectory, SnapshotPublisher, SnapshotReader,
+    };
     pub use crate::top_list::TopList;
 }

@@ -31,6 +31,17 @@ pub struct PeerList {
     entries: BTreeMap<NodeId, Pointer>,
     /// Secondary index: ids of entries at each level.
     by_level: Vec<BTreeSet<NodeId>>,
+    /// Mutation counter: bumped by every state-changing call so snapshot
+    /// publication (`crate::snapshot`) can coalesce "did anything change
+    /// since the last capture?" into one integer compare. Not part of the
+    /// protocol state: never serialized, never hashed into fingerprints.
+    generation: u64,
+    /// Like `generation`, but only for changes a serving-layer query can
+    /// observe: membership, levels, info, scope. Refresh-stamp touches
+    /// (§4.6 probe acks — the steady-state hot path) bump `generation`
+    /// only, so publishers gating on this counter skip an O(n) capture
+    /// per probe ack.
+    content_generation: u64,
 }
 
 impl PeerList {
@@ -40,6 +51,8 @@ impl PeerList {
             scope,
             entries: BTreeMap::new(),
             by_level: Vec::new(),
+            generation: 0,
+            content_generation: 0,
         }
     }
 
@@ -49,11 +62,33 @@ impl PeerList {
         self.scope
     }
 
+    /// Mutation counter: increases on every state-changing call (insert,
+    /// remove, level/info/refresh updates, re-scoping). Two equal
+    /// generations on the *same* list instance mean no mutation happened
+    /// in between; snapshot publishers use this to skip redundant
+    /// captures. Observation only — cloning copies the current value.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Content-mutation counter: increases only when membership, a
+    /// level, attached info, or the scope changes — everything a
+    /// serving-layer query can observe. Pure refresh-stamp touches do
+    /// *not* bump it, so snapshot publishers gating on this counter stay
+    /// off the §4.6 probe-ack hot path.
+    #[inline]
+    pub fn content_generation(&self) -> u64 {
+        self.content_generation
+    }
+
     /// Re-scopes the list (level shift, §4.3). When narrowing, out-of-scope
     /// pointers are dropped ("removes those useless pointers"); when
     /// widening, the caller is responsible for downloading the missing
     /// pointers from a stronger node.
     pub fn set_scope(&mut self, scope: Prefix) {
+        self.generation += 1;
+        self.content_generation += 1;
         self.scope = scope;
         if !scope.is_empty() {
             let out_of_scope: Vec<NodeId> = self
@@ -98,7 +133,20 @@ impl PeerList {
     pub fn insert(&mut self, ptr: Pointer) -> Option<Pointer> {
         let id = ptr.id;
         let level = ptr.level;
+        let addr = ptr.addr;
+        let info = ptr.info.clone(); // refcount bump, not a copy
+        self.generation += 1;
         let prev = self.entries.insert(id, ptr);
+        // Re-inserting an observably identical pointer (the common case:
+        // window exchanges redeliver known peers with fresher stamps) is
+        // not a *content* change — gating it out keeps snapshot
+        // publishers off the steady-state exchange path.
+        if prev
+            .as_ref()
+            .is_none_or(|old| old.level != level || old.addr != addr || old.info != info)
+        {
+            self.content_generation += 1;
+        }
         if let Some(ref old) = prev {
             if old.level != level {
                 self.unindex(id, old.level);
@@ -114,6 +162,8 @@ impl PeerList {
     pub fn remove(&mut self, id: NodeId) -> Option<Pointer> {
         let prev = self.entries.remove(&id);
         if let Some(ref p) = prev {
+            self.generation += 1;
+            self.content_generation += 1;
             self.unindex(id, p.level);
         }
         prev
@@ -128,6 +178,8 @@ impl PeerList {
             None => return false,
         };
         if old != level {
+            self.generation += 1;
+            self.content_generation += 1;
             self.unindex(id, old);
             self.index(id, level);
             if let Some(p) = self.entries.get_mut(&id) {
@@ -141,8 +193,14 @@ impl PeerList {
     pub fn update_info(&mut self, id: NodeId, info: bytes::Bytes, now_us: u64) -> bool {
         match self.entries.get_mut(&id) {
             Some(p) => {
+                // §4.6 refresh reports re-deliver the info a node already
+                // advertises; only a genuine change is serving-observable.
+                if p.info != info {
+                    self.content_generation += 1;
+                }
                 p.info = info;
                 p.last_refresh_us = now_us;
+                self.generation += 1;
                 true
             }
             None => false,
@@ -154,6 +212,7 @@ impl PeerList {
         match self.entries.get_mut(&id) {
             Some(p) => {
                 p.last_refresh_us = now_us;
+                self.generation += 1;
                 true
             }
             None => false,
@@ -537,6 +596,43 @@ mod tests {
         assert_eq!(list.len(), 2);
         assert!(list.contains(nid("0010")));
         assert!(list.contains(nid("1011")));
+    }
+
+    #[test]
+    fn generation_tracks_every_mutation_kind() {
+        let mut list = PeerList::new(Prefix::EMPTY);
+        let g0 = list.generation();
+        list.insert(p("1010", 2));
+        assert!(list.generation() > g0);
+        let g = list.generation();
+        let cg = list.content_generation();
+        // Read-only calls don't move either counter.
+        let _ = list.get(nid("1010"));
+        let _ = list.level_histogram();
+        assert_eq!(list.generation(), g);
+        assert_eq!(list.content_generation(), cg);
+        // Failed mutations don't move them either.
+        assert!(!list.touch(nid("0001"), 5));
+        assert!(!list.update_level(nid("0001"), Level::TOP));
+        assert!(list.remove(nid("0001")).is_none());
+        assert_eq!(list.generation(), g);
+        assert_eq!(list.content_generation(), cg);
+        // Each successful mutation kind bumps the full counter…
+        assert!(list.touch(nid("1010"), 5));
+        assert!(list.update_level(nid("1010"), Level::new(1)));
+        assert!(list.update_info(nid("1010"), bytes::Bytes::from_static(b"x"), 6));
+        // Re-delivering identical info (a §4.6 refresh) is a refresh
+        // stamp, not a content change.
+        let cg_same = list.content_generation();
+        assert!(list.update_info(nid("1010"), bytes::Bytes::from_static(b"x"), 7));
+        assert_eq!(list.content_generation(), cg_same);
+        list.set_scope(Prefix::from_bits_str("1").unwrap());
+        assert!(list.remove(nid("1010")).is_some());
+        assert_eq!(list.generation(), g + 6);
+        // …but touch() and the identical-info refresh are invisible to
+        // the content counter (refresh stamps are not serving-layer
+        // state), so it moved two less.
+        assert_eq!(list.content_generation(), cg + 4);
     }
 
     #[test]

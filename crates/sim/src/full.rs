@@ -87,6 +87,11 @@ struct FullWorld {
     /// the send loop; the trait remains the documented engine-facing
     /// contract, exercised through [`FaultModel::judge`] below.
     faults: Option<LinkConditioner>,
+    /// Lock-free snapshot publication (the serving layer): when enabled,
+    /// every machine's peer list is mirrored into a `Published` cell
+    /// after every handled event. Pure observation — generation-gated,
+    /// never touches the machines, fingerprint-invariant.
+    snapshots: Option<crate::snaphub::SnapshotHub>,
     /// Per-slot counter for harness-emitted fault records' `seq` field
     /// (kept in a reserved high-bit space; see `trace_fault`).
     #[cfg(feature = "trace")]
@@ -303,6 +308,15 @@ impl FullWorld {
         {
             self.machines[slot as usize] = None;
         }
+        // Serving layer: mirror the (possibly changed) peer list into the
+        // slot's published cell. Runs after the reap so a departed node
+        // never publishes again — readers keep its last live epoch.
+        if let (Some(hub), Some(m)) = (
+            self.snapshots.as_mut(),
+            self.machines[slot as usize].as_ref(),
+        ) {
+            hub.publish(slot, m, now.as_micros());
+        }
     }
 }
 
@@ -423,6 +437,7 @@ impl FullSim {
                 rng: DetRng::for_stream(seed, 0xF00D),
                 seed,
                 faults: None,
+                snapshots: None,
                 #[cfg(feature = "trace")]
                 fault_seq: Vec::new(),
                 #[cfg(feature = "trace")]
@@ -454,6 +469,44 @@ impl FullSim {
         for m in world.machines.iter_mut().flatten() {
             m.set_tracing(on);
         }
+    }
+
+    /// Turns lock-free snapshot publication on for every current and
+    /// future machine (the serving layer): each machine's peer list is
+    /// mirrored into a per-slot [`Published`] cell after every handled
+    /// event, generation-gated so unchanged lists cost one integer
+    /// compare. Returns the directory observers resolve readers from.
+    ///
+    /// Publication is pure observation — the simulation outcome
+    /// (fingerprints included) is identical with snapshots on or off.
+    pub fn enable_snapshots(&mut self) -> std::sync::Arc<SnapshotDirectory> {
+        let now_us = self.engine.now().as_micros();
+        let world = self.engine.sim_mut();
+        let hub = world
+            .snapshots
+            .get_or_insert_with(crate::snaphub::SnapshotHub::new);
+        for (slot, m) in world.machines.iter().enumerate() {
+            if let Some(m) = m.as_ref() {
+                hub.publish(slot as u32, m, now_us);
+            }
+        }
+        hub.directory()
+    }
+
+    /// A lock-free reader over `slot`'s published peer-list snapshots.
+    /// `None` until [`FullSim::enable_snapshots`] has run and the slot
+    /// has published at least once.
+    pub fn snapshot_reader(&self, slot: u32) -> Option<SnapshotReader> {
+        self.engine.sim().snapshots.as_ref()?.reader(slot)
+    }
+
+    /// Total snapshots published so far (0 when publication is off).
+    pub fn snapshots_published(&self) -> u64 {
+        self.engine
+            .sim()
+            .snapshots
+            .as_ref()
+            .map_or(0, crate::snaphub::SnapshotHub::published)
     }
 
     /// Flushes every machine's buffer and returns the collected records
@@ -664,6 +717,14 @@ impl FullSim {
                     Output::LevelShifted { from, to } => world.log.shifts.push((slot, from, to)),
                     Output::Fatal(reason) => world.log.fatals.push((slot, reason)),
                 }
+            }
+            // A freshly spawned machine gets an epoch-0 snapshot at once
+            // so readers resolved right after the spawn see its state.
+            if let (Some(hub), Some(m)) = (
+                world.snapshots.as_mut(),
+                world.machines[slot as usize].as_ref(),
+            ) {
+                hub.publish(slot, m, now_us);
             }
         }
         for (delay, ev) in items {

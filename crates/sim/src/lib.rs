@@ -27,6 +27,7 @@ pub mod oracle;
 pub mod parallel_full;
 pub mod plan;
 pub mod report;
+mod snaphub;
 
 pub use directory::Directory;
 pub use full::{FullLog, FullSim};

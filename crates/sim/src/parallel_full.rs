@@ -98,6 +98,12 @@ pub struct ProtocolShard {
     /// (conservative windows + deterministic merge order), hence so is
     /// every verdict — the fingerprint identity the chaos tests pin.
     faults: Option<LinkConditioner>,
+    /// Lock-free snapshot publication for this shard's actors. Every
+    /// shard owns its publishers (only its worker thread touches them)
+    /// but all shards share one directory, so observers resolve readers
+    /// by actor id without knowing the shard layout. Pure observation —
+    /// fingerprints are identical with snapshots on or off.
+    snapshots: Option<crate::snaphub::SnapshotHub>,
     /// Per-actor counter for harness fault records (high-bit seq space).
     #[cfg(feature = "trace")]
     fault_seq: Vec<u64>,
@@ -127,6 +133,7 @@ impl ProtocolShard {
             lookahead_us,
             seed,
             faults: None,
+            snapshots: None,
             #[cfg(feature = "trace")]
             fault_seq: vec![0; capacity],
             #[cfg(feature = "trace")]
@@ -272,6 +279,16 @@ impl ProtocolShard {
                 }
                 _ => {}
             }
+        }
+        // Serving layer: `process` runs directly after every machine
+        // event, so publishing here mirrors each peer-list change into
+        // the actor's lock-free cell (generation-gated — unchanged lists
+        // cost one integer compare).
+        if let (Some(hub), Some(m)) = (
+            self.snapshots.as_mut(),
+            self.machines[actor as usize].as_ref(),
+        ) {
+            hub.publish(actor, m, now_us);
         }
     }
 
@@ -661,6 +678,52 @@ impl<M: ShardMap> ParallelFullSim<M> {
             })
             .collect();
         audit_parts(&views)
+    }
+
+    /// Turns lock-free snapshot publication on in every shard: each
+    /// actor's peer list is mirrored into a per-actor [`Published`] cell
+    /// after every handled event. All shards publish into one shared
+    /// directory (returned here), so observers resolve readers by actor
+    /// id without knowing the shard layout. Call between windows
+    /// (before `run_until`). Idempotent — a second call returns the
+    /// existing directory.
+    ///
+    /// Publication is pure observation: the simulation outcome
+    /// (fingerprints included) is identical with snapshots on or off,
+    /// for every shard count — asserted by the workspace
+    /// `query_consistency` tests.
+    pub fn enable_snapshots(&mut self) -> std::sync::Arc<SnapshotDirectory> {
+        if let Some(hub) = self.engine.logic(0).snapshots.as_ref() {
+            return hub.directory();
+        }
+        let now_us = self.engine.now().as_micros();
+        let dir = std::sync::Arc::new(SnapshotDirectory::new());
+        for shard in 0..self.engine.shard_count() {
+            let logic = self.engine.logic_mut(shard);
+            let mut hub = crate::snaphub::SnapshotHub::with_directory(std::sync::Arc::clone(&dir));
+            for (actor, m) in logic.machines.iter().enumerate() {
+                if let Some(m) = m.as_ref() {
+                    hub.publish(actor as u32, m, now_us);
+                }
+            }
+            logic.snapshots = Some(hub);
+        }
+        dir
+    }
+
+    /// A lock-free reader over `actor`'s published snapshots. `None`
+    /// until [`Self::enable_snapshots`] has run and the actor published.
+    pub fn snapshot_reader(&self, actor: u32) -> Option<SnapshotReader> {
+        (0..self.engine.shard_count())
+            .find_map(|s| self.engine.logic(s).snapshots.as_ref()?.reader(actor))
+    }
+
+    /// Total snapshots published across all shards (0 when off).
+    pub fn snapshots_published(&self) -> u64 {
+        (0..self.engine.shard_count())
+            .filter_map(|s| self.engine.logic(s).snapshots.as_ref())
+            .map(crate::snaphub::SnapshotHub::published)
+            .sum()
     }
 
     /// Turns structured tracing on for every current and future machine,

@@ -179,14 +179,20 @@ pub enum DiagCode {
     Fatal,
     /// The socket returned a non-timeout error; the runtime is stopping.
     SocketError,
+    /// A pointer's attached info failed to decode under every schema the
+    /// query layer knows (neither an `InfoMap` nor a bloom attachment).
+    /// Emitted by the query engine so foreign-attachment rot is
+    /// observable instead of silently swallowed.
+    InfoDecodeError,
 }
 
 impl DiagCode {
     /// Every code, in declaration order.
-    pub const ALL: [DiagCode; 3] = [
+    pub const ALL: [DiagCode; 4] = [
         DiagCode::OversizedFrame,
         DiagCode::Fatal,
         DiagCode::SocketError,
+        DiagCode::InfoDecodeError,
     ];
 
     /// Stable wire name.
@@ -195,6 +201,7 @@ impl DiagCode {
             DiagCode::OversizedFrame => "oversized_frame",
             DiagCode::Fatal => "fatal",
             DiagCode::SocketError => "socket_error",
+            DiagCode::InfoDecodeError => "info_decode_error",
         }
     }
 

@@ -19,8 +19,10 @@
 //!   the node's clock is offset to the cluster epoch so the plan's
 //!   windows (and event origin timestamps) agree across processes.
 //! * `--ctl PORT` — a loopback UDP control port answering `snap` (one
-//!   JSON state snapshot per datagram) and `stop` (graceful leave, then
-//!   exit). Lets a supervisor poll and stop nodes without pipes.
+//!   JSON state snapshot per datagram), `query epoch` / `query count` /
+//!   `query strongest K` (served lock-free from the published peer-list
+//!   snapshot, no node-thread round trip), and `stop` (graceful leave,
+//!   then exit). Lets a supervisor poll and stop nodes without pipes.
 //! * `--fast` — test-scale protocol cadence (0.5 s probes) so failure
 //!   detection and convergence happen in seconds, not minutes.
 
@@ -170,6 +172,45 @@ fn snapshot_json(s: &Snapshot, handle: &NodeHandle) -> String {
     out
 }
 
+/// Serves one `query …` control command straight from the lock-free
+/// snapshot reader — no round trip through the node thread's control
+/// channel, so queries answer at full rate even while the node is busy
+/// with protocol work (and keep answering the last published state
+/// during its shutdown drain).
+///
+/// * `query epoch` — `{"epoch":N,"at_us":N,"pointers":N}`
+/// * `query count` — `{"pointers":N}`
+/// * `query strongest K` — up to K pointers, strongest level first
+fn query_json(reader: &SnapshotReader, args: &[&str]) -> String {
+    let snap = reader.load();
+    match args {
+        ["epoch"] => format!(
+            "{{\"epoch\":{},\"at_us\":{},\"pointers\":{}}}",
+            snap.epoch,
+            snap.at_us,
+            snap.len()
+        ),
+        ["count"] => format!("{{\"pointers\":{}}}", snap.len()),
+        ["strongest", k] => match k.parse::<usize>() {
+            Ok(k) => {
+                let mut out = format!("{{\"epoch\":{},\"strongest\":[", snap.epoch);
+                for (i, p) in snap.strongest(k).iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"id\":");
+                    write_str(&mut out, &p.id.to_string());
+                    out.push_str(&format!(",\"level\":{}}}", p.level.value()));
+                }
+                out.push_str("]}");
+                out
+            }
+            Err(_) => String::from("err strongest needs a count"),
+        },
+        _ => String::from("err unknown query (epoch | count | strongest K)"),
+    }
+}
+
 fn print_summary(s: &Snapshot) {
     println!(
         "level {} | {} peers | active: {} | rx {} kbit, tx {} kbit",
@@ -246,6 +287,12 @@ fn main() {
                             let _ = sock.send_to(b"bye", peer);
                             handle.shutdown();
                             std::process::exit(0);
+                        }
+                        cmd if cmd.starts_with(b"query") => {
+                            let text = String::from_utf8_lossy(cmd);
+                            let args: Vec<&str> = text.split_whitespace().skip(1).collect();
+                            let reply = query_json(&handle.snapshot_reader(), &args);
+                            let _ = sock.send_to(reply.as_bytes(), peer);
                         }
                         _ => {
                             let _ = sock.send_to(b"err unknown command", peer);

@@ -47,6 +47,7 @@ pub struct RuntimeStats {
     shim_delayed: AtomicU64,
     send_retries: AtomicU64,
     backoff_exhaustions: AtomicU64,
+    snapshots_published: AtomicU64,
 }
 
 impl RuntimeStats {
@@ -88,6 +89,7 @@ impl RuntimeStats {
             shim_delayed: self.shim_delayed.load(Ordering::Relaxed),
             send_retries: self.send_retries.load(Ordering::Relaxed),
             backoff_exhaustions: self.backoff_exhaustions.load(Ordering::Relaxed),
+            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,12 +119,15 @@ pub struct RuntimeStatsSnapshot {
     pub send_retries: u64,
     /// Sends abandoned after the retry budget was exhausted.
     pub backoff_exhaustions: u64,
+    /// Peer-list snapshots published to the lock-free serving cell
+    /// (generation-gated: one per actual peer-list change).
+    pub snapshots_published: u64,
 }
 
 impl RuntimeStatsSnapshot {
     /// `(name, value)` rows, in declaration order — the iteration the
     /// Prometheus renderer and table printers share.
-    pub fn rows(&self) -> [(&'static str, u64); 10] {
+    pub fn rows(&self) -> [(&'static str, u64); 11] {
         [
             ("datagrams_in", self.datagrams_in),
             ("datagrams_out", self.datagrams_out),
@@ -134,6 +139,7 @@ impl RuntimeStatsSnapshot {
             ("shim_delayed", self.shim_delayed),
             ("send_retries", self.send_retries),
             ("backoff_exhaustions", self.backoff_exhaustions),
+            ("snapshots_published", self.snapshots_published),
         ]
     }
 }
@@ -225,6 +231,7 @@ pub struct NodeHandle {
     ctl: Sender<Control>,
     diag: Arc<Mutex<Vec<TraceRecord>>>,
     stats: Arc<RuntimeStats>,
+    snapshots: SnapshotReader,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -232,6 +239,17 @@ impl NodeHandle {
     /// Sends a control command; returns `false` if the node has stopped.
     pub fn control(&self, c: Control) -> bool {
         self.ctl.send(c).is_ok()
+    }
+
+    /// A lock-free reader over the node's published peer-list snapshots
+    /// (the serving layer). Unlike [`NodeHandle::snapshot`] this never
+    /// round-trips through the control channel: `load()` is a few atomic
+    /// operations on the calling thread, safe to hit at query rates
+    /// while the node keeps serving the protocol. The node thread
+    /// publishes after every peer-list change (generation-gated), so the
+    /// reader's view trails the live list by at most one handled event.
+    pub fn snapshot_reader(&self) -> SnapshotReader {
+        self.snapshots.clone()
     }
 
     /// Takes a snapshot, waiting up to `timeout`.
@@ -405,6 +423,10 @@ pub fn spawn_node(cfg: RuntimeConfig) -> Result<NodeHandle, SpawnError> {
     let diag_thread = Arc::clone(&diag);
     let stats = Arc::new(RuntimeStats::default());
     let stats_thread = Arc::clone(&stats);
+    // Serving layer: the node thread owns the publisher; the handle (and
+    // anything it hands the reader to) loads snapshots lock-free.
+    let snap_pub = SnapshotPublisher::new();
+    let snap_reader = snap_pub.reader();
     // Bootstrap discovery above ran on the raw socket: a node must be
     // able to find its bootstrap even under a plan that would condition
     // that link (the shim models the network misbehaving *after* the
@@ -423,6 +445,7 @@ pub fn spawn_node(cfg: RuntimeConfig) -> Result<NodeHandle, SpawnError> {
                 ctl_rx,
                 diag_thread,
                 stats_thread,
+                snap_pub,
             )
         })
         .map_err(SpawnError::Io)?;
@@ -432,6 +455,7 @@ pub fn spawn_node(cfg: RuntimeConfig) -> Result<NodeHandle, SpawnError> {
         ctl: ctl_tx,
         diag,
         stats,
+        snapshots: snap_reader,
         thread: Some(thread),
     })
 }
@@ -491,6 +515,7 @@ fn drain_machine(machine: &mut NodeMachine, shared: &Mutex<Vec<TraceRecord>>) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_loop(
     mut fsock: crate::shim::FaultingSocket,
     clock_offset_us: u64,
@@ -499,6 +524,7 @@ fn run_loop(
     ctl: Receiver<Control>,
     diag_log: Arc<Mutex<Vec<TraceRecord>>>,
     stats: Arc<RuntimeStats>,
+    mut snap_pub: SnapshotPublisher,
 ) {
     let start = Instant::now();
     let now_us = |start: &Instant| clock_offset_us + start.elapsed().as_micros() as u64;
@@ -587,6 +613,12 @@ fn run_loop(
         }
     };
 
+    // The machine's state right out of the constructor is epoch 0: a
+    // reader resolved from the handle sees the node before its first
+    // event rather than an empty placeholder.
+    if snap_pub.maybe_publish(&machine, now_us(&start)) {
+        RuntimeStats::bump(&stats.snapshots_published);
+    }
     let mut outs = initial;
     loop {
         let now = now_us(&start);
@@ -601,6 +633,13 @@ fn run_loop(
             &mut diag,
         );
         outs = Vec::new();
+        // Serving layer: mirror any peer-list change from the events
+        // handled in the previous iteration (message input, timers,
+        // control commands) into the lock-free cell. Generation-gated —
+        // an idle pass costs one integer compare.
+        if snap_pub.maybe_publish(&machine, now) {
+            RuntimeStats::bump(&stats.snapshots_published);
+        }
         if stopping {
             return;
         }
@@ -759,6 +798,12 @@ fn run_loop(
                 }
             }
         }
+        // Timer fires and control commands above mutate the list too;
+        // publish before blocking on the socket so readers never wait a
+        // read-timeout behind a change that already happened.
+        if snap_pub.maybe_publish(&machine, now_us(&start)) {
+            RuntimeStats::bump(&stats.snapshots_published);
+        }
 
         // Network input (10 ms read timeout set at bind).
         match fsock.recv_from(&mut buf) {
@@ -826,6 +871,7 @@ mod tests {
         stats.note_shim_delayed();
         stats.note_send_retry();
         stats.note_backoff_exhausted();
+        RuntimeStats::bump(&stats.snapshots_published);
         let snap = stats.snapshot();
         assert_eq!(snap.datagrams_in, 2);
         assert_eq!(snap.datagrams_out, 1);
@@ -837,6 +883,7 @@ mod tests {
         assert_eq!(snap.shim_delayed, 1);
         assert_eq!(snap.send_retries, 1);
         assert_eq!(snap.backoff_exhaustions, 1);
+        assert_eq!(snap.snapshots_published, 1);
     }
 
     #[test]
@@ -852,13 +899,15 @@ mod tests {
             shim_delayed: 8,
             send_retries: 9,
             backoff_exhaustions: 10,
+            snapshots_published: 11,
         };
         let rows = snap.rows();
         assert_eq!(rows[0], ("datagrams_in", 1));
         assert_eq!(rows[4], ("timers_fired", 5));
         assert_eq!(rows[5], ("shim_dropped", 6));
         assert_eq!(rows[9], ("backoff_exhaustions", 10));
-        assert_eq!(rows.iter().map(|(_, v)| v).sum::<u64>(), 55);
+        assert_eq!(rows[10], ("snapshots_published", 11));
+        assert_eq!(rows.iter().map(|(_, v)| v).sum::<u64>(), 66);
     }
 
     #[test]

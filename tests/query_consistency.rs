@@ -1,0 +1,213 @@
+//! PR 10 query-consistency tier: snapshot publication is linearizable
+//! observation.
+//!
+//! * Proptest interleaving: arbitrary peer-list operation sequences run
+//!   on a writer thread that publishes after every operation, while a
+//!   concurrent reader loads lock-free snapshots the whole time. Every
+//!   snapshot the reader observes must equal some *prefix-state* of the
+//!   operation sequence — never a torn list, never a state that no
+//!   prefix of the history produced — and observed epochs must be
+//!   monotone.
+//! * Fingerprint parity: enabling snapshot publication inside the
+//!   parallel simulation changes nothing about the protocol — the run
+//!   fingerprint is byte-identical with snapshots on or off, at 1 and 4
+//!   shards (and across shard counts, as always).
+
+use bytes::Bytes;
+use peerwindow::des::SimTime;
+use peerwindow::prelude::*;
+use peerwindow::sim::ParallelFullSim;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One mutation against the peer list. Ids index a small universe so
+/// operations collide (re-inserts, removes of absentees, level flips on
+/// live entries).
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u8, u8),
+    Remove(u8),
+    UpdateLevel(u8, u8),
+    UpdateInfo(u8, u8),
+    Touch(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12, 0u8..5).prop_map(|(i, l)| Op::Insert(i, l)),
+        (0u8..12).prop_map(Op::Remove),
+        (0u8..12, 0u8..5).prop_map(|(i, l)| Op::UpdateLevel(i, l)),
+        (0u8..12, any::<u8>()).prop_map(|(i, b)| Op::UpdateInfo(i, b)),
+        (0u8..12).prop_map(Op::Touch),
+    ]
+}
+
+fn id_of(i: u8) -> NodeId {
+    NodeId(1 + i as u128)
+}
+
+fn apply(list: &mut PeerList, op: &Op, t: u64) {
+    match *op {
+        Op::Insert(i, l) => {
+            list.insert(Pointer::new(id_of(i), Addr(i as u64), Level::new(l)));
+        }
+        Op::Remove(i) => {
+            list.remove(id_of(i));
+        }
+        Op::UpdateLevel(i, l) => {
+            list.update_level(id_of(i), Level::new(l));
+        }
+        Op::UpdateInfo(i, b) => {
+            list.update_info(id_of(i), Bytes::from(vec![b]), t);
+        }
+        Op::Touch(i) => {
+            list.touch(id_of(i), t);
+        }
+    }
+}
+
+/// The serving-observable content of a list or snapshot: `(id, level,
+/// addr, info)` in id order. Refresh stamps are deliberately excluded —
+/// they are not serving-layer state (`touch` does not publish).
+type Content = Vec<(u128, u8, u64, Vec<u8>)>;
+
+fn content_of<'a>(pointers: impl Iterator<Item = &'a Pointer>) -> Content {
+    pointers
+        .map(|p| (p.id.raw(), p.level.value(), p.addr.0, p.info.to_vec()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Concurrent readers only ever observe prefix-states.
+    #[test]
+    fn observed_snapshots_are_prefix_states(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let me = NodeIdentity::new(NodeId(u128::MAX), Level::new(0));
+        let mut publisher = SnapshotPublisher::new();
+        let reader = publisher.reader();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let observer = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observed: Vec<(u64, Content)> = Vec::new();
+                let mut last_epoch = 0u64;
+                loop {
+                    let s = reader.load();
+                    assert!(s.is_well_formed(), "torn or malformed snapshot");
+                    assert!(s.epoch >= last_epoch, "epoch went backwards");
+                    last_epoch = s.epoch;
+                    if observed.last().map(|(e, _)| *e) != Some(s.epoch) {
+                        observed.push((s.epoch, content_of(s.pointers().iter())));
+                    }
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                observed
+            })
+        };
+
+        // Writer: apply each op, publish, and record the prefix-state.
+        let mut list = PeerList::new(Prefix::EMPTY);
+        let mut prefix_states: BTreeSet<Content> = BTreeSet::new();
+        prefix_states.insert(Content::new()); // the pre-history empty state
+        for (t, op) in ops.iter().enumerate() {
+            apply(&mut list, op, 1 + t as u64);
+            publisher.maybe_publish_list(me, Addr(u64::MAX), &list, 1 + t as u64);
+            prefix_states.insert(content_of(list.iter()));
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+        let observed = observer.join().expect("observer panicked");
+
+        prop_assert!(!observed.is_empty());
+        for (epoch, content) in &observed {
+            prop_assert!(
+                prefix_states.contains(content),
+                "epoch {} shows a state no prefix of the history produced: {:?}",
+                epoch,
+                content
+            );
+        }
+        // The last observation (taken after the writer stopped) is the
+        // final state exactly — the reader is never left behind once the
+        // writer quiesces.
+        let (_, final_observed) = observed.last().unwrap();
+        prop_assert_eq!(final_observed, &content_of(list.iter()));
+    }
+}
+
+/// The determinism scenario, with publication optionally enabled.
+fn parallel_fingerprint(shards: usize, snapshots: bool) -> (u64, u64) {
+    let n = 24u32;
+    let protocol = ProtocolConfig {
+        probe_interval_us: 3_000_000,
+        rpc_timeout_us: 500_000,
+        processing_delay_us: 20_000,
+        bandwidth_window_us: 12_000_000,
+        ..ProtocolConfig::default()
+    };
+    let mut sim = ParallelFullSim::new(shards, n as usize, protocol, 20_000, 1_000, 7);
+    if snapshots {
+        let _dir = sim.enable_snapshots();
+    }
+    let seed_id = NodeId(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+    sim.start_node(SimTime::ZERO, 0, seed_id, 1e9, Bytes::new(), None);
+    let boot = Target {
+        id: seed_id,
+        addr: Addr(0),
+        level: Level::TOP,
+    };
+    for k in 1..n {
+        let id = NodeId((k as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_0C4A_2B8E_D1A3) | 1);
+        sim.start_node(
+            SimTime::from_millis(500 * k as u64),
+            k,
+            id,
+            1e9,
+            Bytes::new(),
+            Some(boot),
+        );
+    }
+    sim.crash(SimTime::from_secs(25), 5);
+    sim.command(SimTime::from_secs(30), 2, Command::Shutdown);
+    sim.run_until(SimTime::from_secs(60));
+    if snapshots {
+        // The published views are coherent at quiescence: well formed
+        // and byte-equal (modulo refresh stamps) to each live list.
+        for (actor, m) in sim.machines() {
+            let Some(reader) = sim.snapshot_reader(actor) else {
+                continue;
+            };
+            let snap = reader.load();
+            assert!(snap.is_well_formed(), "actor {actor} torn view");
+            assert_eq!(snap.me.id, m.id());
+            assert_eq!(
+                content_of(snap.pointers().iter()),
+                content_of(m.peers().iter()),
+                "actor {actor} serving view trails its list at quiescence"
+            );
+        }
+    }
+    (sim.fingerprint(), sim.snapshots_published())
+}
+
+#[test]
+fn snapshots_do_not_perturb_the_parallel_fingerprint() {
+    let (fp1_off, zero1) = parallel_fingerprint(1, false);
+    let (fp1_on, pub1) = parallel_fingerprint(1, true);
+    let (fp4_off, zero4) = parallel_fingerprint(4, false);
+    let (fp4_on, pub4) = parallel_fingerprint(4, true);
+    assert_eq!(zero1, 0);
+    assert_eq!(zero4, 0);
+    assert!(pub1 > 0, "1-shard run never published");
+    assert!(pub4 > 0, "4-shard run never published");
+    assert_eq!(fp1_off, fp1_on, "publication perturbed the 1-shard run");
+    assert_eq!(fp4_off, fp4_on, "publication perturbed the 4-shard run");
+    assert_eq!(fp1_off, fp4_off, "shard count stopped being a pure speedup");
+}
